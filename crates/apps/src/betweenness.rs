@@ -1,0 +1,219 @@
+//! Betweenness analysis on top of the SPC-Index.
+//!
+//! Group betweenness (§1 of the paper, following \[23\]):
+//!
+//! ```text
+//! B̈(C) = Σ_{s,t ∈ V∖C, s≠t}  δ_st(C) / δ_st
+//! ```
+//!
+//! where `δ_st` is the number of shortest `s`–`t` paths and `δ_st(C)` those
+//! passing through at least one member of `C`. With an SPC-Index:
+//!
+//! * single vertex `c`: `δ_st(c) = spc(s,c)·spc(c,t)` when
+//!   `sd(s,c) + sd(c,t) = sd(s,t)`, else 0 — two index queries per term;
+//! * a group `C`: `δ_st(C) = δ_st − δ_st(avoid C)`, where the avoiding
+//!   count comes from a BFS restricted to `V∖C` that only counts paths
+//!   retaining the original length.
+//!
+//! [`brandes_betweenness`] provides the classic exact baseline for
+//! validation.
+
+use dspc::DynamicSpc;
+use dspc_graph::traversal::bfs::BfsCounter;
+use dspc_graph::{UndirectedGraph, VertexId};
+
+/// Betweenness centrality of a single vertex `c` using only index queries —
+/// the paper's "essential building block" usage.
+///
+/// Pairs are unordered (`s < t`), endpoints excluded, disconnected pairs
+/// contribute 0.
+pub fn vertex_betweenness(dspc: &DynamicSpc, c: VertexId) -> f64 {
+    let vertices: Vec<VertexId> = dspc.graph().vertices().filter(|&v| v != c).collect();
+    let mut total = 0.0;
+    for (i, &s) in vertices.iter().enumerate() {
+        let Some((d_sc, c_sc)) = dspc.query(s, c) else {
+            continue;
+        };
+        for &t in &vertices[i + 1..] {
+            let Some((d_st, c_st)) = dspc.query(s, t) else {
+                continue;
+            };
+            let Some((d_ct, c_ct)) = dspc.query(c, t) else {
+                continue;
+            };
+            if d_sc + d_ct == d_st {
+                total += (c_sc as f64 * c_ct as f64) / c_st as f64;
+            }
+        }
+    }
+    total
+}
+
+/// Group betweenness `B̈(C)` of a vertex set, combining index queries for
+/// `δ_st` with complement-restricted BFS for `δ_st(avoid C)`.
+pub fn group_betweenness(dspc: &DynamicSpc, group: &[VertexId]) -> f64 {
+    let g = dspc.graph();
+    let mut in_group = vec![false; g.capacity()];
+    for &c in group {
+        in_group[c.index()] = true;
+    }
+    let vertices: Vec<VertexId> = g.vertices().filter(|v| !in_group[v.index()]).collect();
+    let mut bfs = BfsCounter::new(g.capacity());
+    let mut total = 0.0;
+    for (i, &s) in vertices.iter().enumerate() {
+        // One restricted sweep per source covers all targets.
+        let (avoid_dist, avoid_count) = {
+            let allow = |w: u32| !in_group[w as usize];
+            let (d, c) = bfs.sssp_restricted(g, s, allow);
+            (d.to_vec(), c.to_vec())
+        };
+        for &t in &vertices[i + 1..] {
+            let Some((d_st, c_st)) = dspc.query(s, t) else {
+                continue;
+            };
+            // Paths avoiding C: only those that kept the original length.
+            let avoiding = if avoid_dist[t.index()] == d_st {
+                avoid_count[t.index()]
+            } else {
+                0
+            };
+            let through = c_st.saturating_sub(avoiding);
+            total += through as f64 / c_st as f64;
+        }
+    }
+    total
+}
+
+/// Classic Brandes betweenness centrality (exact, unordered pairs) — the
+/// validation baseline. Returns a score per vertex id.
+pub fn brandes_betweenness(g: &UndirectedGraph) -> Vec<f64> {
+    let cap = g.capacity();
+    let mut bc = vec![0.0f64; cap];
+    let mut dist = vec![i64::MAX; cap];
+    let mut sigma = vec![0.0f64; cap];
+    let mut delta = vec![0.0f64; cap];
+    let mut order: Vec<u32> = Vec::with_capacity(cap);
+    let mut queue = std::collections::VecDeque::new();
+    for s in g.vertices() {
+        order.clear();
+        for v in g.vertices() {
+            dist[v.index()] = i64::MAX;
+            sigma[v.index()] = 0.0;
+            delta[v.index()] = 0.0;
+        }
+        dist[s.index()] = 0;
+        sigma[s.index()] = 1.0;
+        queue.push_back(s.0);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in g.neighbors(VertexId(v)) {
+                if dist[w as usize] == i64::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                }
+            }
+        }
+        // Dependency accumulation in reverse BFS order.
+        for &w in order.iter().rev() {
+            for &v in g.neighbors(VertexId(w)) {
+                if dist[v as usize] + 1 == dist[w as usize] {
+                    delta[v as usize] +=
+                        sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                }
+            }
+            if w != s.0 {
+                bc[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    // Each unordered pair was counted twice (once per endpoint as source).
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspc::OrderingStrategy;
+    use dspc_graph::generators::classic::{path_graph, star_graph};
+    use dspc_graph::generators::paper::figure2_g;
+    use dspc_graph::generators::random::erdos_renyi_gnm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let g = star_graph(6);
+        let dspc = DynamicSpc::build(g.clone(), OrderingStrategy::Degree);
+        // Center lies on all C(5,2) = 10 leaf-pair shortest paths.
+        assert!(close(vertex_betweenness(&dspc, VertexId(0)), 10.0));
+        assert!(close(vertex_betweenness(&dspc, VertexId(3)), 0.0));
+    }
+
+    #[test]
+    fn path_middle_betweenness() {
+        let g = path_graph(5);
+        let dspc = DynamicSpc::build(g, OrderingStrategy::Degree);
+        // Vertex 2 separates {0,1} from {3,4}: 4 pairs.
+        assert!(close(vertex_betweenness(&dspc, VertexId(2)), 4.0));
+    }
+
+    #[test]
+    fn index_betweenness_matches_brandes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = erdos_renyi_gnm(40, 100, &mut rng);
+        let brandes = brandes_betweenness(&g);
+        let dspc = DynamicSpc::build(g.clone(), OrderingStrategy::Degree);
+        for v in g.vertices() {
+            assert!(
+                close(vertex_betweenness(&dspc, v), brandes[v.index()]),
+                "vertex {v:?}: {} vs {}",
+                vertex_betweenness(&dspc, v),
+                brandes[v.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_group_matches_vertex() {
+        let g = figure2_g();
+        let dspc = DynamicSpc::build(g, OrderingStrategy::Identity);
+        for v in 0..12u32 {
+            assert!(
+                close(
+                    group_betweenness(&dspc, &[VertexId(v)]),
+                    vertex_betweenness(&dspc, VertexId(v))
+                ),
+                "vertex v{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_superset_dominates() {
+        let g = figure2_g();
+        let dspc = DynamicSpc::build(g, OrderingStrategy::Identity);
+        let single = group_betweenness(&dspc, &[VertexId(1)]);
+        let pair = group_betweenness(&dspc, &[VertexId(1), VertexId(2)]);
+        assert!(pair >= single - 1e-12);
+    }
+
+    #[test]
+    fn betweenness_tracks_updates() {
+        let g = path_graph(4); // 0-1-2-3
+        let mut dspc = DynamicSpc::build(g, OrderingStrategy::Degree);
+        assert!(close(vertex_betweenness(&dspc, VertexId(1)), 2.0));
+        // Bypass 1: edge 0-2 removes it from all shortest paths.
+        dspc.insert_edge(VertexId(0), VertexId(2)).unwrap();
+        assert!(close(vertex_betweenness(&dspc, VertexId(1)), 0.0));
+    }
+}

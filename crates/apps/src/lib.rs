@@ -1,0 +1,25 @@
+//! # dspc-apps — applications of dynamic shortest path counting
+//!
+//! The paper motivates SPC queries with two applications (§1, Appendix A):
+//!
+//! * **Betweenness analysis** ([`betweenness`]): the fraction of shortest
+//!   `s`–`t` paths through a vertex or vertex group is the building block
+//!   of (group) betweenness centrality (Puzis et al. 2007; Brandes 2001);
+//!   each term `δ_st(C)/δ_st` is two SPC queries away once an index exists.
+//! * **Link recommendation** ([`recommendation`]): among equal-distance
+//!   candidates, more shortest paths mean more independent connections —
+//!   Figure 1's "recommend `c` over `b`" example.
+//!
+//! Both are implemented twice: once on top of the maintained
+//! [`dspc::DynamicSpc`] index (the paper's point — these stay cheap while
+//! the graph churns) and once as BFS-based exact baselines used for
+//! validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod betweenness;
+pub mod recommendation;
+
+pub use betweenness::{brandes_betweenness, group_betweenness, vertex_betweenness};
+pub use recommendation::{recommend_links, RecommendationEntry};

@@ -1,0 +1,32 @@
+//! Ablation bench: vertex ordering strategies (§2.2's design choice).
+//!
+//! The paper adopts degree-based ordering because high-degree hubs prune
+//! later BFSs early. This ablation builds the same graph under Degree /
+//! Identity / Random orders; Degree should be fastest and produce the
+//! smallest index (entry counts are printed once per strategy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspc::{build_index, OrderingStrategy};
+use dspc_bench::datasets::find;
+
+fn bench_orderings(c: &mut Criterion) {
+    let d = find("GOO-S").expect("registry key");
+    let g = d.generate(0.1);
+    let mut group = c.benchmark_group("ablation_order");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("degree", OrderingStrategy::Degree),
+        ("identity", OrderingStrategy::Identity),
+        ("random", OrderingStrategy::Random(99)),
+    ] {
+        let entries = build_index(&g, strategy).num_entries();
+        eprintln!("[ablation_order] {name}: {entries} label entries");
+        group.bench_with_input(BenchmarkId::new("build", name), &strategy, |b, &s| {
+            b.iter(|| build_index(&g, s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: HP-SPC index construction (Table 4's "L Time" column).
+//!
+//! Measures full builds on small-scale instances of three representative
+//! datasets (sparse / mid / dense). This is the baseline cost every dynamic
+//! update is compared against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspc::{build_index, OrderingStrategy};
+use dspc_bench::datasets::find;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for key in ["EUA-S", "GOO-S", "IND-S"] {
+        let d = find(key).expect("registry key");
+        let g = d.generate(0.12);
+        group.bench_with_input(
+            BenchmarkId::new("hp_spc", format!("{key}/n={}", g.num_vertices())),
+            &g,
+            |b, g| b.iter(|| build_index(g, OrderingStrategy::Degree)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: query evaluation — SpcQUERY (label merge) vs BiBFS
+//! (Figure 7(c)). The paper reports the index beating the online baseline
+//! by up to four orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspc::{build_index, spc_query, OrderingStrategy};
+use dspc_bench::datasets::find;
+use dspc_bench::workload::sample_query_pairs;
+use dspc_graph::traversal::bibfs::BiBfsCounter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    for key in ["EUA-S", "BKS-S"] {
+        let d = find(key).expect("registry key");
+        let g = d.generate(0.15);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let mut rng = StdRng::seed_from_u64(42);
+        let pairs = sample_query_pairs(&g, 256, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("spc_query", key), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(s, t) in pairs {
+                    acc = acc.wrapping_add(spc_query(&index, s, t).count);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bibfs", key), &pairs, |b, pairs| {
+            let mut bibfs = BiBfsCounter::new(g.capacity());
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(s, t) in pairs {
+                    if let Some((_, cnt)) = bibfs.count(&g, s, t) {
+                        acc = acc.wrapping_add(cnt);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

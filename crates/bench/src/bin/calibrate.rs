@@ -1,0 +1,31 @@
+//! Calibration utility: measures HP-SPC construction cost as a function of
+//! graph size on Barabási–Albert inputs. Used to size the dataset registry
+//! so that the reconstruction baseline stays runnable (see DESIGN.md §3).
+//!
+//! Run with: `cargo run --release -p dspc-bench --bin calibrate`
+
+use dspc::{build_index, OrderingStrategy};
+use dspc_graph::generators::random::barabasi_albert;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    println!("HP-SPC construction scaling on BA(n, m_attach) graphs:");
+    for (n, m) in [(500usize, 3usize), (1000, 3), (2000, 3), (4000, 3), (8000, 3), (4000, 8)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = barabasi_albert(n, m, &mut rng);
+        let t = Instant::now();
+        let idx = build_index(&g, OrderingStrategy::Degree);
+        let dt = t.elapsed();
+        println!(
+            "n={n:6} m={:7} build={:9.1?} entries={:9} avg_label={:.1}",
+            g.num_edges(),
+            dt,
+            idx.num_entries(),
+            idx.stats().avg_label_len
+        );
+        std::io::stdout().flush().unwrap();
+    }
+}

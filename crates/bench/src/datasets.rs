@@ -1,0 +1,251 @@
+//! The dataset registry — synthetic stand-ins for the paper's Table 3.
+//!
+//! The paper evaluates on ten SNAP/Konect/LAW graphs (0.27M–7.4M vertices);
+//! those downloads are unavailable offline and full HP-SPC reconstruction —
+//! the baseline the dynamic algorithms must beat — already takes the paper
+//! 27 *hours* on its largest graph. Each stand-in keeps the original's
+//! *shape* (scale-free web/social skew, relative density rank, which graphs
+//! are the dense outliers) at a scale where reconstruction stays runnable,
+//! so the speedup factors remain measurable end to end.
+//!
+//! Every dataset is generated from a fixed seed; `--scale` multiplies the
+//! vertex count for quicker smoke runs or heavier sweeps.
+
+use dspc_graph::generators::random::{barabasi_albert, erdos_renyi_gnm, powerlaw_configuration};
+use dspc_graph::{GraphStats, UndirectedGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator recipe for one dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Recipe {
+    /// Barabási–Albert with the given attachment count.
+    Ba {
+        /// Edges per new vertex.
+        m_attach: usize,
+    },
+    /// Power-law configuration model.
+    PowerLaw {
+        /// Exponent.
+        gamma: f64,
+        /// Minimum degree.
+        min_deg: usize,
+        /// Maximum degree.
+        max_deg: usize,
+    },
+    /// Erdős–Rényi with an edge multiplier (`m = mult · n`).
+    ErDense {
+        /// Edges per vertex.
+        mult: usize,
+    },
+}
+
+/// One registered dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct Dataset {
+    /// Short key used on the command line (paper's notation + `-S`).
+    pub key: &'static str,
+    /// The paper graph this stands in for.
+    pub stands_for: &'static str,
+    /// Base vertex count at scale 1.0.
+    pub base_n: usize,
+    /// Generator recipe.
+    pub recipe: Recipe,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Dataset {
+    /// Instantiates the graph at `scale` (vertex count multiplier).
+    pub fn generate(&self, scale: f64) -> UndirectedGraph {
+        let n = ((self.base_n as f64 * scale) as usize).max(64);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match self.recipe {
+            Recipe::Ba { m_attach } => barabasi_albert(n, m_attach, &mut rng),
+            Recipe::PowerLaw {
+                gamma,
+                min_deg,
+                max_deg,
+            } => powerlaw_configuration(n, gamma, min_deg, max_deg.min(n / 2), &mut rng),
+            Recipe::ErDense { mult } => {
+                let m = (mult * n).min(n * (n - 1) / 2);
+                erdos_renyi_gnm(n, m, &mut rng)
+            }
+        }
+    }
+
+    /// Statistics of the instantiated graph (Table 3's row).
+    pub fn stats(&self, scale: f64) -> GraphStats {
+        GraphStats::of(&self.generate(scale))
+    }
+}
+
+/// The full registry: one stand-in per paper graph, ordered as in Table 3.
+pub const DATASETS: &[Dataset] = &[
+    Dataset {
+        key: "EUA-S",
+        stands_for: "email-EuAll (265K/419K, sparse e-mail network)",
+        base_n: 3000,
+        recipe: Recipe::Ba { m_attach: 2 },
+        seed: 0xEA01,
+    },
+    Dataset {
+        key: "NTD-S",
+        stands_for: "NotreDame (326K/1.1M, web graph)",
+        base_n: 3500,
+        recipe: Recipe::Ba { m_attach: 3 },
+        seed: 0xEA02,
+    },
+    Dataset {
+        key: "STA-S",
+        stands_for: "Stanford (282K/2.0M, web graph)",
+        base_n: 3000,
+        recipe: Recipe::PowerLaw {
+            gamma: 2.2,
+            min_deg: 2,
+            max_deg: 80,
+        },
+        seed: 0xEA03,
+    },
+    Dataset {
+        key: "WCO-S",
+        stands_for: "WikiConflict (118K/2.0M, dense interaction graph)",
+        base_n: 1500,
+        recipe: Recipe::ErDense { mult: 17 },
+        seed: 0xEA04,
+    },
+    Dataset {
+        key: "GOO-S",
+        stands_for: "Google (876K/4.3M, web graph)",
+        base_n: 5000,
+        recipe: Recipe::Ba { m_attach: 4 },
+        seed: 0xEA05,
+    },
+    Dataset {
+        key: "BKS-S",
+        stands_for: "BerkStan (685K/6.6M, web graph)",
+        base_n: 4500,
+        recipe: Recipe::Ba { m_attach: 9 },
+        seed: 0xEA06,
+    },
+    Dataset {
+        key: "SKI-S",
+        stands_for: "Skitter (1.7M/11.1M, internet topology)",
+        base_n: 6000,
+        recipe: Recipe::PowerLaw {
+            gamma: 2.1,
+            min_deg: 2,
+            max_deg: 120,
+        },
+        seed: 0xEA07,
+    },
+    Dataset {
+        key: "DBP-S",
+        stands_for: "DBpedia (4.0M/12.6M, knowledge graph)",
+        base_n: 8000,
+        recipe: Recipe::Ba { m_attach: 3 },
+        seed: 0xEA08,
+    },
+    Dataset {
+        key: "WAR-S",
+        stands_for: "Wikilink War (2.1M/26.0M, hyperlink graph)",
+        base_n: 6000,
+        recipe: Recipe::Ba { m_attach: 12 },
+        seed: 0xEA09,
+    },
+    Dataset {
+        key: "IND-S",
+        stands_for: "Indochina-2004 (7.4M/151M, web crawl — the largest)",
+        base_n: 9000,
+        recipe: Recipe::Ba { m_attach: 16 },
+        seed: 0xEA0A,
+    },
+];
+
+/// Looks a dataset up by key (case insensitive).
+pub fn find(key: &str) -> Option<&'static Dataset> {
+    DATASETS
+        .iter()
+        .find(|d| d.key.eq_ignore_ascii_case(key))
+}
+
+/// The three "largest" datasets used by the streaming/skewed experiments
+/// (the paper uses BKS, WAR, IND).
+pub fn streaming_trio() -> Vec<&'static Dataset> {
+    ["BKS-S", "WAR-S", "IND-S"]
+        .iter()
+        .map(|k| find(k).expect("registry key"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_ten_unique_keys() {
+        assert_eq!(DATASETS.len(), 10);
+        let mut keys: Vec<_> = DATASETS.iter().map(|d| d.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = find("EUA-S").unwrap();
+        let a = d.generate(0.1);
+        let b = d.generate(0.1);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let d = find("DBP-S").unwrap();
+        let small = d.generate(0.05);
+        let large = d.generate(0.1);
+        assert!(large.num_vertices() > small.num_vertices());
+    }
+
+    #[test]
+    fn density_ordering_mirrors_paper() {
+        // IND (stand-in) must be the densest BA graph, EUA the sparsest.
+        let eua = find("EUA-S").unwrap().stats(0.1);
+        let ind = find("IND-S").unwrap().stats(0.1);
+        assert!(ind.avg_degree > 3.0 * eua.avg_degree);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(find("eua-s").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn streaming_trio_keys() {
+        let trio = streaming_trio();
+        assert_eq!(trio.len(), 3);
+        assert_eq!(trio[0].key, "BKS-S");
+    }
+
+    #[test]
+    fn all_datasets_generate_connected_enough_graphs() {
+        for d in DATASETS {
+            let s = d.stats(0.05);
+            assert!(s.n >= 64, "{}: n={}", d.key, s.n);
+            assert!(s.m > 0, "{}", d.key);
+            // Largest component should dominate (paper graphs are mostly
+            // one giant component).
+            assert!(
+                s.largest_component as f64 >= 0.5 * s.n as f64,
+                "{}: largest={} n={}",
+                d.key,
+                s.largest_component,
+                s.n
+            );
+        }
+    }
+}

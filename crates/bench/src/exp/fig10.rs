@@ -1,0 +1,95 @@
+//! Figure 10 — streaming updates: accumulated running time and index size
+//! change over a hybrid stream (the paper: 100 insertions + 10 deletions
+//! on BKS, WAR, IND).
+
+use crate::datasets::streaming_trio;
+use crate::exp::Config;
+use crate::stats::{fmt_bytes, fmt_duration, Table};
+use crate::workload::hybrid_stream;
+use dspc::{DynamicSpc, OrderingStrategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Number of insertions in the stream (paper: 100).
+const STREAM_INS: usize = 100;
+/// Number of deletions in the stream (paper: 10).
+const STREAM_DEL: usize = 10;
+/// Report every this many steps.
+const REPORT_EVERY: usize = 10;
+
+/// Renders Figure 10's accumulated-time / size-change series for the three
+/// large datasets.
+pub fn run(cfg: &Config) -> String {
+    let mut out = String::from(
+        "Figure 10: Accumulated Running Times and Index Size Changes of Streaming Update\n",
+    );
+    let ins = STREAM_INS.min(cfg.insertions.max(10));
+    let del = STREAM_DEL.min(cfg.deletions.max(2));
+    for d in streaming_trio() {
+        if !cfg.only.is_empty()
+            && !cfg.only.iter().any(|k| k.eq_ignore_ascii_case(d.key))
+        {
+            continue;
+        }
+        let g = d.generate(cfg.scale);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ d.seed ^ 0xF1_10);
+        let stream = hybrid_stream(&g, ins, del, &mut rng);
+        let mut dspc = DynamicSpc::build(g, OrderingStrategy::Degree);
+        let base_bytes = dspc.index_stats().packed_bytes as i64;
+
+        let mut t = Table::new(&["step", "kind", "accumulated time", "index Δ"]);
+        let mut acc = Duration::ZERO;
+        for (i, &u) in stream.iter().enumerate() {
+            let t0 = Instant::now();
+            dspc.apply(u).expect("stream update applies");
+            acc += t0.elapsed();
+            let is_last = i + 1 == stream.len();
+            if (i + 1) % REPORT_EVERY == 0 || is_last {
+                let delta = dspc.index_stats().packed_bytes as i64 - base_bytes;
+                let sign = if delta >= 0 { "+" } else { "-" };
+                t.row(vec![
+                    (i + 1).to_string(),
+                    match u {
+                        dspc::dynamic::GraphUpdate::InsertEdge(..) => "ins".into(),
+                        dspc::dynamic::GraphUpdate::DeleteEdge(..) => "del".into(),
+                        _ => "other".into(),
+                    },
+                    fmt_duration(acc),
+                    format!("{sign}{}", fmt_bytes(delta.unsigned_abs() as usize)),
+                ]);
+            }
+        }
+        let avg = acc / stream.len() as u32;
+        out.push_str(&format!(
+            "\n{} — {} insertions + {} deletions (avg {}/update)\n{}",
+            d.key,
+            ins,
+            del,
+            fmt_duration(avg),
+            t.render()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_runs_on_trio_subset() {
+        let cfg = Config {
+            scale: 0.05,
+            insertions: 12,
+            deletions: 3,
+            queries: 10,
+            only: vec!["BKS-S".into()],
+            seed: 1,
+        };
+        let out = run(&cfg);
+        assert!(out.contains("BKS-S"));
+        assert!(out.contains("accumulated time"));
+        assert!(!out.contains("WAR-S"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 11 — running times of IncSPC and DecSPC under varying edge
+//! degrees (`deg(u) · deg(v)`), the skewed-update experiment (§4.5).
+//!
+//! The paper's finding: *no* significant correlation between an edge's
+//! degree product and the update time — IncSPC's cost tracks BFS visits
+//! and DecSPC's the affected-set sizes, neither of which follows degree.
+
+use crate::datasets::streaming_trio;
+use crate::exp::Config;
+use crate::stats::{fmt_duration, Table};
+use crate::workload::{sample_skewed_deletions, sample_skewed_insertions};
+use dspc::{DynamicSpc, OrderingStrategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const BUCKETS: usize = 4;
+
+/// Renders Figure 11's per-degree-bucket update times for the three large
+/// datasets.
+pub fn run(cfg: &Config) -> String {
+    let mut out = String::from(
+        "Figure 11: Running Times of IncSPC and DecSPC (Varying Degrees of Edges)\n\
+         (buckets are degree-product quartiles; expectation: flat rows)\n",
+    );
+    for d in streaming_trio() {
+        if !cfg.only.is_empty()
+            && !cfg.only.iter().any(|k| k.eq_ignore_ascii_case(d.key))
+        {
+            continue;
+        }
+        let g = d.generate(cfg.scale);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ d.seed ^ 0xF1_11);
+        let ins_pool = sample_skewed_insertions(&g, cfg.insertions.max(BUCKETS * 4), BUCKETS, &mut rng);
+        let del_pool = sample_skewed_deletions(&g, cfg.deletions.max(BUCKETS * 2), BUCKETS, &mut rng);
+        let mut dspc = DynamicSpc::build(g, OrderingStrategy::Degree);
+
+        // Bucketed measurements. Insertions first (on the original graph),
+        // then deletions of original edges.
+        let mut inc_bucket: Vec<Vec<Duration>> = vec![Vec::new(); BUCKETS];
+        let mut inc_range: Vec<(u64, u64)> = vec![(u64::MAX, 0); BUCKETS];
+        for (e, bucket) in &ins_pool {
+            let t0 = Instant::now();
+            dspc.insert_edge(e.edge.0, e.edge.1).expect("non-edge");
+            inc_bucket[*bucket].push(t0.elapsed());
+            let r = &mut inc_range[*bucket];
+            r.0 = r.0.min(e.degree_product);
+            r.1 = r.1.max(e.degree_product);
+        }
+        let mut dec_bucket: Vec<Vec<Duration>> = vec![Vec::new(); BUCKETS];
+        let mut dec_range: Vec<(u64, u64)> = vec![(u64::MAX, 0); BUCKETS];
+        for (e, bucket) in &del_pool {
+            let t0 = Instant::now();
+            dspc.delete_edge(e.edge.0, e.edge.1).expect("edge");
+            dec_bucket[*bucket].push(t0.elapsed());
+            let r = &mut dec_range[*bucket];
+            r.0 = r.0.min(e.degree_product);
+            r.1 = r.1.max(e.degree_product);
+        }
+
+        let avg = |v: &[Duration]| -> String {
+            if v.is_empty() {
+                "-".into()
+            } else {
+                fmt_duration(v.iter().sum::<Duration>() / v.len() as u32)
+            }
+        };
+        let mut t = Table::new(&[
+            "bucket",
+            "ins deg(u)*deg(v)",
+            "IncSPC avg",
+            "del deg(u)*deg(v)",
+            "DecSPC avg",
+        ]);
+        for b in 0..BUCKETS {
+            let fr = |r: (u64, u64)| {
+                if r.0 == u64::MAX {
+                    "-".to_string()
+                } else {
+                    format!("{}..{}", r.0, r.1)
+                }
+            };
+            t.row(vec![
+                format!("Q{}", b + 1),
+                fr(inc_range[b]),
+                avg(&inc_bucket[b]),
+                fr(dec_range[b]),
+                avg(&dec_bucket[b]),
+            ]);
+        }
+        out.push_str(&format!("\n{}\n{}", d.key, t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_render() {
+        let cfg = Config {
+            scale: 0.05,
+            insertions: 16,
+            deletions: 8,
+            queries: 10,
+            only: vec!["WAR-S".into()],
+            seed: 4,
+        };
+        let out = run(&cfg);
+        assert!(out.contains("WAR-S"));
+        assert!(out.contains("Q1") && out.contains("Q4"));
+    }
+}

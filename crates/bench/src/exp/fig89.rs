@@ -1,0 +1,99 @@
+//! Figures 8 and 9 — average number of renewed / inserted / removed labels
+//! per update.
+//!
+//! Figure 8 (incremental): RenewC, RenewD, Insert — the paper's finding is
+//! that RenewD is always the minority ("a new edge may generate more
+//! shortest paths with unchanged distances") and that Insert × 8 bytes
+//! bounds the per-update index growth.
+//!
+//! Figure 9 (decremental): adds the Remove series; renewals dominate and
+//! the net size change (Insert − Remove) stays in the kilobyte range.
+
+use crate::runner::DatasetRun;
+use crate::stats::Table;
+use dspc::UpdateStats;
+
+fn averages(stats: &[UpdateStats]) -> (f64, f64, f64, f64) {
+    if stats.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    let n = stats.len() as f64;
+    (
+        stats.iter().map(|s| s.renew_count).sum::<usize>() as f64 / n,
+        stats.iter().map(|s| s.renew_dist).sum::<usize>() as f64 / n,
+        stats.iter().map(|s| s.inserted).sum::<usize>() as f64 / n,
+        stats.iter().map(|s| s.removed).sum::<usize>() as f64 / n,
+    )
+}
+
+/// Figure 8: label-operation averages for incremental updates.
+pub fn render_fig8(runs: &[DatasetRun]) -> String {
+    let mut t = Table::new(&["Graph", "RenewC", "RenewD", "Insert", "ΔSize/upd"]);
+    for r in runs {
+        let (rc, rd, ins, _) = averages(&r.inc_stats);
+        t.row(vec![
+            r.key.to_string(),
+            format!("{rc:.1}"),
+            format!("{rd:.1}"),
+            format!("{ins:.1}"),
+            crate::stats::fmt_bytes((ins * 8.0) as usize),
+        ]);
+    }
+    format!(
+        "Figure 8: Avg Renewed and Newly Inserted Labels per Incremental Update\n{}",
+        t.render()
+    )
+}
+
+/// Figure 9: label-operation averages for decremental updates.
+pub fn render_fig9(runs: &[DatasetRun]) -> String {
+    let mut t = Table::new(&[
+        "Graph", "RenewC", "RenewD", "Insert", "Remove", "ΔSize/upd",
+    ]);
+    for r in runs {
+        let (rc, rd, ins, rem) = averages(&r.dec_stats);
+        let delta = (ins - rem) * 8.0;
+        let delta_s = if delta >= 0.0 {
+            format!("+{}", crate::stats::fmt_bytes(delta as usize))
+        } else {
+            format!("-{}", crate::stats::fmt_bytes((-delta) as usize))
+        };
+        t.row(vec![
+            r.key.to_string(),
+            format!("{rc:.1}"),
+            format!("{rd:.1}"),
+            format!("{ins:.1}"),
+            format!("{rem:.1}"),
+            delta_s,
+        ]);
+    }
+    format!(
+        "Figure 9: Avg Renewed, Inserted, and Removed Labels per Decremental Update\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::find;
+    use crate::exp::Config;
+    use crate::runner::run_dataset;
+
+    #[test]
+    fn figures_render_with_counts() {
+        let cfg = Config {
+            scale: 0.05,
+            insertions: 8,
+            deletions: 4,
+            queries: 10,
+            only: vec![],
+            seed: 2,
+        };
+        let runs = vec![run_dataset(find("GOO-S").unwrap(), &cfg)];
+        let f8 = render_fig8(&runs);
+        assert!(f8.contains("RenewC") && f8.contains("GOO-S"));
+        let f9 = render_fig9(&runs);
+        assert!(f9.contains("Remove"));
+    }
+}

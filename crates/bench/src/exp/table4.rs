@@ -1,0 +1,77 @@
+//! Table 4 — index size (MB), index time, and average Inc/Dec update time,
+//! plus the headline speedup factors the abstract claims (update vs
+//! reconstruction).
+
+use crate::runner::DatasetRun;
+use crate::stats::{fmt_bytes, fmt_duration, Table};
+use std::time::Duration;
+
+fn avg(samples: &[Duration]) -> Duration {
+    if samples.is_empty() {
+        Duration::ZERO
+    } else {
+        samples.iter().sum::<Duration>() / samples.len() as u32
+    }
+}
+
+/// Renders Table 4 from shared runs.
+pub fn render(runs: &[DatasetRun]) -> String {
+    let mut t = Table::new(&[
+        "Graph",
+        "L Size",
+        "L Time",
+        "IncSPC",
+        "DecSPC",
+        "Time/Inc",
+        "Time/Dec",
+    ]);
+    for r in runs {
+        let inc = avg(&r.inc_times);
+        let dec = avg(&r.dec_times);
+        let speedup = |upd: Duration| {
+            if upd.is_zero() {
+                "∞".to_string()
+            } else {
+                format!("{:.0}x", r.build_time.as_secs_f64() / upd.as_secs_f64())
+            }
+        };
+        t.row(vec![
+            r.key.to_string(),
+            fmt_bytes(r.index_stats.packed_bytes),
+            fmt_duration(r.build_time),
+            fmt_duration(inc),
+            fmt_duration(dec),
+            speedup(inc),
+            speedup(dec),
+        ]);
+    }
+    format!(
+        "Table 4: Index Size, Index Time and Average Inc/Dec Update Time\n\
+         (Time/Inc, Time/Dec = reconstruction-over-update speedup)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::find;
+    use crate::exp::Config;
+    use crate::runner::run_dataset;
+
+    #[test]
+    fn table_shows_speedups() {
+        let cfg = Config {
+            scale: 0.1,
+            insertions: 10,
+            deletions: 4,
+            queries: 10,
+            only: vec![],
+            seed: 3,
+        };
+        let runs = vec![run_dataset(find("NTD-S").unwrap(), &cfg)];
+        let out = render(&runs);
+        assert!(out.contains("NTD-S"));
+        assert!(out.contains('x'));
+    }
+}

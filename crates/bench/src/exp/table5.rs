@@ -1,0 +1,79 @@
+//! Table 5 — average sizes of `SR_a`, `SR_b`, `R_a`, `R_b` over the
+//! deletion workload.
+//!
+//! Following §4.6's convention: since edges are undirected, sides are
+//! swapped per deletion so `SR_a` is always the larger hub set. The
+//! paper's finding — `|SR| ≪ |R|` — is what licenses running update BFSs
+//! only from `SR`.
+
+use crate::runner::DatasetRun;
+use crate::stats::Table;
+
+/// Renders Table 5 from shared runs.
+pub fn render(runs: &[DatasetRun]) -> String {
+    let mut t = Table::new(&["Graph", "SR_a", "SR_b", "R_a", "R_b", "|SR|/|SR∪R|"]);
+    for r in runs {
+        if r.srr.is_empty() {
+            continue;
+        }
+        let mut sa = 0usize;
+        let mut sb = 0usize;
+        let mut ra = 0usize;
+        let mut rb = 0usize;
+        for srr in &r.srr {
+            // Swap rule: SR_a holds the side with more affected hubs.
+            let (xa, xb, ya, yb) = if srr.sr_b.len() > srr.sr_a.len() {
+                (&srr.sr_b, &srr.sr_a, &srr.r_b, &srr.r_a)
+            } else {
+                (&srr.sr_a, &srr.sr_b, &srr.r_a, &srr.r_b)
+            };
+            sa += xa.len();
+            sb += xb.len();
+            ra += ya.len();
+            rb += yb.len();
+        }
+        let k = r.srr.len() as f64;
+        let sr_total = (sa + sb) as f64;
+        let all = sr_total + (ra + rb) as f64;
+        t.row(vec![
+            r.key.to_string(),
+            format!("{:.1}", sa as f64 / k),
+            format!("{:.1}", sb as f64 / k),
+            format!("{:.1}", ra as f64 / k),
+            format!("{:.1}", rb as f64 / k),
+            if all == 0.0 {
+                "-".into()
+            } else {
+                format!("{:.2}", sr_total / all)
+            },
+        ]);
+    }
+    format!(
+        "Table 5: Average Size of SR_a, SR_b, R_a, R_b\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::find;
+    use crate::exp::Config;
+    use crate::runner::run_dataset;
+
+    #[test]
+    fn sr_a_is_the_larger_side() {
+        let cfg = Config {
+            scale: 0.08,
+            insertions: 2,
+            deletions: 6,
+            queries: 10,
+            only: vec![],
+            seed: 11,
+        };
+        let runs = vec![run_dataset(find("NTD-S").unwrap(), &cfg)];
+        let out = render(&runs);
+        assert!(out.contains("NTD-S"));
+        assert!(out.contains("SR_a"));
+    }
+}

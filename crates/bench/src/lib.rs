@@ -1,0 +1,27 @@
+//! # dspc-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4) on the
+//! synthetic dataset registry (see DESIGN.md §3 for the substitution
+//! rationale):
+//!
+//! | Experiment | Module | Command |
+//! |---|---|---|
+//! | Table 3 (dataset stats) | [`exp::table3`] | `experiments table3` |
+//! | Table 4 (size/time/updates) | [`exp::table4`] | `experiments table4` |
+//! | Figure 7(a,b,c) (distributions) | [`exp::fig7`] | `experiments fig7` |
+//! | Figure 8 (inc label ops) | [`exp::fig89`] | `experiments fig8` |
+//! | Figure 9 (dec label ops) | [`exp::fig89`] | `experiments fig9` |
+//! | Figure 10 (streaming) | [`exp::fig10`] | `experiments fig10` |
+//! | Figure 11 (skewed degrees) | [`exp::fig11`] | `experiments fig11` |
+//! | Table 5 (SR/R sizes) | [`exp::table5`] | `experiments table5` |
+//!
+//! `experiments all` runs the shared protocol once and prints everything;
+//! `--quick` shrinks scale and sample counts for smoke runs. Criterion
+//! micro-benchmarks (`cargo bench -p dspc-bench`) cover construction,
+//! query, update, and the two ablations.
+
+pub mod datasets;
+pub mod exp;
+pub mod runner;
+pub mod stats;
+pub mod workload;

@@ -1,0 +1,130 @@
+//! The shared measurement runner: executes §4.1's protocol once per
+//! dataset and hands the raw measurements to every experiment formatter
+//! (Table 4, Figures 7–9, Table 5 all read the same run).
+
+use crate::exp::Config;
+use crate::workload::{sample_deletions, sample_insertions};
+use dspc::dec::SrrOutcome;
+use dspc::{DynamicSpc, IndexStats, OrderingStrategy, UpdateStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// All measurements taken on one dataset.
+#[derive(Debug)]
+pub struct DatasetRun {
+    /// Dataset key.
+    pub key: &'static str,
+    /// Vertices in the instantiated graph.
+    pub n: usize,
+    /// Edges in the instantiated graph.
+    pub m: usize,
+    /// HP-SPC construction wall time (Table 4's "L Time").
+    pub build_time: Duration,
+    /// Index statistics right after construction.
+    pub index_stats: IndexStats,
+    /// Per-insertion IncSPC wall times.
+    pub inc_times: Vec<Duration>,
+    /// Per-insertion label-operation counters.
+    pub inc_stats: Vec<UpdateStats>,
+    /// Per-deletion DecSPC wall times.
+    pub dec_times: Vec<Duration>,
+    /// Per-deletion label-operation counters.
+    pub dec_stats: Vec<UpdateStats>,
+    /// Per-deletion affected sets (Table 5).
+    pub srr: Vec<SrrOutcome>,
+    /// The facade after all updates (used by the query experiment).
+    pub dspc: DynamicSpc,
+}
+
+/// Executes the protocol on one dataset: build, `cfg.insertions` random
+/// insertions, then `cfg.deletions` random deletions (on the post-insertion
+/// graph, like the paper's hybrid setting).
+pub fn run_dataset(d: &crate::datasets::Dataset, cfg: &Config) -> DatasetRun {
+    let g = d.generate(cfg.scale);
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ d.seed);
+
+    let t0 = Instant::now();
+    let mut dspc = DynamicSpc::build(g, OrderingStrategy::Degree);
+    let build_time = t0.elapsed();
+    let index_stats = dspc.index_stats();
+
+    let insertions = sample_insertions(dspc.graph(), cfg.insertions, &mut rng);
+    let mut inc_times = Vec::with_capacity(insertions.len());
+    let mut inc_stats = Vec::with_capacity(insertions.len());
+    for (a, b) in insertions {
+        let t = Instant::now();
+        let stats = dspc.insert_edge(a, b).expect("sampled non-edge");
+        inc_times.push(t.elapsed());
+        inc_stats.push(stats);
+    }
+
+    let deletions = sample_deletions(dspc.graph(), cfg.deletions, &mut rng);
+    let mut dec_times = Vec::with_capacity(deletions.len());
+    let mut dec_stats = Vec::with_capacity(deletions.len());
+    let mut srr = Vec::with_capacity(deletions.len());
+    for (a, b) in deletions {
+        let t = Instant::now();
+        let (stats, sets) = dspc.delete_edge_with_sets(a, b).expect("sampled edge");
+        dec_times.push(t.elapsed());
+        dec_stats.push(stats);
+        srr.push(sets);
+    }
+
+    DatasetRun {
+        key: d.key,
+        n,
+        m,
+        build_time,
+        index_stats,
+        inc_times,
+        inc_stats,
+        dec_times,
+        dec_stats,
+        srr,
+        dspc,
+    }
+}
+
+/// Runs every configured dataset.
+pub fn run_all(cfg: &Config) -> Vec<DatasetRun> {
+    cfg.datasets()
+        .into_iter()
+        .map(|d| {
+            eprintln!("[runner] measuring {} …", d.key);
+            run_dataset(d, cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::find;
+
+    #[test]
+    fn protocol_executes_end_to_end() {
+        let cfg = Config {
+            scale: 0.05,
+            insertions: 5,
+            deletions: 3,
+            queries: 10,
+            only: vec![],
+            seed: 7,
+        };
+        let run = run_dataset(find("EUA-S").unwrap(), &cfg);
+        assert_eq!(run.inc_times.len(), 5);
+        assert_eq!(run.dec_times.len(), 3);
+        assert_eq!(run.srr.len(), 3);
+        assert!(run.index_stats.entries > run.n);
+        // The maintained index still answers correctly after the protocol.
+        dspc::verify::verify_sampled_pairs(
+            run.dspc.graph(),
+            run.dspc.index(),
+            200,
+            &mut rand::rngs::StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+    }
+}

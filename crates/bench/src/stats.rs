@@ -1,0 +1,172 @@
+//! Measurement helpers: timers, percentiles, and fixed-width table
+//! rendering for the experiment reports.
+
+use std::time::Duration;
+
+/// Summary of a sample of durations (Figure 7's median / p25 / p75 view).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DurationSummary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (p50).
+    pub median: Duration,
+    /// 25th percentile.
+    pub p25: Duration,
+    /// 75th percentile.
+    pub p75: Duration,
+    /// Minimum.
+    pub min: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+/// Computes a [`DurationSummary`]; `samples` need not be sorted.
+pub fn summarize(samples: &[Duration]) -> DurationSummary {
+    assert!(!samples.is_empty(), "empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let total: Duration = sorted.iter().sum();
+    DurationSummary {
+        n: sorted.len(),
+        mean: total / sorted.len() as u32,
+        median: percentile(&sorted, 0.50),
+        p25: percentile(&sorted, 0.25),
+        p75: percentile(&sorted, 0.75),
+        min: sorted[0],
+        max: *sorted.last().unwrap(),
+    }
+}
+
+/// Nearest-rank percentile of a sorted sample, `q ∈ [0, 1]`.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Human-readable duration: µs under 1 ms, ms under 1 s, seconds above.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+/// Human-readable byte size.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b < KB {
+        format!("{bytes}B")
+    } else if b < KB * KB {
+        format!("{:.1}KB", b / KB)
+    } else if b < KB * KB * KB {
+        format!("{:.1}MB", b / KB / KB)
+    } else {
+        format!("{:.2}GB", b / KB / KB / KB)
+    }
+}
+
+/// Minimal fixed-width table printer for experiment output.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = summarize(&samples);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, Duration::from_micros(1));
+        assert_eq!(s.max, Duration::from_micros(100));
+        // Nearest-rank: index round(99 · 0.5) = 50 → value 51.
+        assert_eq!(s.median, Duration::from_micros(51));
+        assert_eq!(s.p25, Duration::from_micros(26));
+        assert_eq!(s.p75, Duration::from_micros(75));
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[Duration::from_millis(5)]);
+        assert_eq!(s.median, Duration::from_millis(5));
+        assert_eq!(s.p25, s.p75);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.0µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2500)), "2.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00s");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["Graph", "n", "m"]);
+        t.row(vec!["EUA-S".into(), "4000".into(), "8000".into()]);
+        t.row(vec!["X".into(), "1".into(), "2".into()]);
+        let out = t.render();
+        assert!(out.contains("Graph"));
+        assert_eq!(out.lines().count(), 4);
+    }
+}

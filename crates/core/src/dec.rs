@@ -1,0 +1,710 @@
+//! DecSPC — decremental SPC-Index maintenance under edge deletion
+//! (Algorithms 4, 5, and 6, §3.2).
+//!
+//! Deletions are the hard direction: distances can *increase*, so stale
+//! labels would underestimate queries and must be found. DecSPC works in
+//! two phases:
+//!
+//! 1. **`SrrSEARCH`** (Algorithm 5) runs on the *pre-deletion* graph: a
+//!    full-counting BFS from each endpoint classifies every vertex with a
+//!    shortest path through `(a, b)` into
+//!    * `SR` (*Sender-and-Receiver*, Definition 3.10) — hubs whose outgoing
+//!      labels `(v, ·, ·)` may need renewal/insertion/removal: either
+//!      condition **A** (`v` is a common hub of `a` and `b` — at least one
+//!      top-ranked shortest path crosses the edge) or condition **B**
+//!      (`spc_i(v, a) = spc_i(v, b)` — *every* shortest path to the far
+//!      endpoint crosses the edge, so a brand-new top-ranked path may
+//!      emerge, Figure 4's `w`), or
+//!    * `R` (*Receiver-Only*, Definition 3.12) — vertices whose own label
+//!      set may change but who never need a BFS of their own.
+//! 2. **`DecUPDATE`** (Algorithm 6) runs on the *post-deletion* graph: for
+//!    each hub `h ∈ SR` in descending rank order, a rank-pruned counting
+//!    BFS from `h` repairs `(h, ·, ·)` labels of reached vertices in the
+//!    *opposite side's* `SR ∪ R` (Lemma 3.14), pruning where `PreQUERY`
+//!    (hubs ranked strictly above `h`, already repaired) certifies a
+//!    shorter path. Labels of opposite-side vertices the BFS never updated
+//!    are removed afterwards — but only when `h` was a common hub of `a`
+//!    and `b` (only such labels can die).
+//!
+//! The isolated-vertex optimization (§3.2.3) short-circuits the whole
+//! procedure when the deletion strands a degree-one, lower-ranked endpoint.
+
+use crate::index::SpcIndex;
+use crate::label::{Count, LabelEntry, Rank, INF_DIST};
+use crate::query::HubProbe;
+use dspc_graph::{UndirectedGraph, VertexId};
+
+/// Per-update label-operation counters (Figure 9's RenewC / RenewD /
+/// Insert / Remove series).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecStats {
+    /// Labels whose count changed but distance did not (RenewC).
+    pub renew_count: usize,
+    /// Labels whose distance changed (RenewD).
+    pub renew_dist: usize,
+    /// Newly inserted labels (Insert).
+    pub inserted: usize,
+    /// Removed labels (Remove).
+    pub removed: usize,
+    /// Affected hubs processed (|SR|).
+    pub hubs_processed: usize,
+    /// Total vertices dequeued across all update BFSs.
+    pub vertices_visited: usize,
+    /// Whether the isolated-vertex fast path handled the update.
+    pub isolated_fast_path: bool,
+}
+
+impl DecStats {
+    /// Total label operations.
+    pub fn total_ops(&self) -> usize {
+        self.renew_count + self.renew_dist + self.inserted + self.removed
+    }
+
+    /// Merges counters (for streams).
+    pub fn absorb(&mut self, other: &DecStats) {
+        self.renew_count += other.renew_count;
+        self.renew_dist += other.renew_dist;
+        self.inserted += other.inserted;
+        self.removed += other.removed;
+        self.hubs_processed += other.hubs_processed;
+        self.vertices_visited += other.vertices_visited;
+    }
+}
+
+/// The affected-vertex sets computed by `SrrSEARCH` — Table 5 reports their
+/// cardinalities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SrrOutcome {
+    /// Affected hubs on `a`'s side (`SR_a`).
+    pub sr_a: Vec<VertexId>,
+    /// Affected hubs on `b`'s side (`SR_b`).
+    pub sr_b: Vec<VertexId>,
+    /// Receiver-only vertices on `a`'s side (`R_a`).
+    pub r_a: Vec<VertexId>,
+    /// Receiver-only vertices on `b`'s side (`R_b`).
+    pub r_b: Vec<VertexId>,
+}
+
+/// Side markers for `SR ∪ R` membership, stored per vertex.
+const MARK_A: u8 = 1;
+const MARK_B: u8 = 2;
+
+/// Which affected-hub set drives the update BFSs — the ablation knob
+/// behind the paper's §2.3 argument that prior SD-Index definitions of
+/// "affected" give no reduction for SPC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DecMode {
+    /// The paper's DecSPC: BFS only from `SR` hubs (Definition 3.10).
+    #[default]
+    SrOnly,
+    /// Naive baseline: treat *every* affected vertex (`SR ∪ R`, the
+    /// `|sd(v,a) − sd(v,b)| = 1` set of \[8\]) as a hub to update from.
+    /// Correct but wasteful — the extra BFSs only insert redundant
+    /// (accurate) labels; benchmarked in `ablation_dec`.
+    NaiveAffected,
+    /// The paper's DecSPC with the §3.2.3 isolated-vertex fast path
+    /// disabled — used by tests to prove the fast path is a pure
+    /// optimization (identical resulting queries).
+    SrOnlyNoFastPath,
+}
+
+/// Reusable DecSPC engine (Algorithm 4).
+#[derive(Debug)]
+pub struct DecSpc {
+    dist: Vec<u32>,
+    count: Vec<Count>,
+    queue: Vec<u32>,
+    touched: Vec<u32>,
+    probe: HubProbe,
+    /// `SR ∪ R` side membership (`MARK_A` / `MARK_B` bits).
+    marks: Vec<u8>,
+    marked: Vec<u32>,
+    /// Algorithm 6's `U[·]`: visited-and-updated flags.
+    updated: Vec<bool>,
+}
+
+impl DecSpc {
+    /// Creates an engine for graphs up to `capacity` ids.
+    pub fn new(capacity: usize) -> Self {
+        DecSpc {
+            dist: vec![INF_DIST; capacity],
+            count: vec![0; capacity],
+            queue: Vec::new(),
+            touched: Vec::new(),
+            probe: HubProbe::new(capacity),
+            marks: vec![0; capacity],
+            marked: Vec::new(),
+            updated: vec![false; capacity],
+        }
+    }
+
+    fn ensure_capacity(&mut self, capacity: usize) {
+        if self.dist.len() < capacity {
+            self.dist.resize(capacity, INF_DIST);
+            self.count.resize(capacity, 0);
+            self.marks.resize(capacity, 0);
+            self.updated.resize(capacity, false);
+        }
+        self.probe.ensure_capacity(capacity);
+    }
+
+    fn reset_bfs_workspace(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF_DIST;
+            self.count[v as usize] = 0;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Deletes `(a, b)` from `g` and repairs `index`. The engine performs
+    /// the graph mutation itself because Algorithm 4 interleaves it between
+    /// the two phases (`SrrSEARCH` sees `G_i`, `DecUPDATE` sees `G_{i+1}`).
+    ///
+    /// Returns the operation counters and the affected sets (for Table 5).
+    pub fn delete_edge(
+        &mut self,
+        g: &mut UndirectedGraph,
+        index: &mut SpcIndex,
+        a: VertexId,
+        b: VertexId,
+    ) -> dspc_graph::Result<(DecStats, SrrOutcome)> {
+        self.delete_edge_with_mode(g, index, a, b, DecMode::SrOnly)
+    }
+
+    /// [`DecSpc::delete_edge`] with an explicit [`DecMode`] (ablation hook).
+    pub fn delete_edge_with_mode(
+        &mut self,
+        g: &mut UndirectedGraph,
+        index: &mut SpcIndex,
+        a: VertexId,
+        b: VertexId,
+        mode: DecMode,
+    ) -> dspc_graph::Result<(DecStats, SrrOutcome)> {
+        if !g.has_edge(a, b) {
+            return Err(dspc_graph::GraphError::MissingEdge(a, b));
+        }
+        self.ensure_capacity(g.capacity());
+        let mut stats = DecStats::default();
+
+        // §3.2.3 isolated-vertex fast path: the deletion strands a
+        // degree-one endpoint `x` whose other endpoint ranks strictly
+        // higher. No label anywhere uses `x` as hub (every path out of `x`
+        // crosses the higher-ranked neighbor), so emptying L(x) suffices.
+        for (x, y) in [(b, a), (a, b)] {
+            if mode != DecMode::SrOnlyNoFastPath
+                && g.degree(x) == 1
+                && index.rank(y) < index.rank(x)
+            {
+                g.delete_edge(a, b)?;
+                let rank_x = index.rank(x);
+                stats.removed = index.label_set_mut(x).reset_to_self(rank_x);
+                stats.isolated_fast_path = true;
+                return Ok((stats, SrrOutcome::default()));
+            }
+        }
+
+        // Phase 1 — SrrSEARCH on G_i (edge still present).
+        let srr = self.srr_search(g, index, a, b);
+        for v in srr.sr_a.iter().chain(&srr.r_a) {
+            if self.marks[v.index()] == 0 {
+                self.marked.push(v.0);
+            }
+            self.marks[v.index()] |= MARK_A;
+        }
+        for v in srr.sr_b.iter().chain(&srr.r_b) {
+            if self.marks[v.index()] == 0 {
+                self.marked.push(v.0);
+            }
+            self.marks[v.index()] |= MARK_B;
+        }
+
+        // Phase boundary — G_{i+1} ← G_i ⊖ (a, b).
+        g.delete_edge(a, b)?;
+
+        // L_ab = common hubs of a and b (triggers the removal pass).
+        let common_hub = |index: &SpcIndex, h: VertexId| {
+            let r = index.rank(h);
+            index.label_set(a).contains(r) && index.label_set(b).contains(r)
+        };
+
+        // SR = SR_a ∪ SR_b sorted by descending rank (ascending position).
+        // NaiveAffected additionally promotes every R vertex to hub status.
+        let mut sr: Vec<(Rank, bool)> = srr
+            .sr_a
+            .iter()
+            .map(|&v| (index.rank(v), true))
+            .chain(srr.sr_b.iter().map(|&v| (index.rank(v), false)))
+            .collect();
+        if mode == DecMode::NaiveAffected {
+            sr.extend(srr.r_a.iter().map(|&v| (index.rank(v), true)));
+            sr.extend(srr.r_b.iter().map(|&v| (index.rank(v), false)));
+        }
+        sr.sort_unstable_by_key(|&(r, _)| r);
+
+        for &(h_rank, from_a) in &sr {
+            let h = index.vertex(h_rank);
+            stats.hubs_processed += 1;
+            let h_ab = common_hub(index, h);
+            let opposite = if from_a { MARK_B } else { MARK_A };
+            let removal_list = if from_a {
+                srr.sr_b.iter().chain(&srr.r_b)
+            } else {
+                srr.sr_a.iter().chain(&srr.r_a)
+            };
+            self.dec_update(g, index, h, opposite, h_ab, removal_list.copied(), &mut stats);
+        }
+
+        // Clear side marks for the next update.
+        for &v in &self.marked {
+            self.marks[v as usize] = 0;
+        }
+        self.marked.clear();
+
+        Ok((stats, srr))
+    }
+
+    /// Algorithm 5 — computes `SR_a, R_a` (BFS from `a`, classifying against
+    /// queries to `b`) and symmetrically `SR_b, R_b`, on the pre-deletion
+    /// graph.
+    fn srr_search(
+        &mut self,
+        g: &UndirectedGraph,
+        index: &SpcIndex,
+        a: VertexId,
+        b: VertexId,
+    ) -> SrrOutcome {
+        let mut out = SrrOutcome::default();
+        {
+            let (sr, r) = self.srr_side(g, index, a, b);
+            out.sr_a = sr;
+            out.r_a = r;
+        }
+        {
+            let (sr, r) = self.srr_side(g, index, b, a);
+            out.sr_b = sr;
+            out.r_b = r;
+        }
+        out
+    }
+
+    /// One side of `SrrSEARCH`: BFS from `near`, classify against `far`.
+    fn srr_side(
+        &mut self,
+        g: &UndirectedGraph,
+        index: &SpcIndex,
+        near: VertexId,
+        far: VertexId,
+    ) -> (Vec<VertexId>, Vec<VertexId>) {
+        let mut sr = Vec::new();
+        let mut r = Vec::new();
+        self.reset_bfs_workspace();
+        // Queries SpcQUERY(v, far) share the pinned L(far).
+        self.probe.load(index, far);
+        self.dist[near.index()] = 0;
+        self.count[near.index()] = 1;
+        self.touched.push(near.0);
+        self.queue.push(near.0);
+        let far_rank = index.rank(far);
+        let near_rank = index.rank(near);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            let dv = self.dist[v as usize];
+            let q = self.probe.query(index.label_set(VertexId(v)));
+            // Prune: v has no shortest path to `far` through the edge.
+            if q.dist == INF_DIST || dv + 1 != q.dist {
+                continue;
+            }
+            // Condition A: v is a common hub of both endpoints. Checking
+            // `v ∈ L(near) ∧ v ∈ L(far)` via rank membership.
+            let vr = index.rank(VertexId(v));
+            let cond_a = (vr <= near_rank && vr <= far_rank)
+                && index.label_set(near).contains(vr)
+                && index.label_set(far).contains(vr);
+            // Condition B: spc_i(v, near) = spc_i(v, far) — every shortest
+            // path to the far endpoint crosses the edge.
+            let cond_b = self.count[v as usize] == q.count;
+            if cond_a || cond_b {
+                sr.push(VertexId(v));
+            } else {
+                r.push(VertexId(v));
+            }
+            let cv = self.count[v as usize];
+            for &w in g.neighbors(VertexId(v)) {
+                let dw = self.dist[w as usize];
+                if dw == INF_DIST {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.queue.push(w);
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+        (sr, r)
+    }
+
+    /// Algorithm 6 — `DecUPDATE(h, SR, R, H_ab)`: repair `(h, ·, ·)` labels
+    /// of opposite-side vertices, then remove the never-visited ones when
+    /// `h` was a common hub.
+    #[allow(clippy::too_many_arguments)]
+    fn dec_update(
+        &mut self,
+        g: &UndirectedGraph,
+        index: &mut SpcIndex,
+        h: VertexId,
+        opposite_mark: u8,
+        h_ab: bool,
+        removal_candidates: impl Iterator<Item = VertexId>,
+        stats: &mut DecStats,
+    ) {
+        let h_rank = index.rank(h);
+        self.reset_bfs_workspace();
+        self.probe.load(index, h);
+        self.dist[h.index()] = 0;
+        self.count[h.index()] = 1;
+        self.touched.push(h.0);
+        self.queue.push(h.0);
+        let mut visited_marked: Vec<u32> = Vec::new();
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            stats.vertices_visited += 1;
+            let dv = self.dist[v as usize];
+            // PreQUERY prune: hubs ranked strictly above h (already
+            // repaired this round, or untouched-and-valid) certify a
+            // strictly shorter path — h tops no shortest path here.
+            let q = self
+                .probe
+                .pre_query(index.label_set(VertexId(v)), h_rank);
+            if q.dist < dv {
+                continue;
+            }
+            if self.marks[v as usize] & opposite_mark != 0 {
+                let cv = self.count[v as usize];
+                let ls = index.label_set_mut(VertexId(v));
+                match ls.get(h_rank).copied() {
+                    None => {
+                        ls.upsert(LabelEntry::new(h_rank, dv, cv));
+                        stats.inserted += 1;
+                    }
+                    Some(existing) => {
+                        if existing.dist != dv {
+                            ls.upsert(LabelEntry::new(h_rank, dv, cv));
+                            stats.renew_dist += 1;
+                        } else if existing.count != cv {
+                            ls.upsert(LabelEntry::new(h_rank, dv, cv));
+                            stats.renew_count += 1;
+                        }
+                    }
+                }
+                self.updated[v as usize] = true;
+                visited_marked.push(v);
+            }
+            let cv = self.count[v as usize];
+            for &w in g.neighbors(VertexId(v)) {
+                if h_rank > index.rank(VertexId(w)) {
+                    continue; // rank pruning: stay inside G_h
+                }
+                let dw = self.dist[w as usize];
+                if dw == INF_DIST {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.queue.push(w);
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+        // Removal pass (lines 23-26): only when h was a common hub of the
+        // deleted edge's endpoints can labels (h, ·, ·) become invalid.
+        if h_ab {
+            for u in removal_candidates {
+                if !self.updated[u.index()]
+                    && index.label_set_mut(u).remove(h_rank).is_some()
+                {
+                    stats.removed += 1;
+                }
+            }
+        }
+        for v in visited_marked {
+            self.updated[v as usize] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_index;
+    use crate::order::OrderingStrategy;
+    use crate::query::spc_query;
+    use crate::verify::verify_all_pairs;
+    use dspc_graph::generators::paper::{figure2_g, figure4_toy, figure5_chain};
+    use dspc_graph::generators::random::erdos_renyi_gnm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn delete_and_verify(
+        g: &mut UndirectedGraph,
+        index: &mut SpcIndex,
+        engine: &mut DecSpc,
+        a: u32,
+        b: u32,
+    ) -> (DecStats, SrrOutcome) {
+        let out = engine
+            .delete_edge(g, index, VertexId(a), VertexId(b))
+            .unwrap();
+        verify_all_pairs(g, index).unwrap();
+        index.check_invariants().unwrap();
+        out
+    }
+
+    #[test]
+    fn paper_example_3_13_sr_and_r_sets() {
+        // Deleting (v1, v2) from Figure 2's G: SR_v1 = {v1, v6, v10},
+        // SR_v2 = {v2}, R_v2 = {v3, v7}, R_v1 = ∅.
+        let g = figure2_g();
+        let index = build_index(&g, OrderingStrategy::Identity);
+        let mut engine = DecSpc::new(g.capacity());
+        let srr = engine.srr_search(&g, &index, VertexId(1), VertexId(2));
+        let as_set = |v: &[VertexId]| {
+            let mut s: Vec<u32> = v.iter().map(|x| x.0).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(as_set(&srr.sr_a), vec![1, 6, 10]);
+        assert_eq!(as_set(&srr.r_a), Vec::<u32>::new());
+        assert_eq!(as_set(&srr.sr_b), vec![2]);
+        assert_eq!(as_set(&srr.r_b), vec![3, 7]);
+    }
+
+    #[test]
+    fn paper_example_3_15_delete_v1_v2() {
+        let mut g = figure2_g();
+        let mut index = build_index(&g, OrderingStrategy::Identity);
+        let mut engine = DecSpc::new(g.capacity());
+        let (stats, _) = delete_and_verify(&mut g, &mut index, &mut engine, 1, 2);
+
+        // Figure 6(d): (v1,1,1) ∈ L(v2) renewed to (v1,2,1).
+        let e = *index.label_of(VertexId(2), VertexId(1)).unwrap();
+        assert_eq!((e.dist, e.count), (2, 1));
+        // (v1,2,1) ∈ L(v3) deleted in the removal pass.
+        assert!(index.label_of(VertexId(3), VertexId(1)).is_none());
+        // (v1,3,2) ∈ L(v7) renewed to (v1,3,1).
+        let e = *index.label_of(VertexId(7), VertexId(1)).unwrap();
+        assert_eq!((e.dist, e.count), (3, 1));
+        // New label (v2,4,1) inserted into L(v10).
+        let e = *index.label_of(VertexId(10), VertexId(2)).unwrap();
+        assert_eq!((e.dist, e.count), (4, 1));
+        assert!(stats.removed >= 1);
+        assert!(stats.inserted >= 1);
+    }
+
+    #[test]
+    fn figure4_condition_b_emergence() {
+        // Deleting (a, b) = (2, 3): label (h,3,1) ∈ L(u) must become
+        // (h,6,1) and (w,5,1) must appear although w labeled neither
+        // endpoint (condition B hub).
+        let mut g = figure4_toy();
+        let mut index = build_index(&g, OrderingStrategy::Identity);
+        assert!(index.label_of(VertexId(2), VertexId(1)).is_none()); // w ∉ L(a)
+        let mut engine = DecSpc::new(g.capacity());
+        delete_and_verify(&mut g, &mut index, &mut engine, 2, 3);
+        let e = *index.label_of(VertexId(4), VertexId(0)).unwrap();
+        assert_eq!((e.dist, e.count), (6, 1));
+        let e = *index.label_of(VertexId(4), VertexId(1)).unwrap();
+        assert_eq!((e.dist, e.count), (5, 1));
+    }
+
+    #[test]
+    fn figure5_condition_a_renewals() {
+        let mut g = figure5_chain();
+        let mut index = build_index(&g, OrderingStrategy::Identity);
+        let mut engine = DecSpc::new(g.capacity());
+        delete_and_verify(&mut g, &mut index, &mut engine, 3, 4);
+        // (v1, 3, 1) → (v1, 5, 1) and (v2, 3, 2) → (v2, 3, 1) in L(u).
+        let e = *index.label_of(VertexId(5), VertexId(0)).unwrap();
+        assert_eq!((e.dist, e.count), (5, 1));
+        let e = *index.label_of(VertexId(5), VertexId(1)).unwrap();
+        assert_eq!((e.dist, e.count), (3, 1));
+    }
+
+    #[test]
+    fn disconnecting_bridge_removes_labels() {
+        let mut g = UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)]);
+        let mut index = build_index(&g, OrderingStrategy::Degree);
+        let mut engine = DecSpc::new(g.capacity());
+        let (stats, _) = delete_and_verify(&mut g, &mut index, &mut engine, 2, 3);
+        assert!(!spc_query(&index, VertexId(0), VertexId(5)).is_connected());
+        assert!(stats.removed > 0 || stats.isolated_fast_path);
+    }
+
+    #[test]
+    fn isolated_vertex_fast_path() {
+        // Pendant vertex hanging off a triangle: the pendant has degree 1
+        // and the lowest degree, hence the lowest rank under degree order.
+        let mut g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let mut index = build_index(&g, OrderingStrategy::Degree);
+        let mut engine = DecSpc::new(g.capacity());
+        let (stats, srr) = delete_and_verify(&mut g, &mut index, &mut engine, 2, 3);
+        assert!(stats.isolated_fast_path);
+        assert!(stats.removed >= 1);
+        assert!(srr.sr_a.is_empty() && srr.sr_b.is_empty());
+        assert_eq!(index.label_set(VertexId(3)).len(), 1);
+    }
+
+    #[test]
+    fn fast_path_skipped_when_pendant_ranks_higher() {
+        // Force the pendant to rank *highest* via identity order on ids
+        // chosen so the pendant is vertex 0: the general path must run and
+        // remove hub-0 labels from the rest of the graph.
+        let mut g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 1)]);
+        let mut index = build_index(&g, OrderingStrategy::Identity);
+        assert!(index.label_of(VertexId(3), VertexId(0)).is_some());
+        let mut engine = DecSpc::new(g.capacity());
+        let (stats, _) = delete_and_verify(&mut g, &mut index, &mut engine, 0, 1);
+        assert!(!stats.isolated_fast_path);
+        assert!(index.label_of(VertexId(3), VertexId(0)).is_none());
+        assert!(stats.removed >= 1);
+    }
+
+    #[test]
+    fn delete_missing_edge_errors() {
+        let mut g = figure2_g();
+        let mut index = build_index(&g, OrderingStrategy::Identity);
+        let mut engine = DecSpc::new(g.capacity());
+        assert!(engine
+            .delete_edge(&mut g, &mut index, VertexId(0), VertexId(9))
+            .is_err());
+    }
+
+    #[test]
+    fn random_deletion_streams_stay_correct() {
+        let mut rng = StdRng::seed_from_u64(555);
+        for trial in 0..6 {
+            let n = 25 + trial * 5;
+            let mut g = erdos_renyi_gnm(n, 3 * n, &mut rng);
+            let mut index = build_index(&g, OrderingStrategy::Degree);
+            let mut engine = DecSpc::new(g.capacity());
+            for _ in 0..10 {
+                let m = g.num_edges();
+                if m == 0 {
+                    break;
+                }
+                let (a, b) = g.nth_edge(rng.gen_range(0..m)).unwrap();
+                engine.delete_edge(&mut g, &mut index, a, b).unwrap();
+                verify_all_pairs(&g, &index).unwrap();
+                index.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn every_edge_of_figure2_deletes_cleanly() {
+        let base = figure2_g();
+        let edges: Vec<_> = base.edges().collect();
+        for &(a, b) in &edges {
+            let mut g = figure2_g();
+            let mut index = build_index(&g, OrderingStrategy::Identity);
+            let mut engine = DecSpc::new(g.capacity());
+            delete_and_verify(&mut g, &mut index, &mut engine, a.0, b.0);
+        }
+    }
+
+    #[test]
+    fn fast_path_is_a_pure_optimization() {
+        // Delete pendant edges both with and without the §3.2.3 fast path;
+        // the resulting indexes must answer identically everywhere.
+        let mut rng = StdRng::seed_from_u64(909);
+        for _ in 0..5 {
+            let mut g0 = erdos_renyi_gnm(25, 50, &mut rng);
+            // Attach a pendant chain so pendant deletions exist.
+            let p = g0.add_vertex();
+            g0.insert_edge(VertexId(0), p).unwrap();
+            let targets: Vec<(VertexId, VertexId)> = g0
+                .edges()
+                .filter(|&(u, v)| g0.degree(u) == 1 || g0.degree(v) == 1)
+                .collect();
+            for &(a, b) in &targets {
+                let mut fast_g = g0.clone();
+                let mut fast_idx = build_index(&fast_g, OrderingStrategy::Degree);
+                let mut slow_g = g0.clone();
+                let mut slow_idx = build_index(&slow_g, OrderingStrategy::Degree);
+                let mut engine = DecSpc::new(g0.capacity());
+                engine
+                    .delete_edge_with_mode(&mut fast_g, &mut fast_idx, a, b, DecMode::SrOnly)
+                    .unwrap();
+                engine
+                    .delete_edge_with_mode(
+                        &mut slow_g,
+                        &mut slow_idx,
+                        a,
+                        b,
+                        DecMode::SrOnlyNoFastPath,
+                    )
+                    .unwrap();
+                for s in fast_g.vertices() {
+                    for t in fast_g.vertices() {
+                        assert_eq!(
+                            spc_query(&fast_idx, s, t),
+                            spc_query(&slow_idx, s, t),
+                            "edge ({a:?},{b:?}), pair ({s:?},{t:?})"
+                        );
+                    }
+                }
+                verify_all_pairs(&fast_g, &fast_idx).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn naive_mode_stays_correct_and_does_more_work() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut total_sr = 0usize;
+        let mut total_naive = 0usize;
+        for _ in 0..5 {
+            let g0 = erdos_renyi_gnm(30, 90, &mut rng);
+            let m = g0.num_edges();
+            let (a, b) = g0.nth_edge(rng.gen_range(0..m)).unwrap();
+            for mode in [DecMode::SrOnly, DecMode::NaiveAffected] {
+                let mut g = g0.clone();
+                let mut index = build_index(&g, OrderingStrategy::Degree);
+                let mut engine = DecSpc::new(g.capacity());
+                let (stats, _) = engine
+                    .delete_edge_with_mode(&mut g, &mut index, a, b, mode)
+                    .unwrap();
+                verify_all_pairs(&g, &index).unwrap();
+                match mode {
+                    DecMode::SrOnly => total_sr += stats.hubs_processed,
+                    DecMode::NaiveAffected => total_naive += stats.hubs_processed,
+                    DecMode::SrOnlyNoFastPath => unreachable!("not exercised here"),
+                }
+            }
+        }
+        assert!(
+            total_naive >= total_sr,
+            "naive must process at least as many hubs: {total_naive} vs {total_sr}"
+        );
+    }
+
+    #[test]
+    fn delete_then_full_drain() {
+        // Deleting every edge one by one must end at the all-isolated
+        // index with only self labels.
+        let mut g = figure2_g();
+        let mut index = build_index(&g, OrderingStrategy::Identity);
+        let mut engine = DecSpc::new(g.capacity());
+        while g.num_edges() > 0 {
+            let (a, b) = g.nth_edge(0).unwrap();
+            engine.delete_edge(&mut g, &mut index, a, b).unwrap();
+        }
+        verify_all_pairs(&g, &index).unwrap();
+        assert_eq!(index.num_entries(), 12);
+    }
+}

@@ -1,0 +1,210 @@
+//! Directed HP-SPC: two rank-pruned counting BFSs per hub.
+//!
+//! For hub `h` (descending rank): a **forward** sweep over out-arcs inside
+//! `G_h` emits `(h, D[w], C[w])` into `L_in(w)`; a **backward** sweep over
+//! in-arcs emits into `L_out(w)`. Pruning compares against the partial
+//! index in the matching direction (`L_out(h) ⋈ L_in(w)` forward,
+//! `L_out(w) ⋈ L_in(h)` backward), strictly, as in the undirected build.
+
+use super::{DirectedRankMap, DirectedSpcIndex, Side};
+use crate::label::{Count, LabelEntry, Rank, INF_DIST};
+use crate::order::OrderingStrategy;
+use crate::query::HubProbe;
+use dspc_graph::{DirectedGraph, VertexId};
+
+/// Reusable directed construction engine.
+#[derive(Debug)]
+pub struct DirectedBuilder {
+    dist: Vec<u32>,
+    count: Vec<Count>,
+    queue: Vec<u32>,
+    touched: Vec<u32>,
+    probe: HubProbe,
+}
+
+impl DirectedBuilder {
+    /// Creates a builder for graphs up to `capacity` ids.
+    pub fn new(capacity: usize) -> Self {
+        DirectedBuilder {
+            dist: vec![INF_DIST; capacity],
+            count: vec![0; capacity],
+            queue: Vec::new(),
+            touched: Vec::new(),
+            probe: HubProbe::new(capacity),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF_DIST;
+            self.count[v as usize] = 0;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Builds the directed SPC-Index of `g`.
+    pub fn build(&mut self, g: &DirectedGraph, strategy: OrderingStrategy) -> DirectedSpcIndex {
+        let cap = g.capacity();
+        if self.dist.len() < cap {
+            self.dist.resize(cap, INF_DIST);
+            self.count.resize(cap, 0);
+        }
+        self.probe.ensure_capacity(cap);
+        let ranks = DirectedRankMap::build(g, strategy);
+        let mut index = DirectedSpcIndex::self_labeled(ranks);
+        for v in 0..cap {
+            index.label_mut(Side::In, VertexId(v as u32)).clear_all();
+            index.label_mut(Side::Out, VertexId(v as u32)).clear_all();
+        }
+        for r in 0..cap as u32 {
+            let h = index.vertex(Rank(r));
+            if !g.contains_vertex(h) {
+                continue;
+            }
+            // Forward: emits L_in labels; prune against L_out(h) ⋈ L_in(w).
+            self.push_hub(g, &mut index, h, Side::In);
+            // Backward: emits L_out labels; prune against L_in(h) ⋈ L_out(w).
+            self.push_hub(g, &mut index, h, Side::Out);
+        }
+        for v in 0..cap {
+            let vid = VertexId(v as u32);
+            let rank = index.rank(vid);
+            for side in [Side::In, Side::Out] {
+                if index.label(side, vid).is_empty() {
+                    index
+                        .label_mut(side, vid)
+                        .push_descending(super::self_entry(rank));
+                }
+            }
+        }
+        index
+    }
+
+    /// One sweep of hub `h` writing into `target` labels of reached
+    /// vertices. `target == Side::In` sweeps forward, `Side::Out` backward.
+    fn push_hub(
+        &mut self,
+        g: &DirectedGraph,
+        index: &mut DirectedSpcIndex,
+        h: VertexId,
+        target: Side,
+    ) {
+        let hr = index.rank(h);
+        self.reset();
+        // Pinned side of the prune query: the hub's *opposite* family —
+        // forward prune is L_out(h) ⋈ L_in(w), so pin L_out(h).
+        let pinned = match target {
+            Side::In => Side::Out,
+            Side::Out => Side::In,
+        };
+        self.probe.load_labels(index.label(pinned, h), index.ranks().len());
+        self.dist[h.index()] = 0;
+        self.count[h.index()] = 1;
+        self.touched.push(h.0);
+        self.queue.push(h.0);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            let dv = self.dist[v as usize];
+            let q = self.probe.query(index.label(target, VertexId(v)));
+            if q.dist < dv {
+                continue;
+            }
+            index
+                .label_mut(target, VertexId(v))
+                .push_descending(LabelEntry::new(hr, dv, self.count[v as usize]));
+            let cv = self.count[v as usize];
+            let neighbors = match target {
+                Side::In => g.out_neighbors(VertexId(v)),
+                Side::Out => g.in_neighbors(VertexId(v)),
+            };
+            for &w in neighbors {
+                if index.rank(VertexId(w)) <= hr {
+                    continue;
+                }
+                let dw = self.dist[w as usize];
+                if dw == INF_DIST {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.queue.push(w);
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+    }
+}
+
+/// One-shot directed build.
+pub fn build_directed_index(g: &DirectedGraph, strategy: OrderingStrategy) -> DirectedSpcIndex {
+    DirectedBuilder::new(g.capacity()).build(g, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directed::directed_spc_query;
+    use dspc_graph::generators::random::{erdos_renyi_gnm, random_orientation};
+    use dspc_graph::traversal::dbfs::DirectedBfsCounter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) fn assert_matches_dbfs(g: &DirectedGraph, index: &DirectedSpcIndex) {
+        let mut bfs = DirectedBfsCounter::new(g.capacity());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let expect = bfs.count(g, s, t);
+                let got = directed_spc_query(index, s, t).as_option();
+                assert_eq!(got, expect, "pair ({s:?} → {t:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_and_cycle() {
+        let g = DirectedGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let idx = build_directed_index(&g, OrderingStrategy::Degree);
+        idx.check_invariants().unwrap();
+        assert_matches_dbfs(&g, &idx);
+        assert_eq!(
+            directed_spc_query(&idx, VertexId(0), VertexId(3)).as_option(),
+            Some((2, 2))
+        );
+
+        let c = DirectedGraph::from_arcs(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let idx = build_directed_index(&c, OrderingStrategy::Degree);
+        assert_matches_dbfs(&c, &idx);
+    }
+
+    #[test]
+    fn random_digraphs_match_oracle() {
+        let mut rng = StdRng::seed_from_u64(404);
+        for _ in 0..8 {
+            let base = erdos_renyi_gnm(30, 70, &mut rng);
+            let g = random_orientation(&base, 0.3, &mut rng);
+            for strategy in [
+                OrderingStrategy::Degree,
+                OrderingStrategy::Identity,
+                OrderingStrategy::Random(5),
+            ] {
+                let idx = build_directed_index(&g, strategy);
+                idx.check_invariants().unwrap();
+                assert_matches_dbfs(&g, &idx);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_reachability() {
+        let g = DirectedGraph::from_arcs(3, &[(0, 1), (1, 2)]);
+        let idx = build_directed_index(&g, OrderingStrategy::Degree);
+        assert_eq!(
+            directed_spc_query(&idx, VertexId(0), VertexId(2)).as_option(),
+            Some((2, 1))
+        );
+        assert!(!directed_spc_query(&idx, VertexId(2), VertexId(0)).is_connected());
+    }
+}

@@ -1,0 +1,372 @@
+//! Directed SPC-Index — the Appendix C.1 extension.
+//!
+//! Each vertex carries two label sets: `L_in(v)` covers shortest paths
+//! *into* `v` (an entry `(h, d, c)` certifies `c` shortest `h → v` paths of
+//! length `d` on which `h` is the highest-ranked vertex) and `L_out(v)`
+//! covers shortest paths *out of* `v`. A query `SPC(s → t)` merges
+//! `L_out(s)` with `L_in(t)`.
+//!
+//! Construction runs two rank-pruned BFSs per hub — forward (emitting
+//! `L_in` labels of reached vertices) and backward (emitting `L_out`) — and
+//! the update algorithms mirror the undirected ones with directions
+//! attached (see [`update`]).
+
+pub mod build;
+pub mod update;
+
+pub use build::{build_directed_index, DirectedBuilder};
+pub use update::{DirectedDecSpc, DirectedIncSpc};
+
+use crate::label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
+use crate::order::OrderingStrategy;
+use crate::query::QueryResult;
+use dspc_graph::{DirectedGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Which label family a sweep writes into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// `L_in` — labels describing paths hub → vertex.
+    In,
+    /// `L_out` — labels describing paths vertex → hub.
+    Out,
+}
+
+/// Bijection between vertex ids and ranks for directed graphs (degree =
+/// in + out, descending; ties by id).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectedRankMap {
+    rank_of: Vec<u32>,
+    vertex_at: Vec<u32>,
+}
+
+impl DirectedRankMap {
+    /// Computes the order of `g`'s id space.
+    pub fn build(g: &DirectedGraph, strategy: OrderingStrategy) -> Self {
+        let n = g.capacity();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        match strategy {
+            OrderingStrategy::Degree => ids.sort_by_key(|&v| {
+                let vid = VertexId(v);
+                (
+                    std::cmp::Reverse(g.out_degree(vid) + g.in_degree(vid)),
+                    v,
+                )
+            }),
+            OrderingStrategy::Identity => {}
+            OrderingStrategy::Random(seed) => {
+                let key = |v: u32| -> u64 {
+                    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15).wrapping_add(v as u64);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    z ^ (z >> 31)
+                };
+                ids.sort_by_key(|&v| (key(v), v));
+            }
+        }
+        let mut rank_of = vec![0u32; n];
+        for (r, &v) in ids.iter().enumerate() {
+            rank_of[v as usize] = r as u32;
+        }
+        DirectedRankMap {
+            rank_of,
+            vertex_at: ids,
+        }
+    }
+
+    /// Rank of `v`.
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> Rank {
+        Rank(self.rank_of[v.index()])
+    }
+
+    /// Vertex at rank `r`.
+    #[inline]
+    pub fn vertex(&self, r: Rank) -> VertexId {
+        VertexId(self.vertex_at[r.index()])
+    }
+
+    /// Rank-space size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertex_at.len()
+    }
+
+    /// Appends a fresh vertex at the lowest rank; `v` must be the next
+    /// dense id.
+    pub fn append_vertex(&mut self, v: VertexId) -> Rank {
+        assert_eq!(v.index(), self.rank_of.len(), "non-dense vertex id");
+        let r = Rank(self.vertex_at.len() as u32);
+        self.rank_of.push(r.0);
+        self.vertex_at.push(v.0);
+        r
+    }
+
+    /// Whether empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertex_at.is_empty()
+    }
+}
+
+/// The directed SPC-Index: `L_in` and `L_out` per vertex.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DirectedSpcIndex {
+    labels_in: Vec<LabelSet>,
+    labels_out: Vec<LabelSet>,
+    ranks: DirectedRankMap,
+}
+
+impl DirectedSpcIndex {
+    /// Index with only self labels on both sides.
+    pub fn self_labeled(ranks: DirectedRankMap) -> Self {
+        let n = ranks.len();
+        let mk = |_| {
+            (0..n)
+                .map(|v| LabelSet::self_only(ranks.rank(VertexId(v as u32))))
+                .collect::<Vec<_>>()
+        };
+        DirectedSpcIndex {
+            labels_in: mk(()),
+            labels_out: mk(()),
+            ranks,
+        }
+    }
+
+    /// The vertex total order.
+    pub fn ranks(&self) -> &DirectedRankMap {
+        &self.ranks
+    }
+
+    /// Rank of `v`.
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> Rank {
+        self.ranks.rank(v)
+    }
+
+    /// Vertex at rank `r`.
+    #[inline]
+    pub fn vertex(&self, r: Rank) -> VertexId {
+        self.ranks.vertex(r)
+    }
+
+    /// `L_in(v)`.
+    #[inline]
+    pub fn label_in(&self, v: VertexId) -> &LabelSet {
+        &self.labels_in[v.index()]
+    }
+
+    /// `L_out(v)`.
+    #[inline]
+    pub fn label_out(&self, v: VertexId) -> &LabelSet {
+        &self.labels_out[v.index()]
+    }
+
+    /// Label set for `side` of `v`.
+    #[inline]
+    pub fn label(&self, side: Side, v: VertexId) -> &LabelSet {
+        match side {
+            Side::In => &self.labels_in[v.index()],
+            Side::Out => &self.labels_out[v.index()],
+        }
+    }
+
+    /// Mutable label set for `side` of `v`.
+    #[inline]
+    pub fn label_mut(&mut self, side: Side, v: VertexId) -> &mut LabelSet {
+        match side {
+            Side::In => &mut self.labels_in[v.index()],
+            Side::Out => &mut self.labels_out[v.index()],
+        }
+    }
+
+    /// Registers a freshly added isolated vertex at the lowest rank with
+    /// self labels on both sides; returns its rank.
+    pub fn append_vertex(&mut self, v: VertexId) -> Rank {
+        let r = self.ranks.append_vertex(v);
+        self.labels_in.push(LabelSet::self_only(r));
+        self.labels_out.push(LabelSet::self_only(r));
+        r
+    }
+
+    /// Total entries across both sides.
+    pub fn num_entries(&self) -> usize {
+        self.labels_in.iter().map(LabelSet::len).sum::<usize>()
+            + self.labels_out.iter().map(LabelSet::len).sum::<usize>()
+    }
+
+    /// Structural invariants on both sides.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (name, family) in [("L_in", &self.labels_in), ("L_out", &self.labels_out)] {
+            for (vi, ls) in family.iter().enumerate() {
+                let v = VertexId(vi as u32);
+                if !ls.is_sorted_strict() {
+                    return Err(format!("{name}({v}) not strictly sorted"));
+                }
+                let self_rank = self.ranks.rank(v);
+                match ls.get(self_rank) {
+                    Some(e) if e.dist == 0 && e.count == 1 => {}
+                    _ => return Err(format!("{name}({v}) self label missing or malformed")),
+                }
+                for e in ls.entries() {
+                    if e.hub > self_rank {
+                        return Err(format!("{name}({v}) hub ranked below owner"));
+                    }
+                    if e.count == 0 {
+                        return Err(format!("{name}({v}) zero-count label"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `SPC(s → t)`: merge `L_out(s)` with `L_in(t)`.
+pub fn directed_spc_query(
+    index: &DirectedSpcIndex,
+    s: VertexId,
+    t: VertexId,
+) -> QueryResult {
+    merge_directed(index.label_out(s), index.label_in(t), None)
+}
+
+fn merge_directed(ls: &LabelSet, lt: &LabelSet, limit: Option<Rank>) -> QueryResult {
+    let a = ls.entries();
+    let b = lt.entries();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best = INF_DIST;
+    let mut count: Count = 0;
+    while i < a.len() && j < b.len() {
+        let (ha, hb) = (a[i].hub, b[j].hub);
+        if let Some(lim) = limit {
+            if ha >= lim || hb >= lim {
+                break;
+            }
+        }
+        if ha == hb {
+            let d = a[i].dist.saturating_add(b[j].dist);
+            if d < best {
+                best = d;
+                count = a[i].count.saturating_mul(b[j].count);
+            } else if d == best && d != INF_DIST {
+                count = count.saturating_add(a[i].count.saturating_mul(b[j].count));
+            }
+            i += 1;
+            j += 1;
+        } else if ha < hb {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    QueryResult { dist: best, count }
+}
+
+/// Directed facade: a [`DirectedGraph`] and its index kept in lockstep.
+#[derive(Debug)]
+pub struct DynamicDirectedSpc {
+    graph: DirectedGraph,
+    index: DirectedSpcIndex,
+    inc: DirectedIncSpc,
+    dec: DirectedDecSpc,
+}
+
+impl DynamicDirectedSpc {
+    /// Builds the index and wraps both.
+    pub fn build(graph: DirectedGraph, strategy: OrderingStrategy) -> Self {
+        let index = build_directed_index(&graph, strategy);
+        let cap = graph.capacity();
+        DynamicDirectedSpc {
+            graph,
+            index,
+            inc: DirectedIncSpc::new(cap),
+            dec: DirectedDecSpc::new(cap),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DirectedGraph {
+        &self.graph
+    }
+
+    /// The maintained index.
+    pub fn index(&self) -> &DirectedSpcIndex {
+        &self.index
+    }
+
+    /// `SPC(s → t)` as `Some((sd, spc))`, `None` when unreachable.
+    pub fn query(&self, s: VertexId, t: VertexId) -> Option<(u32, Count)> {
+        directed_spc_query(&self.index, s, t).as_option()
+    }
+
+    /// Inserts arc `a → b` and repairs the index.
+    pub fn insert_arc(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<()> {
+        self.graph.insert_arc(a, b)?;
+        self.inc.insert_arc(&self.graph, &mut self.index, a, b);
+        Ok(())
+    }
+
+    /// Deletes arc `a → b` and repairs the index.
+    pub fn delete_arc(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<()> {
+        self.dec.delete_arc(&mut self.graph, &mut self.index, a, b)
+    }
+
+    /// Adds an isolated vertex at the lowest rank (O(1) on the index, as in
+    /// the undirected case §3).
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = self.graph.add_vertex();
+        let r = self.index.append_vertex(v);
+        debug_assert_eq!(self.index.vertex(r), v);
+        v
+    }
+
+    /// Deletes vertex `v` — a cascade of arc deletions, then the id is
+    /// retired.
+    pub fn delete_vertex(&mut self, v: VertexId) -> dspc_graph::Result<()> {
+        if !self.graph.contains_vertex(v) {
+            return Err(dspc_graph::GraphError::UnknownVertex(v));
+        }
+        let outs: Vec<u32> = self.graph.out_neighbors(v).to_vec();
+        for w in outs {
+            self.delete_arc(v, VertexId(w))?;
+        }
+        let ins: Vec<u32> = self.graph.in_neighbors(v).to_vec();
+        for w in ins {
+            self.delete_arc(VertexId(w), v)?;
+        }
+        self.graph.delete_vertex(v)?;
+        Ok(())
+    }
+}
+
+/// Ensures the self label exists on both sides for isolated additions.
+pub(crate) fn self_entry(rank: Rank) -> LabelEntry {
+    LabelEntry::new(rank, 0, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_map_total_degree() {
+        let g = DirectedGraph::from_arcs(4, &[(0, 1), (2, 1), (1, 3)]);
+        let rm = DirectedRankMap::build(&g, OrderingStrategy::Degree);
+        // Vertex 1 has total degree 3 → highest rank.
+        assert_eq!(rm.vertex(Rank(0)), VertexId(1));
+    }
+
+    #[test]
+    fn self_labeled_queries() {
+        let g = DirectedGraph::with_vertices(3);
+        let idx =
+            DirectedSpcIndex::self_labeled(DirectedRankMap::build(&g, OrderingStrategy::Identity));
+        idx.check_invariants().unwrap();
+        assert_eq!(
+            directed_spc_query(&idx, VertexId(0), VertexId(0)).as_option(),
+            Some((0, 1))
+        );
+        assert!(!directed_spc_query(&idx, VertexId(0), VertexId(1)).is_connected());
+    }
+}

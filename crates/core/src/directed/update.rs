@@ -1,0 +1,585 @@
+//! Directed IncSPC / DecSPC (Appendix C.1).
+//!
+//! The undirected algorithms with directions attached:
+//!
+//! * **Insertion of arc `a → b`.** Affected hubs come from
+//!   `L_in(a) ∪ L_out(b)`. A hub `h ∈ L_in(a)` (it tops paths `h → … → a`)
+//!   runs a *forward* pruned BFS from `b`, seeded across the new arc,
+//!   repairing `L_in` labels downstream. A hub `h ∈ L_out(b)` runs the
+//!   mirror-image *backward* BFS from `a`, repairing `L_out` labels
+//!   upstream.
+//! * **Deletion of arc `a → b`.** `SR_a/R_a` are found by a backward
+//!   counting sweep from `a` (vertices with shortest paths `v → a → b`),
+//!   classified per Definition 3.10 with in-side hub membership;
+//!   `SR_b/R_b` symmetrically by a forward sweep from `b` with out-side
+//!   membership. Then hubs in `SR_a` repair `L_in` labels of
+//!   `SR_b ∪ R_b` by forward BFS, hubs in `SR_b` repair `L_out` labels of
+//!   `SR_a ∪ R_a` by backward BFS, with the same `PreQUERY` pruning and
+//!   removal pass as the undirected Algorithm 6.
+
+use super::{DirectedSpcIndex, Side};
+use crate::label::{Count, LabelEntry, Rank, INF_DIST};
+use crate::query::HubProbe;
+use dspc_graph::{DirectedGraph, VertexId};
+
+const MARK_A: u8 = 1;
+const MARK_B: u8 = 2;
+
+/// Directed incremental engine.
+#[derive(Debug)]
+pub struct DirectedIncSpc {
+    dist: Vec<u32>,
+    count: Vec<Count>,
+    queue: Vec<u32>,
+    touched: Vec<u32>,
+    probe: HubProbe,
+}
+
+impl DirectedIncSpc {
+    /// Creates an engine for graphs up to `capacity` ids.
+    pub fn new(capacity: usize) -> Self {
+        DirectedIncSpc {
+            dist: vec![INF_DIST; capacity],
+            count: vec![0; capacity],
+            queue: Vec::new(),
+            touched: Vec::new(),
+            probe: HubProbe::new(capacity),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF_DIST;
+            self.count[v as usize] = 0;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Repairs `index` after arc `a → b` was inserted into `g`.
+    pub fn insert_arc(
+        &mut self,
+        g: &DirectedGraph,
+        index: &mut DirectedSpcIndex,
+        a: VertexId,
+        b: VertexId,
+    ) {
+        debug_assert!(g.has_arc(a, b));
+        let cap = g.capacity();
+        if self.dist.len() < cap {
+            self.dist.resize(cap, INF_DIST);
+            self.count.resize(cap, 0);
+        }
+        self.probe.ensure_capacity(cap);
+        // Snapshot AFF with side flags, merged in descending rank order.
+        let mut aff: Vec<(Rank, bool, bool)> = Vec::new();
+        {
+            let la = index.label_in(a).entries();
+            let lb = index.label_out(b).entries();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < la.len() || j < lb.len() {
+                match (la.get(i), lb.get(j)) {
+                    (Some(x), Some(y)) if x.hub == y.hub => {
+                        aff.push((x.hub, true, true));
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(x), Some(y)) if x.hub < y.hub => {
+                        aff.push((x.hub, true, false));
+                        i += 1;
+                    }
+                    (Some(_), Some(y)) => {
+                        aff.push((y.hub, false, true));
+                        j += 1;
+                    }
+                    (Some(x), None) => {
+                        aff.push((x.hub, true, false));
+                        i += 1;
+                    }
+                    (None, Some(y)) => {
+                        aff.push((y.hub, false, true));
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        let rank_a = index.rank(a);
+        let rank_b = index.rank(b);
+        for (h_rank, from_in_a, from_out_b) in aff {
+            let h = index.vertex(h_rank);
+            if from_in_a && h_rank <= rank_b {
+                // New paths h → … → a → b → …: forward from b, L_in side.
+                self.inc_update(g, index, h, a, b, Side::In);
+            }
+            if from_out_b && h_rank <= rank_a {
+                // New paths … → a → b → … → h: backward from a, L_out side.
+                self.inc_update(g, index, h, b, a, Side::Out);
+            }
+        }
+    }
+
+    /// One directed `IncUPDATE`: BFS from `vb` seeded from the hub's label
+    /// at `va`, repairing `target`-side labels.
+    fn inc_update(
+        &mut self,
+        g: &DirectedGraph,
+        index: &mut DirectedSpcIndex,
+        h: VertexId,
+        va: VertexId,
+        vb: VertexId,
+        target: Side,
+    ) {
+        let h_rank = index.rank(h);
+        // Seed label lives on the same family as the target side: L_in(a)
+        // when repairing L_in, L_out(b) when repairing L_out.
+        let Some(seed) = index.label(target, va).get(h_rank).copied() else {
+            return;
+        };
+        let pinned = match target {
+            Side::In => Side::Out,
+            Side::Out => Side::In,
+        };
+        self.reset();
+        self.probe
+            .load_labels(index.label(pinned, h), index.ranks().len());
+        self.dist[vb.index()] = seed.dist + 1;
+        self.count[vb.index()] = seed.count;
+        self.touched.push(vb.0);
+        self.queue.push(vb.0);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            let dv = self.dist[v as usize];
+            let q = self.probe.query(index.label(target, VertexId(v)));
+            if q.dist < dv {
+                continue;
+            }
+            let cv = self.count[v as usize];
+            let ls = index.label_mut(target, VertexId(v));
+            match ls.get(h_rank).copied() {
+                Some(existing) if existing.dist == dv => {
+                    ls.upsert(LabelEntry::new(
+                        h_rank,
+                        dv,
+                        cv.saturating_add(existing.count),
+                    ));
+                }
+                _ => {
+                    ls.upsert(LabelEntry::new(h_rank, dv, cv));
+                }
+            }
+            let neighbors = match target {
+                Side::In => g.out_neighbors(VertexId(v)),
+                Side::Out => g.in_neighbors(VertexId(v)),
+            };
+            for &w in neighbors {
+                if h_rank > index.rank(VertexId(w)) {
+                    continue;
+                }
+                let dw = self.dist[w as usize];
+                if dw == INF_DIST {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.queue.push(w);
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+    }
+}
+
+/// Directed decremental engine.
+#[derive(Debug)]
+pub struct DirectedDecSpc {
+    dist: Vec<u32>,
+    count: Vec<Count>,
+    queue: Vec<u32>,
+    touched: Vec<u32>,
+    probe: HubProbe,
+    marks: Vec<u8>,
+    marked: Vec<u32>,
+    updated: Vec<bool>,
+}
+
+impl DirectedDecSpc {
+    /// Creates an engine for graphs up to `capacity` ids.
+    pub fn new(capacity: usize) -> Self {
+        DirectedDecSpc {
+            dist: vec![INF_DIST; capacity],
+            count: vec![0; capacity],
+            queue: Vec::new(),
+            touched: Vec::new(),
+            probe: HubProbe::new(capacity),
+            marks: vec![0; capacity],
+            marked: Vec::new(),
+            updated: vec![false; capacity],
+        }
+    }
+
+    fn reset_bfs(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF_DIST;
+            self.count[v as usize] = 0;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Deletes arc `a → b` from `g` and repairs `index`.
+    pub fn delete_arc(
+        &mut self,
+        g: &mut DirectedGraph,
+        index: &mut DirectedSpcIndex,
+        a: VertexId,
+        b: VertexId,
+    ) -> dspc_graph::Result<()> {
+        if !g.has_arc(a, b) {
+            return Err(dspc_graph::GraphError::MissingEdge(a, b));
+        }
+        let cap = g.capacity();
+        if self.dist.len() < cap {
+            self.dist.resize(cap, INF_DIST);
+            self.count.resize(cap, 0);
+            self.marks.resize(cap, 0);
+            self.updated.resize(cap, false);
+        }
+        self.probe.ensure_capacity(cap);
+
+        // Phase 1 on G_i: senders upstream of a, receivers downstream of b.
+        let (sr_a, r_a) = self.srr_side(g, index, a, b, Side::Out);
+        let (sr_b, r_b) = self.srr_side(g, index, b, a, Side::In);
+        for v in sr_a.iter().chain(&r_a) {
+            if self.marks[v.index()] == 0 {
+                self.marked.push(v.0);
+            }
+            self.marks[v.index()] |= MARK_A;
+        }
+        for v in sr_b.iter().chain(&r_b) {
+            if self.marks[v.index()] == 0 {
+                self.marked.push(v.0);
+            }
+            self.marks[v.index()] |= MARK_B;
+        }
+
+        g.delete_arc(a, b)?;
+
+        let mut sr: Vec<(Rank, bool)> = sr_a
+            .iter()
+            .map(|&v| (index.rank(v), true))
+            .chain(sr_b.iter().map(|&v| (index.rank(v), false)))
+            .collect();
+        sr.sort_unstable_by_key(|&(r, _)| r);
+
+        for &(h_rank, upstream) in &sr {
+            let h = index.vertex(h_rank);
+            if upstream {
+                // h tops paths h → … → a → b → …; repair L_in of the
+                // downstream side.
+                let h_ab = index.label_in(a).contains(h_rank)
+                    && index.label_in(b).contains(h_rank);
+                self.dec_update(
+                    g,
+                    index,
+                    h,
+                    Side::In,
+                    MARK_B,
+                    h_ab,
+                    sr_b.iter().chain(&r_b).copied().collect::<Vec<_>>(),
+                );
+            } else {
+                let h_ab = index.label_out(a).contains(h_rank)
+                    && index.label_out(b).contains(h_rank);
+                self.dec_update(
+                    g,
+                    index,
+                    h,
+                    Side::Out,
+                    MARK_A,
+                    h_ab,
+                    sr_a.iter().chain(&r_a).copied().collect::<Vec<_>>(),
+                );
+            }
+        }
+
+        for &v in &self.marked {
+            self.marks[v as usize] = 0;
+        }
+        self.marked.clear();
+        Ok(())
+    }
+
+    /// One side of the directed `SrrSEARCH`. `membership_side` selects the
+    /// hub-membership family for condition A: upstream senders must be
+    /// common *in*-hubs… of which endpoints — see body.
+    fn srr_side(
+        &mut self,
+        g: &DirectedGraph,
+        index: &DirectedSpcIndex,
+        near: VertexId,
+        far: VertexId,
+        sweep: Side,
+    ) -> (Vec<VertexId>, Vec<VertexId>) {
+        let mut sr = Vec::new();
+        let mut r = Vec::new();
+        self.reset_bfs();
+        // sweep == Out: backward BFS from `near == a` over in-arcs, finding
+        // v with sd(v, a); classify against query(v → far=b): pin L_in(b),
+        // scan L_out(v). Condition A uses in-side membership (v ∈ L_in(a) ∧
+        // v ∈ L_in(b)).
+        // sweep == In: forward BFS from `near == b`, finding v with
+        // sd(b, v); classify against query(far=a → v): pin L_out(a), scan
+        // L_in(v); condition A uses out-side membership.
+        let (bfs_dir_in_arcs, pin_side, scan_side, member_side) = match sweep {
+            Side::Out => (true, Side::In, Side::Out, Side::In),
+            Side::In => (false, Side::Out, Side::In, Side::Out),
+        };
+        self.probe
+            .load_labels(index.label(pin_side, far), index.ranks().len());
+        self.dist[near.index()] = 0;
+        self.count[near.index()] = 1;
+        self.touched.push(near.0);
+        self.queue.push(near.0);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            let dv = self.dist[v as usize];
+            let q = self.probe.query(index.label(scan_side, VertexId(v)));
+            if q.dist == INF_DIST || dv + 1 != q.dist {
+                continue;
+            }
+            let vr = index.rank(VertexId(v));
+            let cond_a = index.label(member_side, near).contains(vr)
+                && index.label(member_side, far).contains(vr);
+            let cond_b = self.count[v as usize] == q.count;
+            if cond_a || cond_b {
+                sr.push(VertexId(v));
+            } else {
+                r.push(VertexId(v));
+            }
+            let cv = self.count[v as usize];
+            let neighbors = if bfs_dir_in_arcs {
+                g.in_neighbors(VertexId(v))
+            } else {
+                g.out_neighbors(VertexId(v))
+            };
+            for &w in neighbors {
+                let dw = self.dist[w as usize];
+                if dw == INF_DIST {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.queue.push(w);
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+        (sr, r)
+    }
+
+    /// Directed `DecUPDATE` for hub `h`, repairing `target`-side labels of
+    /// vertices carrying `opposite_mark`.
+    #[allow(clippy::too_many_arguments)]
+    fn dec_update(
+        &mut self,
+        g: &DirectedGraph,
+        index: &mut DirectedSpcIndex,
+        h: VertexId,
+        target: Side,
+        opposite_mark: u8,
+        h_ab: bool,
+        removal_candidates: Vec<VertexId>,
+    ) {
+        let h_rank = index.rank(h);
+        let pinned = match target {
+            Side::In => Side::Out,
+            Side::Out => Side::In,
+        };
+        self.reset_bfs();
+        self.probe
+            .load_labels(index.label(pinned, h), index.ranks().len());
+        self.dist[h.index()] = 0;
+        self.count[h.index()] = 1;
+        self.touched.push(h.0);
+        self.queue.push(h.0);
+        let mut visited_marked: Vec<u32> = Vec::new();
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            let dv = self.dist[v as usize];
+            let q = self
+                .probe
+                .pre_query(index.label(target, VertexId(v)), h_rank);
+            if q.dist < dv {
+                continue;
+            }
+            if self.marks[v as usize] & opposite_mark != 0 {
+                let cv = self.count[v as usize];
+                let ls = index.label_mut(target, VertexId(v));
+                match ls.get(h_rank).copied() {
+                    Some(existing) if existing.dist == dv && existing.count == cv => {}
+                    _ => {
+                        ls.upsert(LabelEntry::new(h_rank, dv, cv));
+                    }
+                }
+                self.updated[v as usize] = true;
+                visited_marked.push(v);
+            }
+            let cv = self.count[v as usize];
+            let neighbors = match target {
+                Side::In => g.out_neighbors(VertexId(v)),
+                Side::Out => g.in_neighbors(VertexId(v)),
+            };
+            for &w in neighbors {
+                if h_rank > index.rank(VertexId(w)) {
+                    continue;
+                }
+                let dw = self.dist[w as usize];
+                if dw == INF_DIST {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.queue.push(w);
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+        if h_ab {
+            for u in removal_candidates {
+                if !self.updated[u.index()]
+                    && index.label_mut(target, u).remove(h_rank).is_some()
+                {}
+            }
+        }
+        for v in visited_marked {
+            self.updated[v as usize] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directed::{directed_spc_query, DynamicDirectedSpc};
+    use crate::order::OrderingStrategy;
+    use dspc_graph::generators::random::{erdos_renyi_gnm, random_orientation};
+    use dspc_graph::traversal::dbfs::DirectedBfsCounter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_matches_oracle(g: &DirectedGraph, index: &DirectedSpcIndex) {
+        let mut bfs = DirectedBfsCounter::new(g.capacity());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(
+                    directed_spc_query(index, s, t).as_option(),
+                    bfs.count(g, s, t),
+                    "pair ({s:?} → {t:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_creates_reachability() {
+        let g = DirectedGraph::from_arcs(4, &[(0, 1), (2, 3)]);
+        let mut d = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+        assert_eq!(d.query(VertexId(0), VertexId(3)), None);
+        d.insert_arc(VertexId(1), VertexId(2)).unwrap();
+        assert_eq!(d.query(VertexId(0), VertexId(3)), Some((3, 1)));
+        assert_matches_oracle(d.graph(), d.index());
+    }
+
+    #[test]
+    fn insert_parallel_path_updates_counts() {
+        let g = DirectedGraph::from_arcs(4, &[(0, 1), (1, 3), (0, 2)]);
+        let mut d = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+        d.insert_arc(VertexId(2), VertexId(3)).unwrap();
+        assert_eq!(d.query(VertexId(0), VertexId(3)), Some((2, 2)));
+        assert_matches_oracle(d.graph(), d.index());
+    }
+
+    #[test]
+    fn delete_reroutes_and_disconnects() {
+        let g = DirectedGraph::from_arcs(5, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]);
+        let mut d = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+        assert_eq!(d.query(VertexId(0), VertexId(3)), Some((2, 1)));
+        d.delete_arc(VertexId(4), VertexId(3)).unwrap();
+        assert_eq!(d.query(VertexId(0), VertexId(3)), Some((3, 1)));
+        assert_matches_oracle(d.graph(), d.index());
+        d.delete_arc(VertexId(2), VertexId(3)).unwrap();
+        assert_eq!(d.query(VertexId(0), VertexId(3)), None);
+        assert_matches_oracle(d.graph(), d.index());
+    }
+
+    #[test]
+    fn reciprocal_arcs_are_independent() {
+        let g = DirectedGraph::from_arcs(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let mut d = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+        d.delete_arc(VertexId(1), VertexId(2)).unwrap();
+        assert_eq!(d.query(VertexId(0), VertexId(2)), None);
+        assert_eq!(d.query(VertexId(2), VertexId(0)), Some((2, 1)));
+        assert_matches_oracle(d.graph(), d.index());
+    }
+
+    #[test]
+    fn random_hybrid_streams_match_oracle() {
+        let mut rng = StdRng::seed_from_u64(777);
+        for trial in 0..5 {
+            let base = erdos_renyi_gnm(22 + trial, 50, &mut rng);
+            let g = random_orientation(&base, 0.25, &mut rng);
+            let mut d = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+            for step in 0..24 {
+                if rng.gen_bool(0.6) || d.graph().num_arcs() == 0 {
+                    loop {
+                        let a = rng.gen_range(0..d.graph().capacity() as u32);
+                        let b = rng.gen_range(0..d.graph().capacity() as u32);
+                        if a != b && !d.graph().has_arc(VertexId(a), VertexId(b)) {
+                            d.insert_arc(VertexId(a), VertexId(b)).unwrap();
+                            break;
+                        }
+                    }
+                } else {
+                    let arcs: Vec<_> = d.graph().arcs().collect();
+                    let (a, b) = arcs[rng.gen_range(0..arcs.len())];
+                    d.delete_arc(a, b).unwrap();
+                }
+                if step % 6 == 5 {
+                    assert_matches_oracle(d.graph(), d.index());
+                    d.index().check_invariants().unwrap();
+                }
+            }
+            assert_matches_oracle(d.graph(), d.index());
+        }
+    }
+
+    #[test]
+    fn delete_missing_arc_errors() {
+        let g = DirectedGraph::from_arcs(2, &[(0, 1)]);
+        let mut d = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+        assert!(d.delete_arc(VertexId(1), VertexId(0)).is_err());
+    }
+
+    #[test]
+    fn vertex_lifecycle_directed() {
+        let g = DirectedGraph::from_arcs(3, &[(0, 1), (1, 2)]);
+        let mut d = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+        let v = d.add_vertex();
+        assert_eq!(v, VertexId(3));
+        d.insert_arc(VertexId(2), v).unwrap();
+        d.insert_arc(v, VertexId(0)).unwrap();
+        assert_eq!(d.query(VertexId(0), v), Some((3, 1)));
+        assert_eq!(d.query(v, VertexId(1)), Some((2, 1)));
+        assert_matches_oracle(d.graph(), d.index());
+        d.delete_vertex(v).unwrap();
+        assert_matches_oracle(d.graph(), d.index());
+        d.index().check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,424 @@
+//! `DynamicSpc` — the user-facing facade: a graph and its SPC-Index kept in
+//! lockstep under topological updates.
+//!
+//! This is the object the paper's experiments drive: build once (HP-SPC),
+//! then stream edge/vertex insertions and deletions through IncSPC/DecSPC
+//! while answering `spc` queries at index speed throughout. Every update
+//! returns an [`UpdateStats`] with the label-operation counters behind
+//! Figures 8–10.
+
+use crate::build::HpSpcBuilder;
+use crate::dec::{DecSpc, DecStats, SrrOutcome};
+use crate::inc::{IncSpc, IncStats};
+use crate::index::{IndexStats, SpcIndex};
+use crate::label::Count;
+use crate::order::OrderingStrategy;
+use crate::query::spc_query;
+use dspc_graph::{Result, UndirectedGraph, VertexId};
+
+/// What kind of update produced an [`UpdateStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Edge insertion (IncSPC).
+    InsertEdge,
+    /// Edge deletion (DecSPC).
+    DeleteEdge,
+    /// Isolated vertex insertion (O(1)).
+    InsertVertex,
+    /// Vertex deletion (a DecSPC cascade over incident edges).
+    DeleteVertex,
+}
+
+/// Unified per-update label-operation counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Which algorithm ran.
+    pub kind: UpdateKind,
+    /// Labels whose count changed at unchanged distance (RenewC).
+    pub renew_count: usize,
+    /// Labels whose distance changed (RenewD).
+    pub renew_dist: usize,
+    /// Newly inserted labels (Insert).
+    pub inserted: usize,
+    /// Removed labels (Remove; always 0 for insertions).
+    pub removed: usize,
+    /// Affected hubs processed.
+    pub hubs_processed: usize,
+    /// Vertices dequeued across update BFSs.
+    pub vertices_visited: usize,
+    /// Whether the §3.2.3 fast path short-circuited a deletion.
+    pub isolated_fast_path: bool,
+}
+
+impl UpdateStats {
+    fn from_inc(s: IncStats) -> Self {
+        UpdateStats {
+            kind: UpdateKind::InsertEdge,
+            renew_count: s.renew_count,
+            renew_dist: s.renew_dist,
+            inserted: s.inserted,
+            removed: 0,
+            hubs_processed: s.hubs_processed,
+            vertices_visited: s.vertices_visited,
+            isolated_fast_path: false,
+        }
+    }
+
+    fn from_dec(s: DecStats) -> Self {
+        UpdateStats {
+            kind: UpdateKind::DeleteEdge,
+            renew_count: s.renew_count,
+            renew_dist: s.renew_dist,
+            inserted: s.inserted,
+            removed: s.removed,
+            hubs_processed: s.hubs_processed,
+            vertices_visited: s.vertices_visited,
+            isolated_fast_path: s.isolated_fast_path,
+        }
+    }
+
+    /// Total label operations performed.
+    pub fn total_ops(&self) -> usize {
+        self.renew_count + self.renew_dist + self.inserted + self.removed
+    }
+
+    /// Signed change in index entry count (`inserted - removed`).
+    pub fn entry_delta(&self) -> isize {
+        self.inserted as isize - self.removed as isize
+    }
+}
+
+/// A topological update, for batch/stream application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphUpdate {
+    /// Insert edge `(a, b)`.
+    InsertEdge(VertexId, VertexId),
+    /// Delete edge `(a, b)`.
+    DeleteEdge(VertexId, VertexId),
+    /// Add an isolated vertex.
+    InsertVertex,
+    /// Delete a vertex and all incident edges.
+    DeleteVertex(VertexId),
+}
+
+/// A dynamic graph with an always-consistent SPC-Index.
+#[derive(Debug)]
+pub struct DynamicSpc {
+    graph: UndirectedGraph,
+    index: SpcIndex,
+    inc: IncSpc,
+    dec: DecSpc,
+    builder: HpSpcBuilder,
+    strategy: OrderingStrategy,
+    updates_since_build: usize,
+}
+
+impl DynamicSpc {
+    /// Builds the index for `graph` under `strategy` and wraps both.
+    pub fn build(graph: UndirectedGraph, strategy: OrderingStrategy) -> Self {
+        let cap = graph.capacity();
+        let mut builder = HpSpcBuilder::new(cap);
+        let index = builder.build(&graph, strategy);
+        DynamicSpc {
+            graph,
+            index,
+            inc: IncSpc::new(cap),
+            dec: DecSpc::new(cap),
+            builder,
+            strategy,
+            updates_since_build: 0,
+        }
+    }
+
+    /// The underlying graph (read-only; mutations must flow through this
+    /// facade to keep the index consistent).
+    pub fn graph(&self) -> &UndirectedGraph {
+        &self.graph
+    }
+
+    /// The maintained SPC-Index.
+    pub fn index(&self) -> &SpcIndex {
+        &self.index
+    }
+
+    /// Number of updates applied since the last (re)build.
+    pub fn updates_since_build(&self) -> usize {
+        self.updates_since_build
+    }
+
+    /// `SPC(s, t)`: `Some((sd, spc))`, or `None` when disconnected.
+    pub fn query(&self, s: VertexId, t: VertexId) -> Option<(u32, Count)> {
+        spc_query(&self.index, s, t).as_option()
+    }
+
+    /// Shortest distance only.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Option<u32> {
+        self.query(s, t).map(|(d, _)| d)
+    }
+
+    /// Inserts edge `(a, b)` and repairs the index with IncSPC.
+    pub fn insert_edge(&mut self, a: VertexId, b: VertexId) -> Result<UpdateStats> {
+        self.graph.insert_edge(a, b)?;
+        let stats = self.inc.insert_edge(&self.graph, &mut self.index, a, b);
+        self.updates_since_build += 1;
+        Ok(UpdateStats::from_inc(stats))
+    }
+
+    /// Deletes edge `(a, b)` and repairs the index with DecSPC.
+    pub fn delete_edge(&mut self, a: VertexId, b: VertexId) -> Result<UpdateStats> {
+        self.delete_edge_with_sets(a, b).map(|(s, _)| s)
+    }
+
+    /// Deletes edge `(a, b)`, also returning the `SR`/`R` affected sets
+    /// (Table 5's measurement hook).
+    pub fn delete_edge_with_sets(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+    ) -> Result<(UpdateStats, SrrOutcome)> {
+        let (stats, srr) = self.dec.delete_edge(&mut self.graph, &mut self.index, a, b)?;
+        self.updates_since_build += 1;
+        Ok((UpdateStats::from_dec(stats), srr))
+    }
+
+    /// Adds an isolated vertex: O(1) on the index (§3 — only an empty label
+    /// set joins).
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = self.graph.add_vertex();
+        self.index.add_isolated_vertex(v);
+        self.updates_since_build += 1;
+        v
+    }
+
+    /// Adds a vertex already connected to `neighbors` — modeled, per §3, as
+    /// an isolated insertion followed by IncSPC per edge.
+    pub fn add_vertex_connected(&mut self, neighbors: &[VertexId]) -> Result<(VertexId, UpdateStats)> {
+        let v = self.add_vertex();
+        let mut total = UpdateStats {
+            kind: UpdateKind::InsertVertex,
+            renew_count: 0,
+            renew_dist: 0,
+            inserted: 0,
+            removed: 0,
+            hubs_processed: 0,
+            vertices_visited: 0,
+            isolated_fast_path: false,
+        };
+        for &u in neighbors {
+            let s = self.insert_edge(v, u)?;
+            total.renew_count += s.renew_count;
+            total.renew_dist += s.renew_dist;
+            total.inserted += s.inserted;
+            total.hubs_processed += s.hubs_processed;
+            total.vertices_visited += s.vertices_visited;
+        }
+        Ok((v, total))
+    }
+
+    /// Deletes vertex `v` — per §3, a sequence of DecSPC edge deletions
+    /// followed by retiring the id.
+    pub fn delete_vertex(&mut self, v: VertexId) -> Result<UpdateStats> {
+        if !self.graph.contains_vertex(v) {
+            return Err(dspc_graph::GraphError::UnknownVertex(v));
+        }
+        let mut total = UpdateStats {
+            kind: UpdateKind::DeleteVertex,
+            renew_count: 0,
+            renew_dist: 0,
+            inserted: 0,
+            removed: 0,
+            hubs_processed: 0,
+            vertices_visited: 0,
+            isolated_fast_path: false,
+        };
+        // Delete incident edges one at a time (neighbor list snapshot).
+        let neighbors: Vec<u32> = self.graph.neighbors(v).to_vec();
+        for u in neighbors {
+            let s = self.delete_edge(v, VertexId(u))?;
+            total.renew_count += s.renew_count;
+            total.renew_dist += s.renew_dist;
+            total.inserted += s.inserted;
+            total.removed += s.removed;
+            total.hubs_processed += s.hubs_processed;
+            total.vertices_visited += s.vertices_visited;
+        }
+        // Retire the now-isolated vertex; its self label stays (harmless)
+        // so that the id space and rank map remain aligned.
+        self.graph.delete_vertex(v)?;
+        self.updates_since_build += 1;
+        Ok(total)
+    }
+
+    /// Applies one update from a stream.
+    pub fn apply(&mut self, update: GraphUpdate) -> Result<UpdateStats> {
+        match update {
+            GraphUpdate::InsertEdge(a, b) => self.insert_edge(a, b),
+            GraphUpdate::DeleteEdge(a, b) => self.delete_edge(a, b),
+            GraphUpdate::InsertVertex => {
+                self.add_vertex();
+                Ok(UpdateStats {
+                    kind: UpdateKind::InsertVertex,
+                    renew_count: 0,
+                    renew_dist: 0,
+                    inserted: 1,
+                    removed: 0,
+                    hubs_processed: 0,
+                    vertices_visited: 0,
+                    isolated_fast_path: false,
+                })
+            }
+            GraphUpdate::DeleteVertex(v) => self.delete_vertex(v),
+        }
+    }
+
+    /// Applies a whole stream, returning per-update stats.
+    pub fn apply_stream(&mut self, updates: &[GraphUpdate]) -> Result<Vec<UpdateStats>> {
+        updates.iter().map(|&u| self.apply(u)).collect()
+    }
+
+    /// Index size/shape statistics (Table 4's "L Size").
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
+    /// Rebuilds from scratch with a *fresh* ordering — the paper's lazy
+    /// answer to ordering staleness (§6).
+    pub fn rebuild(&mut self) {
+        self.index = self.builder.build(&self.graph, self.strategy);
+        self.updates_since_build = 0;
+    }
+
+    /// Rebuilds from scratch keeping the current ordering — the
+    /// reconstruction baseline the dynamic algorithms race against.
+    pub fn rebuild_same_order(&mut self) {
+        self.index = self
+            .builder
+            .build_with_ranks(&self.graph, self.index.ranks().clone());
+        self.updates_since_build = 0;
+    }
+
+    /// Consumes the facade, returning the graph and index.
+    pub fn into_parts(self) -> (UndirectedGraph, SpcIndex) {
+        (self.graph, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_all_pairs;
+    use dspc_graph::generators::paper::figure2_g;
+    use dspc_graph::generators::random::erdos_renyi_gnm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn build_query_roundtrip() {
+        let d = DynamicSpc::build(figure2_g(), OrderingStrategy::Identity);
+        assert_eq!(d.query(VertexId(4), VertexId(6)), Some((3, 2)));
+        assert_eq!(d.distance(VertexId(0), VertexId(9)), Some(4));
+        assert_eq!(d.query(VertexId(0), VertexId(0)), Some((0, 1)));
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrip_preserves_queries() {
+        let mut d = DynamicSpc::build(figure2_g(), OrderingStrategy::Identity);
+        let before: Vec<_> = (0..12u32)
+            .flat_map(|s| (0..12u32).map(move |t| (s, t)))
+            .map(|(s, t)| d.query(VertexId(s), VertexId(t)))
+            .collect();
+        d.insert_edge(VertexId(3), VertexId(9)).unwrap();
+        d.delete_edge(VertexId(3), VertexId(9)).unwrap();
+        let after: Vec<_> = (0..12u32)
+            .flat_map(|s| (0..12u32).map(move |t| (s, t)))
+            .map(|(s, t)| d.query(VertexId(s), VertexId(t)))
+            .collect();
+        assert_eq!(before, after);
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+    }
+
+    #[test]
+    fn vertex_lifecycle() {
+        let mut d = DynamicSpc::build(figure2_g(), OrderingStrategy::Degree);
+        let (v, _) = d
+            .add_vertex_connected(&[VertexId(0), VertexId(9)])
+            .unwrap();
+        assert_eq!(v, VertexId(12));
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+        // New vertex creates a shortcut 0–9 of length 2.
+        assert_eq!(d.distance(VertexId(0), VertexId(9)), Some(2));
+        let stats = d.delete_vertex(v).unwrap();
+        assert_eq!(stats.kind, UpdateKind::DeleteVertex);
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+        assert_eq!(d.distance(VertexId(0), VertexId(9)), Some(4));
+    }
+
+    #[test]
+    fn hybrid_stream_matches_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(10_000);
+        let g = erdos_renyi_gnm(40, 100, &mut rng);
+        let mut d = DynamicSpc::build(g, OrderingStrategy::Degree);
+        for step in 0..40 {
+            if rng.gen_bool(0.6) || d.graph().num_edges() == 0 {
+                loop {
+                    let a = rng.gen_range(0..40u32);
+                    let b = rng.gen_range(0..40u32);
+                    if a != b && !d.graph().has_edge(VertexId(a), VertexId(b)) {
+                        d.insert_edge(VertexId(a), VertexId(b)).unwrap();
+                        break;
+                    }
+                }
+            } else {
+                let m = d.graph().num_edges();
+                let (a, b) = d.graph().nth_edge(rng.gen_range(0..m)).unwrap();
+                d.delete_edge(a, b).unwrap();
+            }
+            if step % 10 == 9 {
+                verify_all_pairs(d.graph(), d.index()).unwrap();
+            }
+        }
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+        assert_eq!(d.updates_since_build(), 40);
+    }
+
+    #[test]
+    fn apply_stream_counts() {
+        let mut d = DynamicSpc::build(UndirectedGraph::with_vertices(3), OrderingStrategy::Degree);
+        let stats = d
+            .apply_stream(&[
+                GraphUpdate::InsertEdge(VertexId(0), VertexId(1)),
+                GraphUpdate::InsertEdge(VertexId(1), VertexId(2)),
+                GraphUpdate::InsertVertex,
+                GraphUpdate::InsertEdge(VertexId(3), VertexId(0)),
+                GraphUpdate::DeleteEdge(VertexId(0), VertexId(1)),
+            ])
+            .unwrap();
+        assert_eq!(stats.len(), 5);
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+        // Deleting (0,1) stranded {1,2} from {0,3}.
+        assert_eq!(d.query(VertexId(1), VertexId(3)), None);
+        assert_eq!(d.query(VertexId(0), VertexId(3)), Some((1, 1)));
+        assert_eq!(d.query(VertexId(1), VertexId(2)), Some((1, 1)));
+    }
+
+    #[test]
+    fn rebuild_resets_counter_and_stays_correct() {
+        let mut d = DynamicSpc::build(figure2_g(), OrderingStrategy::Degree);
+        d.insert_edge(VertexId(3), VertexId(9)).unwrap();
+        assert_eq!(d.updates_since_build(), 1);
+        d.rebuild();
+        assert_eq!(d.updates_since_build(), 0);
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+        d.rebuild_same_order();
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+    }
+
+    #[test]
+    fn errors_do_not_corrupt_state() {
+        let mut d = DynamicSpc::build(figure2_g(), OrderingStrategy::Degree);
+        assert!(d.insert_edge(VertexId(0), VertexId(1)).is_err()); // duplicate
+        assert!(d.delete_edge(VertexId(0), VertexId(9)).is_err()); // missing
+        assert!(d.delete_vertex(VertexId(40)).is_err()); // unknown
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+    }
+}

@@ -1,0 +1,230 @@
+//! The SPC-Index: per-vertex label sets plus the vertex total order.
+//!
+//! The structure follows §2.2 exactly: each vertex `v` owns `L(v)`, a set of
+//! `(hub, dist, count)` triples obeying the **Exact Shortest Paths Covering**
+//! (ESPC) constraint — `spc(s, t)` is computable for every pair from
+//! `L(s)` and `L(t)` alone via Equations (1)–(2).
+
+use crate::label::{LabelEntry, LabelSet, Rank};
+use crate::order::RankMap;
+use dspc_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// The SPC-Index of a graph (the paper's `L`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpcIndex {
+    /// `labels[v]` = `L(v)`, indexed by vertex id.
+    labels: Vec<LabelSet>,
+    /// The vertex total order.
+    ranks: RankMap,
+}
+
+/// Size and shape statistics of an index (Table 4's "L Size" column).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Total label entries across all vertices.
+    pub entries: usize,
+    /// Bytes under the paper's packed 64-bit-per-entry encoding.
+    pub packed_bytes: usize,
+    /// Bytes in the in-memory wide representation.
+    pub wide_bytes: usize,
+    /// Largest single label set.
+    pub max_label_len: usize,
+    /// Mean label set size (the paper's `l`).
+    pub avg_label_len: f64,
+}
+
+impl SpcIndex {
+    /// Creates an index whose every vertex has only its self label.
+    ///
+    /// This is the correct index for an edgeless graph; [`crate::build`]
+    /// populates the rest.
+    pub fn self_labeled(ranks: RankMap) -> Self {
+        let labels = (0..ranks.len())
+            .map(|v| LabelSet::self_only(ranks.rank(VertexId(v as u32))))
+            .collect();
+        SpcIndex { labels, ranks }
+    }
+
+    /// Number of vertices covered (id-space size).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The vertex total order.
+    #[inline]
+    pub fn ranks(&self) -> &RankMap {
+        &self.ranks
+    }
+
+    /// `L(v)`.
+    #[inline]
+    pub fn label_set(&self, v: VertexId) -> &LabelSet {
+        &self.labels[v.index()]
+    }
+
+    /// Mutable `L(v)` — used by the update algorithms.
+    #[inline]
+    pub fn label_set_mut(&mut self, v: VertexId) -> &mut LabelSet {
+        &mut self.labels[v.index()]
+    }
+
+    /// Rank of `v` (convenience).
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> Rank {
+        self.ranks.rank(v)
+    }
+
+    /// Vertex at `r` (convenience).
+    #[inline]
+    pub fn vertex(&self, r: Rank) -> VertexId {
+        self.ranks.vertex(r)
+    }
+
+    /// Registers a freshly added isolated vertex: appends it at the lowest
+    /// rank with a self label. This is the paper's entire incremental
+    /// handling of vertex insertion (§3): an isolated vertex affects no
+    /// other label.
+    pub fn add_isolated_vertex(&mut self, v: VertexId) {
+        let r = self.ranks.append_vertex(v);
+        self.labels.push(LabelSet::self_only(r));
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> IndexStats {
+        let entries: usize = self.labels.iter().map(LabelSet::len).sum();
+        let max = self.labels.iter().map(LabelSet::len).max().unwrap_or(0);
+        let n = self.labels.len();
+        IndexStats {
+            entries,
+            packed_bytes: entries * 8,
+            wide_bytes: self
+                .labels
+                .iter()
+                .map(LabelSet::byte_size)
+                .sum(),
+            max_label_len: max,
+            avg_label_len: if n == 0 { 0.0 } else { entries as f64 / n as f64 },
+        }
+    }
+
+    /// Structural invariants: every label set strictly sorted, every vertex
+    /// carries its self label, every entry's hub ranks at least as high as
+    /// the owner (labels only point "up" the order), counts positive.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if !self.ranks.validate() {
+            return Err("rank map is not a bijection".into());
+        }
+        for (vi, ls) in self.labels.iter().enumerate() {
+            let v = VertexId(vi as u32);
+            if !ls.is_sorted_strict() {
+                return Err(format!("L({v}) not strictly sorted by hub rank"));
+            }
+            let self_rank = self.ranks.rank(v);
+            match ls.get(self_rank) {
+                Some(e) if e.dist == 0 && e.count == 1 => {}
+                Some(e) => {
+                    return Err(format!(
+                        "self label of {v} malformed: dist={} count={}",
+                        e.dist, e.count
+                    ))
+                }
+                None => return Err(format!("missing self label of {v}")),
+            }
+            for e in ls.entries() {
+                if e.hub > self_rank {
+                    return Err(format!(
+                        "L({v}) contains hub ranked lower than the owner: {:?}",
+                        e.hub
+                    ));
+                }
+                if e.count == 0 {
+                    return Err(format!("zero-count label in L({v}): hub {:?}", e.hub));
+                }
+                if e.hub == self_rank && e.dist != 0 {
+                    return Err(format!("nonzero self distance at {v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total entries (shorthand used in experiments).
+    pub fn num_entries(&self) -> usize {
+        self.labels.iter().map(LabelSet::len).sum()
+    }
+
+    /// Convenience accessor: the entry `(h, d, c) ∈ L(v)` for hub vertex
+    /// `h`, if present.
+    pub fn label_of(&self, v: VertexId, hub_vertex: VertexId) -> Option<&LabelEntry> {
+        self.labels[v.index()].get(self.ranks.rank(hub_vertex))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::OrderingStrategy;
+    use dspc_graph::generators::classic::star_graph;
+
+    fn fresh() -> SpcIndex {
+        let g = star_graph(4);
+        SpcIndex::self_labeled(RankMap::build(&g, OrderingStrategy::Degree))
+    }
+
+    #[test]
+    fn self_labeled_invariants() {
+        let idx = fresh();
+        idx.check_invariants().unwrap();
+        assert_eq!(idx.num_entries(), 4);
+        for v in 0..4u32 {
+            assert_eq!(idx.label_set(VertexId(v)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn stats_shape() {
+        let idx = fresh();
+        let s = idx.stats();
+        assert_eq!(s.entries, 4);
+        assert_eq!(s.packed_bytes, 32);
+        assert_eq!(s.max_label_len, 1);
+        assert!((s.avg_label_len - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_isolated_vertex_extends_order() {
+        let mut idx = fresh();
+        idx.add_isolated_vertex(VertexId(4));
+        assert_eq!(idx.num_vertices(), 5);
+        assert_eq!(idx.rank(VertexId(4)), Rank(4));
+        idx.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariant_checker_catches_missing_self_label() {
+        let mut idx = fresh();
+        let r = idx.rank(VertexId(2));
+        idx.label_set_mut(VertexId(2)).remove(r);
+        assert!(idx.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariant_checker_catches_downward_hub() {
+        let mut idx = fresh();
+        // Hub ranked *lower* than the owner is illegal.
+        let low_rank = Rank(3);
+        let owner = idx.vertex(Rank(0));
+        idx.label_set_mut(owner)
+            .upsert(LabelEntry::new(low_rank, 1, 1));
+        assert!(idx.check_invariants().is_err());
+    }
+
+    #[test]
+    fn label_of_uses_vertex_identity() {
+        let idx = fresh();
+        assert!(idx.label_of(VertexId(1), VertexId(1)).is_some());
+        assert!(idx.label_of(VertexId(1), VertexId(0)).is_none());
+    }
+}

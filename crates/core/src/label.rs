@@ -1,0 +1,348 @@
+//! Label entries and per-vertex label sets — the building blocks of the
+//! SPC-Index (§2.2).
+//!
+//! A label `(h, d, c) ∈ L(v)` states: the shortest distance from hub `h` to
+//! `v` is `d`, and `c = spc(ĥ, v)` — the number of shortest `h`–`v` paths on
+//! which `h` is the highest-ranked vertex. Hubs are stored as **ranks**
+//! (position in the total order, `0` = highest) so rank comparisons are
+//! plain integer compares and label sets merge in rank order.
+//!
+//! The paper packs each entry into a 64-bit integer (25 bits hub, 10 bits
+//! distance, 29 bits count — §4.1). The in-memory working set uses full-width
+//! fields (web-scale counts overflow 29 bits on adversarial inputs); the
+//! packed form is provided for storage parity and serialization.
+
+use serde::{Deserialize, Serialize};
+
+/// A position in the vertex total order; `Rank(0)` is the highest rank.
+///
+/// The paper writes `v ≤ u` for "`v` ranks at least as high as `u`"; here
+/// that is simply `rank(v).0 <= rank(u).0`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// Index view.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Distance sentinel meaning "unreachable".
+pub const INF_DIST: u32 = u32::MAX;
+
+/// Shortest-path count. All arithmetic on counts is saturating: counts grow
+/// exponentially with graph size in the worst case and a saturated count
+/// still orders correctly for the applications (ranking, betweenness).
+pub type Count = u64;
+
+/// One hub label `(hub, dist, count)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LabelEntry {
+    /// Rank of the hub vertex.
+    pub hub: Rank,
+    /// Shortest distance from the hub.
+    pub dist: u32,
+    /// `spc(ĥ, v)`: shortest paths on which the hub is the highest-ranked
+    /// vertex.
+    pub count: Count,
+}
+
+impl LabelEntry {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(hub: Rank, dist: u32, count: Count) -> Self {
+        LabelEntry { hub, dist, count }
+    }
+}
+
+/// Bit widths of the paper's packed encoding (§4.1): 25-bit hub, 10-bit
+/// distance, 29-bit count.
+pub mod packed {
+    use super::{Count, LabelEntry, Rank};
+
+    /// Bits for the hub field.
+    pub const HUB_BITS: u32 = 25;
+    /// Bits for the distance field.
+    pub const DIST_BITS: u32 = 10;
+    /// Bits for the count field.
+    pub const COUNT_BITS: u32 = 29;
+
+    /// Maximum hub rank representable.
+    pub const MAX_HUB: u32 = (1 << HUB_BITS) - 1;
+    /// Maximum distance representable.
+    pub const MAX_DIST: u32 = (1 << DIST_BITS) - 1;
+    /// Maximum count representable; larger counts saturate.
+    pub const MAX_COUNT: u64 = (1 << COUNT_BITS) - 1;
+
+    /// A label entry packed into one 64-bit word, exactly as the paper's
+    /// implementation stores it.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub struct PackedLabel(pub u64);
+
+    /// Packs an entry. Distance and hub must fit their fields; the count
+    /// saturates at [`MAX_COUNT`].
+    ///
+    /// # Errors
+    /// Returns `None` when the hub or distance exceeds its field width
+    /// (the caller decides whether to fall back to the wide format).
+    pub fn pack(e: LabelEntry) -> Option<PackedLabel> {
+        if e.hub.0 > MAX_HUB || e.dist > MAX_DIST {
+            return None;
+        }
+        let count = e.count.min(MAX_COUNT);
+        Some(PackedLabel(
+            ((e.hub.0 as u64) << (DIST_BITS + COUNT_BITS))
+                | ((e.dist as u64) << COUNT_BITS)
+                | count,
+        ))
+    }
+
+    /// Unpacks an entry.
+    pub fn unpack(p: PackedLabel) -> LabelEntry {
+        LabelEntry {
+            hub: Rank((p.0 >> (DIST_BITS + COUNT_BITS)) as u32 & MAX_HUB),
+            dist: (p.0 >> COUNT_BITS) as u32 & MAX_DIST,
+            count: (p.0 & MAX_COUNT) as Count,
+        }
+    }
+}
+
+/// A vertex's label set `L(v)`: entries sorted by hub rank ascending
+/// (highest-ranked hub first), unique hubs.
+///
+/// Sorted order gives `O(log l)` point lookups, `O(l_s + l_t)` merge
+/// queries, and a natural prefix for the paper's `PreQUERY` (stop at the
+/// first hub not higher-ranked than the query source).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSet {
+    entries: Vec<LabelEntry>,
+}
+
+impl LabelSet {
+    /// An empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Label set containing only the self label `(rank, 0, 1)` — every
+    /// vertex carries its own hub (Table 2's diagonal).
+    pub fn self_only(rank: Rank) -> Self {
+        LabelSet {
+            entries: vec![LabelEntry::new(rank, 0, 1)],
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorted entry slice.
+    #[inline]
+    pub fn entries(&self) -> &[LabelEntry] {
+        &self.entries
+    }
+
+    /// Position of `hub`, if present.
+    #[inline]
+    pub fn position(&self, hub: Rank) -> Option<usize> {
+        self.entries.binary_search_by_key(&hub, |e| e.hub).ok()
+    }
+
+    /// Entry for `hub`, if present.
+    #[inline]
+    pub fn get(&self, hub: Rank) -> Option<&LabelEntry> {
+        self.position(hub).map(|i| &self.entries[i])
+    }
+
+    /// Whether `hub` labels this vertex (the paper's `h ∈ L(v)`).
+    #[inline]
+    pub fn contains(&self, hub: Rank) -> bool {
+        self.position(hub).is_some()
+    }
+
+    /// Inserts or replaces the entry for `e.hub`. Returns the previous
+    /// entry if one existed.
+    pub fn upsert(&mut self, e: LabelEntry) -> Option<LabelEntry> {
+        match self.entries.binary_search_by_key(&e.hub, |x| x.hub) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i], e)),
+            Err(i) => {
+                self.entries.insert(i, e);
+                None
+            }
+        }
+    }
+
+    /// Removes the entry for `hub`, returning it if present.
+    pub fn remove(&mut self, hub: Rank) -> Option<LabelEntry> {
+        match self.entries.binary_search_by_key(&hub, |x| x.hub) {
+            Ok(i) => Some(self.entries.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Appends an entry that must have a hub rank larger than every current
+    /// entry — the construction algorithm emits labels in descending hub
+    /// rank, so this is its `O(1)` fast path.
+    pub fn push_descending(&mut self, e: LabelEntry) {
+        debug_assert!(
+            self.entries.last().is_none_or(|last| last.hub < e.hub),
+            "push_descending out of order"
+        );
+        self.entries.push(e);
+    }
+
+    /// Clears all entries except a fresh self label — used by the isolated
+    /// vertex deletion optimization (§3.2.3). Returns how many non-self
+    /// entries were dropped.
+    pub fn reset_to_self(&mut self, rank: Rank) -> usize {
+        let dropped = self
+            .entries
+            .iter()
+            .filter(|e| e.hub != rank)
+            .count();
+        self.entries.clear();
+        self.entries.push(LabelEntry::new(rank, 0, 1));
+        dropped
+    }
+
+    /// Removes every entry (the construction algorithm re-emits all labels
+    /// from scratch, including self labels).
+    pub fn clear_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// In-memory size in bytes (wide format).
+    #[inline]
+    pub fn byte_size(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<LabelEntry>()
+    }
+
+    /// Size in bytes under the paper's packed 64-bit encoding.
+    #[inline]
+    pub fn packed_byte_size(&self) -> usize {
+        self.entries.len() * 8
+    }
+
+    /// Structural invariants: strictly increasing hub ranks.
+    pub fn is_sorted_strict(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].hub < w[1].hub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(h: u32, d: u32, c: Count) -> LabelEntry {
+        LabelEntry::new(Rank(h), d, c)
+    }
+
+    #[test]
+    fn self_only_set() {
+        let l = LabelSet::self_only(Rank(5));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get(Rank(5)), Some(&e(5, 0, 1)));
+        assert!(l.is_sorted_strict());
+    }
+
+    #[test]
+    fn upsert_keeps_order_and_replaces() {
+        let mut l = LabelSet::new();
+        assert_eq!(l.upsert(e(4, 2, 1)), None);
+        assert_eq!(l.upsert(e(1, 3, 2)), None);
+        assert_eq!(l.upsert(e(9, 1, 1)), None);
+        assert!(l.is_sorted_strict());
+        assert_eq!(l.upsert(e(4, 5, 7)), Some(e(4, 2, 1)));
+        assert_eq!(l.get(Rank(4)), Some(&e(4, 5, 7)));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut l = LabelSet::new();
+        l.upsert(e(1, 1, 1));
+        l.upsert(e(2, 2, 2));
+        assert_eq!(l.remove(Rank(1)), Some(e(1, 1, 1)));
+        assert_eq!(l.remove(Rank(1)), None);
+        assert_eq!(l.len(), 1);
+        assert!(!l.contains(Rank(1)));
+        assert!(l.contains(Rank(2)));
+    }
+
+    #[test]
+    fn push_descending_fast_path() {
+        let mut l = LabelSet::new();
+        l.push_descending(e(0, 2, 1));
+        l.push_descending(e(3, 1, 1));
+        l.push_descending(e(7, 0, 1));
+        assert!(l.is_sorted_strict());
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_descending out of order")]
+    #[cfg(debug_assertions)]
+    fn push_descending_checks_order() {
+        let mut l = LabelSet::new();
+        l.push_descending(e(5, 1, 1));
+        l.push_descending(e(2, 1, 1));
+    }
+
+    #[test]
+    fn reset_to_self_counts_drops() {
+        let mut l = LabelSet::new();
+        l.upsert(e(0, 1, 1));
+        l.upsert(e(2, 2, 3));
+        l.upsert(e(5, 0, 1));
+        assert_eq!(l.reset_to_self(Rank(5)), 2);
+        assert_eq!(l.entries(), &[e(5, 0, 1)]);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        let mut l = LabelSet::new();
+        l.upsert(e(0, 1, 1));
+        l.upsert(e(1, 1, 1));
+        assert_eq!(l.packed_byte_size(), 16);
+        assert_eq!(l.byte_size(), 2 * std::mem::size_of::<LabelEntry>());
+    }
+
+    #[test]
+    fn packed_round_trip() {
+        let entry = e(123_456, 731, 400_000_000);
+        let p = packed::pack(entry).unwrap();
+        assert_eq!(packed::unpack(p), entry);
+    }
+
+    #[test]
+    fn packed_saturates_count() {
+        let entry = e(1, 1, u64::MAX);
+        let p = packed::pack(entry).unwrap();
+        assert_eq!(packed::unpack(p).count, packed::MAX_COUNT);
+    }
+
+    #[test]
+    fn packed_rejects_oversized_fields() {
+        assert!(packed::pack(e(packed::MAX_HUB + 1, 0, 0)).is_none());
+        assert!(packed::pack(e(0, packed::MAX_DIST + 1, 0)).is_none());
+        assert!(packed::pack(e(packed::MAX_HUB, packed::MAX_DIST, 1)).is_some());
+    }
+
+    #[test]
+    fn packed_extremes_round_trip() {
+        let entry = e(packed::MAX_HUB, packed::MAX_DIST, packed::MAX_COUNT);
+        assert_eq!(packed::unpack(packed::pack(entry).unwrap()), entry);
+        let zero = e(0, 0, 0);
+        assert_eq!(packed::unpack(packed::pack(zero).unwrap()), zero);
+    }
+}

@@ -1,0 +1,273 @@
+//! Vertex orderings and the rank map.
+//!
+//! §2.2: "vertices with larger degrees are considered to lie on more
+//! shortest paths and thus are ranked higher so that the later searches in
+//! HP-SPC can be pruned earlier. The degree-based ordering … is adopted in
+//! our work." Identity and random orderings are provided for the ablation
+//! benchmark (they inflate the index, demonstrating why the paper's choice
+//! matters).
+//!
+//! Ranks are **append-only**: a vertex added after construction receives the
+//! next (lowest) rank. The paper's §6 discusses why re-ranking in place is
+//! an open problem; [`crate::policy`] implements the lazy-rebuild mitigation
+//! it suggests.
+
+use crate::label::Rank;
+use dspc_graph::{UndirectedGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Strategy for computing the initial total order over vertices.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderingStrategy {
+    /// Descending degree, ties broken by ascending vertex id — the paper's
+    /// choice (and \[30\]'s).
+    #[default]
+    Degree,
+    /// Ascending vertex id; baseline for the ordering ablation.
+    Identity,
+    /// Pseudo-random permutation from the given seed; worst-case baseline
+    /// for the ordering ablation.
+    Random(u64),
+}
+
+/// Bijection between vertex ids and rank positions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankMap {
+    /// `rank_of[v]` = rank position of vertex id `v` (0 = highest).
+    rank_of: Vec<u32>,
+    /// `vertex_at[r]` = vertex id holding rank `r`.
+    vertex_at: Vec<u32>,
+    /// Strategy that produced the base order (before appends).
+    strategy: OrderingStrategy,
+}
+
+impl RankMap {
+    /// Computes the order of `g`'s id space under `strategy`.
+    ///
+    /// Deleted vertices still receive ranks (at the tail for `Degree`,
+    /// since their degree is 0) — harmless, since nothing references them.
+    pub fn build(g: &UndirectedGraph, strategy: OrderingStrategy) -> Self {
+        let n = g.capacity();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        match strategy {
+            OrderingStrategy::Degree => {
+                ids.sort_by_key(|&v| (std::cmp::Reverse(g.degree(VertexId(v))), v));
+            }
+            OrderingStrategy::Identity => {}
+            OrderingStrategy::Random(seed) => {
+                // SplitMix64-keyed sort: deterministic, dependency-free.
+                let key = |v: u32| -> u64 {
+                    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15).wrapping_add(v as u64);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    z ^ (z >> 31)
+                };
+                ids.sort_by_key(|&v| (key(v), v));
+            }
+        }
+        let mut rank_of = vec![0u32; n];
+        for (r, &v) in ids.iter().enumerate() {
+            rank_of[v as usize] = r as u32;
+        }
+        RankMap {
+            rank_of,
+            vertex_at: ids,
+            strategy,
+        }
+    }
+
+    /// Builds a map from an explicit rank order (`order[r]` = vertex id at
+    /// rank `r`); must be a permutation of `0..order.len()`.
+    pub fn from_rank_order(order: &[u32], strategy: OrderingStrategy) -> Self {
+        let n = order.len();
+        let mut rank_of = vec![u32::MAX; n];
+        for (r, &v) in order.iter().enumerate() {
+            assert!((v as usize) < n && rank_of[v as usize] == u32::MAX, "not a permutation");
+            rank_of[v as usize] = r as u32;
+        }
+        RankMap {
+            rank_of,
+            vertex_at: order.to_vec(),
+            strategy,
+        }
+    }
+
+    /// Rank of vertex `v`.
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> Rank {
+        Rank(self.rank_of[v.index()])
+    }
+
+    /// Vertex holding rank `r`.
+    #[inline]
+    pub fn vertex(&self, r: Rank) -> VertexId {
+        VertexId(self.vertex_at[r.index()])
+    }
+
+    /// Size of the rank space (== graph id capacity at last sync).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertex_at.len()
+    }
+
+    /// Whether the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertex_at.is_empty()
+    }
+
+    /// Strategy used for the base order.
+    #[inline]
+    pub fn strategy(&self) -> OrderingStrategy {
+        self.strategy
+    }
+
+    /// Appends a fresh vertex at the lowest rank; returns its rank.
+    ///
+    /// `v` must be the next unused id (graphs allocate ids densely).
+    pub fn append_vertex(&mut self, v: VertexId) -> Rank {
+        assert_eq!(
+            v.index(),
+            self.rank_of.len(),
+            "append_vertex must receive the next dense id"
+        );
+        let r = Rank(self.vertex_at.len() as u32);
+        self.rank_of.push(r.0);
+        self.vertex_at.push(v.0);
+        r
+    }
+
+    /// The paper's `v ≤ u` relation: does `a` rank at least as high as `b`?
+    #[inline]
+    pub fn ranks_at_least(&self, a: VertexId, b: VertexId) -> bool {
+        self.rank_of[a.index()] <= self.rank_of[b.index()]
+    }
+
+    /// Validates the bijection.
+    pub fn validate(&self) -> bool {
+        self.rank_of.len() == self.vertex_at.len()
+            && self
+                .vertex_at
+                .iter()
+                .enumerate()
+                .all(|(r, &v)| self.rank_of[v as usize] == r as u32)
+    }
+}
+
+/// Measures how stale a degree-based order has become after updates:
+/// the fraction of adjacent rank pairs that are inverted w.r.t. current
+/// degrees. Drives [`crate::policy::MaintenancePolicy`].
+pub fn degree_order_staleness(g: &UndirectedGraph, ranks: &RankMap) -> f64 {
+    let n = ranks.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut inversions = 0usize;
+    let mut pairs = 0usize;
+    for r in 0..n - 1 {
+        let u = ranks.vertex(Rank(r as u32));
+        let v = ranks.vertex(Rank(r as u32 + 1));
+        if u.index() >= g.capacity() || v.index() >= g.capacity() {
+            continue;
+        }
+        pairs += 1;
+        if g.degree(u) < g.degree(v) {
+            inversions += 1;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        inversions as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspc_graph::generators::classic::star_graph;
+    use dspc_graph::generators::random::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degree_order_puts_hub_first() {
+        let g = star_graph(6);
+        let rm = RankMap::build(&g, OrderingStrategy::Degree);
+        assert_eq!(rm.rank(VertexId(0)), Rank(0));
+        assert_eq!(rm.vertex(Rank(0)), VertexId(0));
+        assert!(rm.validate());
+        // Leaves tie-break by id.
+        assert_eq!(rm.vertex(Rank(1)), VertexId(1));
+        assert_eq!(rm.vertex(Rank(5)), VertexId(5));
+    }
+
+    #[test]
+    fn identity_order() {
+        let g = star_graph(4);
+        let rm = RankMap::build(&g, OrderingStrategy::Identity);
+        for v in 0..4 {
+            assert_eq!(rm.rank(VertexId(v)), Rank(v));
+        }
+    }
+
+    #[test]
+    fn random_order_is_deterministic_per_seed() {
+        let g = barabasi_albert(50, 2, &mut StdRng::seed_from_u64(1));
+        let a = RankMap::build(&g, OrderingStrategy::Random(7));
+        let b = RankMap::build(&g, OrderingStrategy::Random(7));
+        let c = RankMap::build(&g, OrderingStrategy::Random(8));
+        assert_eq!(a, b);
+        assert_ne!(a.vertex_at, c.vertex_at);
+        assert!(a.validate() && c.validate());
+    }
+
+    #[test]
+    fn ranks_at_least_matches_paper_relation() {
+        let g = star_graph(3);
+        let rm = RankMap::build(&g, OrderingStrategy::Degree);
+        // Center (0) ranks highest: 0 ≤ 1 and 0 ≤ 2.
+        assert!(rm.ranks_at_least(VertexId(0), VertexId(1)));
+        assert!(!rm.ranks_at_least(VertexId(2), VertexId(0)));
+        assert!(rm.ranks_at_least(VertexId(1), VertexId(1)));
+    }
+
+    #[test]
+    fn append_assigns_lowest_rank() {
+        let mut g = star_graph(3);
+        let mut rm = RankMap::build(&g, OrderingStrategy::Degree);
+        let v = g.add_vertex();
+        let r = rm.append_vertex(v);
+        assert_eq!(r, Rank(3));
+        assert_eq!(rm.vertex(r), v);
+        assert!(rm.validate());
+    }
+
+    #[test]
+    #[should_panic(expected = "next dense id")]
+    fn append_rejects_gaps() {
+        let g = star_graph(3);
+        let mut rm = RankMap::build(&g, OrderingStrategy::Degree);
+        rm.append_vertex(VertexId(10));
+    }
+
+    #[test]
+    fn staleness_zero_on_fresh_degree_order() {
+        let g = barabasi_albert(80, 2, &mut StdRng::seed_from_u64(3));
+        let rm = RankMap::build(&g, OrderingStrategy::Degree);
+        assert_eq!(degree_order_staleness(&g, &rm), 0.0);
+    }
+
+    #[test]
+    fn staleness_rises_after_updates() {
+        let mut g = star_graph(8);
+        let rm = RankMap::build(&g, OrderingStrategy::Degree);
+        // Make a leaf the new hub.
+        for v in 2..8 {
+            g.insert_edge(VertexId(1), VertexId(v)).unwrap();
+        }
+        g.delete_edge(VertexId(0), VertexId(2)).unwrap();
+        g.delete_edge(VertexId(0), VertexId(3)).unwrap();
+        assert!(degree_order_staleness(&g, &rm) > 0.0);
+    }
+}

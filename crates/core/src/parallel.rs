@@ -1,0 +1,84 @@
+//! Parallel batch query evaluation.
+//!
+//! §6 of the paper explains why parallel *updates* are hard (strict rank
+//! order dependencies between hubs) and leaves them as future work. Query
+//! evaluation, by contrast, is embarrassingly parallel: the index is
+//! immutable between updates, and each `SpcQUERY` touches only two label
+//! sets. This module fans a query batch across scoped threads — the shape a
+//! serving deployment of the paper's system would use between update
+//! epochs.
+
+use crate::index::SpcIndex;
+use crate::query::{spc_query, QueryResult};
+use dspc_graph::VertexId;
+
+/// Evaluates `pairs` in parallel on `threads` OS threads (clamped to the
+/// batch size; `threads == 1` degenerates to the sequential path). Results
+/// are in input order.
+pub fn par_batch_query(
+    index: &SpcIndex,
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+) -> Vec<QueryResult> {
+    let threads = threads.clamp(1, pairs.len().max(1));
+    if threads == 1 || pairs.len() < 2 {
+        return pairs.iter().map(|&(s, t)| spc_query(index, s, t)).collect();
+    }
+    let mut results = vec![QueryResult::DISCONNECTED; pairs.len()];
+    let chunk = pairs.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (&(s, t), out) in pair_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *out = spc_query(index, s, t);
+                }
+            });
+        }
+    })
+    .expect("query worker panicked");
+    results
+}
+
+/// Evaluates `pairs` sequentially — the comparison baseline for
+/// [`par_batch_query`] and the convenience entry point for small batches.
+pub fn batch_query(index: &SpcIndex, pairs: &[(VertexId, VertexId)]) -> Vec<QueryResult> {
+    pairs.iter().map(|&(s, t)| spc_query(index, s, t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_index;
+    use crate::order::OrderingStrategy;
+    use dspc_graph::generators::random::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = barabasi_albert(300, 3, &mut rng);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let pairs: Vec<_> = (0..1000)
+            .map(|_| {
+                (
+                    VertexId(rng.gen_range(0..300)),
+                    VertexId(rng.gen_range(0..300)),
+                )
+            })
+            .collect();
+        let seq = batch_query(&index, &pairs);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(par_batch_query(&index, &pairs, threads), seq);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        let g = dspc_graph::generators::classic::path_graph(3);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        assert!(par_batch_query(&index, &[], 4).is_empty());
+        let one = par_batch_query(&index, &[(VertexId(0), VertexId(2))], 4);
+        assert_eq!(one[0].as_option(), Some((2, 1)));
+    }
+}

@@ -1,0 +1,228 @@
+//! Index-guided shortest-path *retrieval*.
+//!
+//! The SPC-Index counts shortest paths; applications (route explanation,
+//! betweenness drill-down, recommendation justification — "you share these
+//! friends") frequently also need a *witness*. Because the index answers
+//! `sd(·, ·)` in microseconds, a concrete path can be recovered by greedy
+//! descent without any BFS: from `s`, repeatedly step to any neighbor `w`
+//! with `sd(w, t) = sd(s, t) − 1`. Enumerating *all* shortest paths walks
+//! the same tight-edge relation as a DFS, capped by a caller-supplied
+//! limit (counts grow exponentially; that is the point of the paper).
+//!
+//! Everything here works on the *maintained* index — stale labels cannot
+//! mislead the descent because `sd` queries always minimize over hubs.
+
+use crate::index::SpcIndex;
+use crate::query::spc_query;
+use dspc_graph::{UndirectedGraph, VertexId};
+
+/// Returns one shortest path from `s` to `t` (inclusive of both), or
+/// `None` if disconnected. `O(sd · deg · l)` — no graph traversal state.
+pub fn one_shortest_path(
+    g: &UndirectedGraph,
+    index: &SpcIndex,
+    s: VertexId,
+    t: VertexId,
+) -> Option<Vec<VertexId>> {
+    let total = spc_query(index, s, t);
+    if !total.is_connected() {
+        return None;
+    }
+    let mut path = Vec::with_capacity(total.dist as usize + 1);
+    path.push(s);
+    let mut cur = s;
+    let mut remaining = total.dist;
+    while remaining > 0 {
+        let mut advanced = false;
+        for &w in g.neighbors(cur) {
+            let w = VertexId(w);
+            let q = spc_query(index, w, t);
+            if q.is_connected() && q.dist + 1 == remaining {
+                path.push(w);
+                cur = w;
+                remaining -= 1;
+                advanced = true;
+                break;
+            }
+        }
+        debug_assert!(advanced, "tight edge must exist on a shortest path");
+        if !advanced {
+            return None; // defensive: index/graph out of sync
+        }
+    }
+    Some(path)
+}
+
+/// Enumerates shortest paths from `s` to `t`, stopping after `limit`
+/// paths. Paths are returned in neighbor-id DFS order; each includes both
+/// endpoints. Returns an empty vector when disconnected.
+pub fn enumerate_shortest_paths(
+    g: &UndirectedGraph,
+    index: &SpcIndex,
+    s: VertexId,
+    t: VertexId,
+    limit: usize,
+) -> Vec<Vec<VertexId>> {
+    let total = spc_query(index, s, t);
+    if !total.is_connected() || limit == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut stack = vec![s];
+    dfs(g, index, t, total.dist, &mut stack, &mut out, limit);
+    out
+}
+
+fn dfs(
+    g: &UndirectedGraph,
+    index: &SpcIndex,
+    t: VertexId,
+    remaining: u32,
+    stack: &mut Vec<VertexId>,
+    out: &mut Vec<Vec<VertexId>>,
+    limit: usize,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    let cur = *stack.last().expect("non-empty stack");
+    if remaining == 0 {
+        debug_assert_eq!(cur, t);
+        out.push(stack.clone());
+        return;
+    }
+    for &w in g.neighbors(cur) {
+        if out.len() >= limit {
+            return;
+        }
+        let w = VertexId(w);
+        let q = spc_query(index, w, t);
+        if q.is_connected() && q.dist + 1 == remaining {
+            stack.push(w);
+            dfs(g, index, t, remaining - 1, stack, out, limit);
+            stack.pop();
+        }
+    }
+}
+
+/// Validates that `path` is a shortest `s`–`t` path in `g` according to
+/// `index` — used by tests and as a debugging aid.
+pub fn is_shortest_path(
+    g: &UndirectedGraph,
+    index: &SpcIndex,
+    path: &[VertexId],
+) -> bool {
+    if path.is_empty() {
+        return false;
+    }
+    let (s, t) = (path[0], *path.last().unwrap());
+    match spc_query(index, s, t).as_option() {
+        Some((d, _)) if d as usize == path.len() - 1 => {}
+        _ => return false,
+    }
+    path.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_index;
+    use crate::order::OrderingStrategy;
+    use dspc_graph::generators::classic::grid_graph;
+    use dspc_graph::generators::paper::figure2_g;
+    use dspc_graph::generators::random::erdos_renyi_gnm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_path_on_figure2() {
+        let g = figure2_g();
+        let index = build_index(&g, OrderingStrategy::Identity);
+        let p = one_shortest_path(&g, &index, VertexId(0), VertexId(9)).unwrap();
+        assert_eq!(p.len(), 5); // sd = 4
+        assert!(is_shortest_path(&g, &index, &p));
+        assert_eq!(p[0], VertexId(0));
+        assert_eq!(p[4], VertexId(9));
+    }
+
+    #[test]
+    fn trivial_and_disconnected() {
+        let g = figure2_g();
+        let index = build_index(&g, OrderingStrategy::Identity);
+        assert_eq!(
+            one_shortest_path(&g, &index, VertexId(3), VertexId(3)),
+            Some(vec![VertexId(3)])
+        );
+        let g2 = dspc_graph::UndirectedGraph::with_vertices(2);
+        let idx2 = build_index(&g2, OrderingStrategy::Degree);
+        assert_eq!(one_shortest_path(&g2, &idx2, VertexId(0), VertexId(1)), None);
+        assert!(enumerate_shortest_paths(&g2, &idx2, VertexId(0), VertexId(1), 10).is_empty());
+    }
+
+    #[test]
+    fn enumeration_matches_count_on_figure2() {
+        let g = figure2_g();
+        let index = build_index(&g, OrderingStrategy::Identity);
+        // spc(v0, v9) = 4: enumeration must yield exactly 4 distinct paths.
+        let paths = enumerate_shortest_paths(&g, &index, VertexId(0), VertexId(9), usize::MAX);
+        assert_eq!(paths.len(), 4);
+        let mut distinct = paths.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4);
+        for p in &paths {
+            assert!(is_shortest_path(&g, &index, p));
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        // 4x4 grid corner to corner: C(6,3) = 20 shortest paths.
+        let g = grid_graph(4, 4);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let all = enumerate_shortest_paths(&g, &index, VertexId(0), VertexId(15), usize::MAX);
+        assert_eq!(all.len(), 20);
+        let some = enumerate_shortest_paths(&g, &index, VertexId(0), VertexId(15), 7);
+        assert_eq!(some.len(), 7);
+        assert_eq!(&all[..7], &some[..]);
+    }
+
+    #[test]
+    fn enumeration_count_equals_spc_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..5 {
+            let g = erdos_renyi_gnm(30, 70, &mut rng);
+            let index = build_index(&g, OrderingStrategy::Degree);
+            for _ in 0..30 {
+                let s = VertexId(rng.gen_range(0..30));
+                let t = VertexId(rng.gen_range(0..30));
+                let expected = spc_query(&index, s, t);
+                let paths = enumerate_shortest_paths(&g, &index, s, t, 10_000);
+                if expected.is_connected() {
+                    assert_eq!(paths.len() as u64, expected.count, "({s:?},{t:?})");
+                    for p in &paths {
+                        assert!(is_shortest_path(&g, &index, p));
+                    }
+                } else {
+                    assert!(paths.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retrieval_works_on_maintained_index_with_stale_labels() {
+        // After IncSPC keeps stale labels, retrieval must still navigate
+        // correctly (queries minimize over hubs).
+        let mut g = figure2_g();
+        let mut index = build_index(&g, OrderingStrategy::Identity);
+        let mut engine = crate::inc::IncSpc::new(g.capacity());
+        g.insert_edge(VertexId(3), VertexId(9)).unwrap();
+        engine.insert_edge(&g, &mut index, VertexId(3), VertexId(9));
+        let p = one_shortest_path(&g, &index, VertexId(0), VertexId(9)).unwrap();
+        assert_eq!(p.len(), 3); // sd dropped 4 → 2
+        assert!(is_shortest_path(&g, &index, &p));
+        let all = enumerate_shortest_paths(&g, &index, VertexId(0), VertexId(9), 100);
+        assert_eq!(all.len() as u64, spc_query(&index, VertexId(0), VertexId(9)).count);
+    }
+}

@@ -1,0 +1,159 @@
+//! Maintenance policy — the paper's lazy answer to ordering staleness.
+//!
+//! §6 ("Vertex Ordering Changes"): after many updates the degree-based
+//! order no longer reflects the graph, inflating future labels. The paper's
+//! suggested mitigation is a *lazy strategy* — "reconstructing the entire
+//! index after a certain number of updates". [`MaintenancePolicy`] encodes
+//! that trigger plus a direct staleness measurement
+//! ([`crate::order::degree_order_staleness`]), and [`ManagedSpc`] applies
+//! it automatically around a [`DynamicSpc`].
+
+use crate::dynamic::{DynamicSpc, GraphUpdate, UpdateStats};
+use crate::order::degree_order_staleness;
+use dspc_graph::Result;
+
+/// When to trigger a full rebuild with a fresh ordering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MaintenancePolicy {
+    /// Rebuild after this many updates since the last build (the paper's
+    /// "certain number of updates"). `None` disables the trigger.
+    pub max_updates: Option<usize>,
+    /// Rebuild when the fraction of degree-order inversions among adjacent
+    /// ranks exceeds this threshold. `None` disables the trigger.
+    pub max_staleness: Option<f64>,
+}
+
+impl MaintenancePolicy {
+    /// Never rebuild (pure dynamic maintenance — what the paper evaluates).
+    pub const NEVER: MaintenancePolicy = MaintenancePolicy {
+        max_updates: None,
+        max_staleness: None,
+    };
+
+    /// Rebuild every `n` updates.
+    pub fn every(n: usize) -> Self {
+        MaintenancePolicy {
+            max_updates: Some(n),
+            max_staleness: None,
+        }
+    }
+
+    /// Whether a rebuild is due for `dspc`.
+    pub fn should_rebuild(&self, dspc: &DynamicSpc) -> bool {
+        if let Some(n) = self.max_updates {
+            if dspc.updates_since_build() >= n {
+                return true;
+            }
+        }
+        if let Some(limit) = self.max_staleness {
+            if degree_order_staleness(dspc.graph(), dspc.index().ranks()) > limit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy::NEVER
+    }
+}
+
+/// A [`DynamicSpc`] that applies a [`MaintenancePolicy`] after every
+/// update.
+#[derive(Debug)]
+pub struct ManagedSpc {
+    inner: DynamicSpc,
+    policy: MaintenancePolicy,
+    rebuilds: usize,
+}
+
+impl ManagedSpc {
+    /// Wraps `dspc` under `policy`.
+    pub fn new(inner: DynamicSpc, policy: MaintenancePolicy) -> Self {
+        ManagedSpc {
+            inner,
+            policy,
+            rebuilds: 0,
+        }
+    }
+
+    /// The wrapped facade.
+    pub fn inner(&self) -> &DynamicSpc {
+        &self.inner
+    }
+
+    /// Number of policy-triggered rebuilds so far.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Applies an update, then rebuilds if the policy fires.
+    pub fn apply(&mut self, update: GraphUpdate) -> Result<UpdateStats> {
+        let stats = self.inner.apply(update)?;
+        if self.policy.should_rebuild(&self.inner) {
+            self.inner.rebuild();
+            self.rebuilds += 1;
+        }
+        Ok(stats)
+    }
+
+    /// Unwraps.
+    pub fn into_inner(self) -> DynamicSpc {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::OrderingStrategy;
+    use crate::verify::verify_all_pairs;
+    use dspc_graph::generators::paper::figure2_g;
+    use dspc_graph::{UndirectedGraph, VertexId};
+
+    #[test]
+    fn never_policy_never_fires() {
+        let d = DynamicSpc::build(figure2_g(), OrderingStrategy::Degree);
+        assert!(!MaintenancePolicy::NEVER.should_rebuild(&d));
+    }
+
+    #[test]
+    fn update_count_trigger() {
+        let d = DynamicSpc::build(figure2_g(), OrderingStrategy::Degree);
+        let mut managed = ManagedSpc::new(d, MaintenancePolicy::every(2));
+        managed
+            .apply(GraphUpdate::InsertEdge(VertexId(3), VertexId(9)))
+            .unwrap();
+        assert_eq!(managed.rebuilds(), 0);
+        managed
+            .apply(GraphUpdate::DeleteEdge(VertexId(3), VertexId(9)))
+            .unwrap();
+        assert_eq!(managed.rebuilds(), 1);
+        assert_eq!(managed.inner().updates_since_build(), 0);
+        verify_all_pairs(managed.inner().graph(), managed.inner().index()).unwrap();
+    }
+
+    #[test]
+    fn staleness_trigger() {
+        // Star where the hub loses its edges: degree order inverts quickly.
+        let g = UndirectedGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        let d = DynamicSpc::build(g, OrderingStrategy::Degree);
+        let policy = MaintenancePolicy {
+            max_updates: None,
+            max_staleness: Some(0.0),
+        };
+        let mut managed = ManagedSpc::new(d, policy);
+        managed
+            .apply(GraphUpdate::DeleteEdge(VertexId(0), VertexId(3)))
+            .unwrap();
+        managed
+            .apply(GraphUpdate::DeleteEdge(VertexId(0), VertexId(4)))
+            .unwrap();
+        // Vertex 0 now has degree 2 like vertex 1/2 — inversions appear and
+        // the policy rebuilds with a fresh order.
+        assert!(managed.rebuilds() >= 1);
+        verify_all_pairs(managed.inner().graph(), managed.inner().index()).unwrap();
+    }
+}

@@ -1,0 +1,274 @@
+//! Binary serialization of the SPC-Index.
+//!
+//! The on-disk format mirrors the paper's storage layout (§4.1): one 64-bit
+//! word per label entry — 25-bit hub, 10-bit distance, 29-bit count — when
+//! every entry fits those fields, with a transparent fallback to a wide
+//! 16-byte encoding for graphs whose counts or distances overflow the
+//! packed widths.
+//!
+//! Layout (little endian):
+//!
+//! ```text
+//! magic  "DSPC"            4 bytes
+//! version u32              currently 1
+//! flags   u32              bit 0: 1 = packed entries, 0 = wide
+//! n       u64              vertex/id-space size
+//! vertex_at[n] u32         rank → vertex id (the total order)
+//! for each vertex 0..n:
+//!   len   u32
+//!   len × entry            8 bytes packed | 16 bytes wide (hub, dist, count)
+//! ```
+
+use crate::index::SpcIndex;
+use crate::label::{packed, LabelEntry, LabelSet, Rank};
+use crate::order::{OrderingStrategy, RankMap};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dspc_graph::VertexId;
+
+const MAGIC: &[u8; 4] = b"DSPC";
+const VERSION: u32 = 1;
+const FLAG_PACKED: u32 = 1;
+
+/// Serialization/deserialization failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input does not start with the `DSPC` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Input ended prematurely or lengths are inconsistent.
+    Truncated,
+    /// The rank permutation is invalid.
+    BadRankMap,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a DSPC index (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported DSPC index version {v}"),
+            CodecError::Truncated => write!(f, "truncated DSPC index"),
+            CodecError::BadRankMap => write!(f, "corrupt rank permutation"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes `index` to bytes. Any hub/distance/count exceeding the packed
+/// field widths forces the wide encoding so that no information is lost.
+pub fn encode_index(index: &SpcIndex) -> Bytes {
+    let n = index.num_vertices();
+    let packed_ok = (0..n).all(|v| {
+        index
+            .label_set(VertexId(v as u32))
+            .entries()
+            .iter()
+            .all(|e| {
+                e.hub.0 <= packed::MAX_HUB
+                    && e.dist <= packed::MAX_DIST
+                    && e.count <= packed::MAX_COUNT
+            })
+    });
+    let mut buf = BytesMut::with_capacity(20 + n * 8 + index.num_entries() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(if packed_ok { FLAG_PACKED } else { 0 });
+    buf.put_u64_le(n as u64);
+    for r in 0..n {
+        buf.put_u32_le(index.vertex(Rank(r as u32)).0);
+    }
+    for v in 0..n {
+        let ls = index.label_set(VertexId(v as u32));
+        buf.put_u32_le(ls.len() as u32);
+        for e in ls.entries() {
+            if packed_ok {
+                buf.put_u64_le(packed::pack(*e).expect("checked packable").0);
+            } else {
+                buf.put_u32_le(e.hub.0);
+                buf.put_u32_le(e.dist);
+                buf.put_u64_le(e.count);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes an index previously produced by [`encode_index`]. The
+/// explicit rank permutation stored in the file is restored exactly.
+pub fn decode_index(mut data: &[u8]) -> Result<SpcIndex, CodecError> {
+    if data.remaining() < 20 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let flags = data.get_u32_le();
+    let is_packed = flags & FLAG_PACKED != 0;
+    let n = data.get_u64_le() as usize;
+    if data.remaining() < n * 4 {
+        return Err(CodecError::Truncated);
+    }
+    let mut vertex_at = Vec::with_capacity(n);
+    for _ in 0..n {
+        vertex_at.push(data.get_u32_le());
+    }
+    {
+        let mut seen = vec![false; n];
+        for &v in &vertex_at {
+            if v as usize >= n || seen[v as usize] {
+                return Err(CodecError::BadRankMap);
+            }
+            seen[v as usize] = true;
+        }
+    }
+    let ranks = RankMap::from_rank_order(&vertex_at, OrderingStrategy::Identity);
+    let mut index = SpcIndex::self_labeled(ranks);
+    for v in 0..n {
+        if data.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let len = data.get_u32_le() as usize;
+        let entry_size = if is_packed { 8 } else { 16 };
+        if data.remaining() < len * entry_size {
+            return Err(CodecError::Truncated);
+        }
+        let mut restored = LabelSet::new();
+        for _ in 0..len {
+            let e = if is_packed {
+                packed::unpack(packed::PackedLabel(data.get_u64_le()))
+            } else {
+                let hub = Rank(data.get_u32_le());
+                let dist = data.get_u32_le();
+                let count = data.get_u64_le();
+                LabelEntry { hub, dist, count }
+            };
+            restored.upsert(e);
+        }
+        *index.label_set_mut(VertexId(v as u32)) = restored;
+    }
+    Ok(index)
+}
+
+/// Writes an index to a file.
+pub fn save_index<P: AsRef<std::path::Path>>(index: &SpcIndex, path: P) -> std::io::Result<()> {
+    std::fs::write(path, encode_index(index))
+}
+
+/// Loads an index from a file.
+pub fn load_index<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<SpcIndex> {
+    let data = std::fs::read(path)?;
+    decode_index(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_index;
+    use crate::query::spc_query;
+    use dspc_graph::generators::paper::figure2_g;
+    use dspc_graph::generators::random::erdos_renyi_gnm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_packed() {
+        let g = figure2_g();
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let bytes = encode_index(&index);
+        let back = decode_index(&bytes).unwrap();
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(spc_query(&index, s, t), spc_query(&back, s, t));
+            }
+        }
+        back.check_invariants().unwrap();
+        // Packed mode: 8 bytes per entry.
+        let expected = 20 + 12 * 4 + 12 * 4 + index.num_entries() * 8;
+        assert_eq!(bytes.len(), expected);
+    }
+
+    #[test]
+    fn round_trip_wide_fallback() {
+        let g = figure2_g();
+        let mut index = build_index(&g, OrderingStrategy::Degree);
+        let big = LabelEntry::new(index.rank(VertexId(0)), 1, u64::MAX / 3);
+        index.label_set_mut(VertexId(11)).upsert(big);
+        let bytes = encode_index(&index);
+        let back = decode_index(&bytes).unwrap();
+        assert_eq!(
+            back.label_of(VertexId(11), VertexId(0)).unwrap().count,
+            u64::MAX / 3
+        );
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert_eq!(decode_index(b"nope"), Err(CodecError::Truncated));
+        let mut bad = b"XXXX".to_vec();
+        bad.extend_from_slice(&[0u8; 16]);
+        assert_eq!(decode_index(&bad), Err(CodecError::BadMagic));
+        let g = figure2_g();
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let bytes = encode_index(&index);
+        assert_eq!(
+            decode_index(&bytes[..bytes.len() - 3]),
+            Err(CodecError::Truncated)
+        );
+        let mut bad_version = bytes.to_vec();
+        bad_version[4] = 99;
+        assert_eq!(decode_index(&bad_version), Err(CodecError::BadVersion(99)));
+        // Corrupt permutation: duplicate rank entry.
+        let mut bad_perm = bytes.to_vec();
+        let dup: [u8; 4] = bad_perm[24..28].try_into().unwrap();
+        bad_perm[20..24].copy_from_slice(&dup);
+        assert_eq!(decode_index(&bad_perm), Err(CodecError::BadRankMap));
+    }
+
+    #[test]
+    fn empty_index_round_trip() {
+        let g = dspc_graph::UndirectedGraph::new();
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let bytes = encode_index(&index);
+        let back = decode_index(&bytes).unwrap();
+        assert_eq!(back.num_vertices(), 0);
+        assert_eq!(back.num_entries(), 0);
+    }
+
+    #[test]
+    fn single_vertex_round_trip() {
+        let g = dspc_graph::UndirectedGraph::with_vertices(1);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let back = decode_index(&encode_index(&index)).unwrap();
+        back.check_invariants().unwrap();
+        assert_eq!(
+            spc_query(&back, VertexId(0), VertexId(0)).as_option(),
+            Some((0, 1))
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi_gnm(60, 150, &mut rng);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let dir = std::env::temp_dir().join("dspc_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.dspc");
+        save_index(&index, &path).unwrap();
+        let back = load_index(&path).unwrap();
+        assert_eq!(index.num_entries(), back.num_entries());
+        for s in g.vertices().take(20) {
+            for t in g.vertices().take(20) {
+                assert_eq!(spc_query(&index, s, t), spc_query(&back, s, t));
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,219 @@
+//! Weighted HP-SPC: Dijkstra hub pushing (Appendix C.2).
+//!
+//! Identical structure to the unweighted build with Dijkstra in place of
+//! BFS: vertices settle in weighted-distance order, the settle step carries
+//! the strict prune (`query(h, v) < D[v]`), labels are emitted at settle
+//! time when not pruned, and relaxations observe rank pruning.
+
+use super::{WHubProbe, WLabelEntry, WLabelSet, WeightedSpcIndex};
+use crate::label::{Count, Rank};
+use crate::order::{OrderingStrategy, RankMap};
+use dspc_graph::weighted::{WDist, WeightedGraph, WDIST_INF};
+use dspc_graph::VertexId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable weighted construction engine.
+#[derive(Debug)]
+pub struct WeightedBuilder {
+    dist: Vec<WDist>,
+    count: Vec<Count>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<Reverse<(WDist, u32)>>,
+    touched: Vec<u32>,
+    probe: WHubProbe,
+}
+
+impl WeightedBuilder {
+    /// Creates a builder.
+    pub fn new(capacity: usize) -> Self {
+        WeightedBuilder {
+            dist: vec![WDIST_INF; capacity],
+            count: vec![0; capacity],
+            settled: vec![false; capacity],
+            heap: BinaryHeap::new(),
+            touched: Vec::new(),
+            probe: WHubProbe::new(capacity),
+        }
+    }
+
+    pub(crate) fn ensure_capacity(&mut self, capacity: usize) {
+        if self.dist.len() < capacity {
+            self.dist.resize(capacity, WDIST_INF);
+            self.count.resize(capacity, 0);
+            self.settled.resize(capacity, false);
+        }
+        self.probe.ensure_capacity(capacity);
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = WDIST_INF;
+            self.count[v as usize] = 0;
+            self.settled[v as usize] = false;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+
+    /// Builds the weighted SPC-Index of `g`.
+    pub fn build(&mut self, g: &WeightedGraph, strategy: OrderingStrategy) -> WeightedSpcIndex {
+        let cap = g.capacity();
+        self.ensure_capacity(cap);
+        // Degree ordering uses structural degree (same heuristic the paper
+        // inherits; weights don't change who the likely hubs are).
+        let mut ids: Vec<u32> = (0..cap as u32).collect();
+        match strategy {
+            OrderingStrategy::Degree => {
+                ids.sort_by_key(|&v| (std::cmp::Reverse(g.degree(VertexId(v))), v));
+            }
+            OrderingStrategy::Identity => {}
+            OrderingStrategy::Random(seed) => {
+                let key = |v: u32| -> u64 {
+                    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15).wrapping_add(v as u64);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    z ^ (z >> 31)
+                };
+                ids.sort_by_key(|&v| (key(v), v));
+            }
+        }
+        let ranks = RankMap::from_rank_order(&ids, strategy);
+        let mut index = WeightedSpcIndex::new(vec![WLabelSet::default(); cap], ranks);
+        for r in 0..cap as u32 {
+            let h = index.vertex(Rank(r));
+            if !g.contains_vertex(h) {
+                continue;
+            }
+            self.push_hub(g, &mut index, h);
+        }
+        for v in 0..cap {
+            let vid = VertexId(v as u32);
+            if index.label_set(vid).is_empty() {
+                let rank = index.rank(vid);
+                index
+                    .label_set_mut(vid)
+                    .push_descending(WLabelEntry::new(rank, 0, 1));
+            }
+        }
+        index
+    }
+
+    fn push_hub(&mut self, g: &WeightedGraph, index: &mut WeightedSpcIndex, h: VertexId) {
+        let hr = index.rank(h);
+        self.reset();
+        self.probe.load(index, h);
+        self.dist[h.index()] = 0;
+        self.count[h.index()] = 1;
+        self.touched.push(h.0);
+        self.heap.push(Reverse((0, h.0)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if self.settled[v as usize] {
+                continue;
+            }
+            self.settled[v as usize] = true;
+            let q = self
+                .probe
+                .query_limited(index.label_set(VertexId(v)), None);
+            if q.dist < d {
+                continue;
+            }
+            index
+                .label_set_mut(VertexId(v))
+                .push_descending(WLabelEntry::new(hr, d, self.count[v as usize]));
+            let cv = self.count[v as usize];
+            for &(w, wt) in g.neighbors(VertexId(v)) {
+                if index.rank(VertexId(w)) <= hr {
+                    continue;
+                }
+                let nd = d + wt as WDist;
+                let dw = self.dist[w as usize];
+                if nd < dw {
+                    if dw == WDIST_INF {
+                        self.touched.push(w);
+                    }
+                    self.dist[w as usize] = nd;
+                    self.count[w as usize] = cv;
+                    self.heap.push(Reverse((nd, w)));
+                } else if nd == dw {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+    }
+}
+
+/// One-shot weighted build.
+pub fn build_weighted_index(g: &WeightedGraph, strategy: OrderingStrategy) -> WeightedSpcIndex {
+    WeightedBuilder::new(g.capacity()).build(g, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted::weighted_spc_query;
+    use dspc_graph::generators::random::{erdos_renyi_gnm, random_weights};
+    use dspc_graph::traversal::dijkstra::DijkstraCounter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) fn assert_matches_dijkstra(g: &WeightedGraph, index: &WeightedSpcIndex) {
+        let mut dj = DijkstraCounter::new(g.capacity());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(
+                    weighted_spc_query(index, s, t).as_option(),
+                    dj.count(g, s, t),
+                    "pair ({s:?}, {t:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_diamond() {
+        let g = WeightedGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1), (0, 3, 2)],
+        );
+        let idx = build_weighted_index(&g, OrderingStrategy::Degree);
+        idx.check_invariants().unwrap();
+        assert_eq!(
+            weighted_spc_query(&idx, VertexId(0), VertexId(3)).as_option(),
+            Some((2, 3))
+        );
+        assert_matches_dijkstra(&g, &idx);
+    }
+
+    #[test]
+    fn random_weighted_graphs_match_oracle() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..6 {
+            let base = erdos_renyi_gnm(30, 70, &mut rng);
+            let g = random_weights(&base, 6, &mut rng);
+            for strategy in [OrderingStrategy::Degree, OrderingStrategy::Random(2)] {
+                let idx = build_weighted_index(&g, strategy);
+                idx.check_invariants().unwrap();
+                assert_matches_dijkstra(&g, &idx);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_index() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let base = erdos_renyi_gnm(25, 60, &mut rng);
+        let g = random_weights(&base, 1, &mut rng);
+        let widx = build_weighted_index(&g, OrderingStrategy::Degree);
+        let uidx = crate::build::build_index(&base, OrderingStrategy::Degree);
+        for s in base.vertices() {
+            for t in base.vertices() {
+                let w = weighted_spc_query(&widx, s, t).as_option();
+                let u = crate::query::spc_query(&uidx, s, t)
+                    .as_option()
+                    .map(|(d, c)| (d as u64, c));
+                assert_eq!(w, u);
+            }
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Weighted SPC-Index — the Appendix C.2 extension.
+//!
+//! Labels store accumulated edge weights instead of hop counts; Dijkstra
+//! (with a priority queue) replaces BFS everywhere. Edge-weight *decreases*
+//! (and insertions) are incremental updates; *increases* (and deletions)
+//! are decremental, with the affected-vertex condition becoming
+//! `|sd(v, a) − sd(v, b)| = w_ab`.
+//!
+//! The weighted label machinery is a parallel implementation rather than a
+//! generic one: the unweighted hot path keeps its compact `u32` distances,
+//! while weighted labels carry `u64` accumulated weights.
+
+pub mod build;
+pub mod update;
+
+pub use build::{build_weighted_index, WeightedBuilder};
+pub use update::{WeightedDecSpc, WeightedIncSpc};
+
+use crate::label::{Count, Rank};
+use crate::order::OrderingStrategy;
+use dspc_graph::weighted::{WDist, WeightedGraph, WDIST_INF};
+use dspc_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// One weighted hub label `(hub, dist, count)` with a `u64` distance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct WLabelEntry {
+    /// Rank of the hub vertex.
+    pub hub: Rank,
+    /// Accumulated shortest-path weight from the hub.
+    pub dist: WDist,
+    /// `spc(ĥ, v)` under weighted shortest paths.
+    pub count: Count,
+}
+
+impl WLabelEntry {
+    /// Convenience constructor.
+    pub fn new(hub: Rank, dist: WDist, count: Count) -> Self {
+        WLabelEntry { hub, dist, count }
+    }
+}
+
+/// A weighted label set, sorted by hub rank ascending.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WLabelSet {
+    entries: Vec<WLabelEntry>,
+}
+
+impl WLabelSet {
+    /// Set with only the self label.
+    pub fn self_only(rank: Rank) -> Self {
+        WLabelSet {
+            entries: vec![WLabelEntry::new(rank, 0, 1)],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorted entries.
+    pub fn entries(&self) -> &[WLabelEntry] {
+        &self.entries
+    }
+
+    /// Entry for `hub`, if present.
+    pub fn get(&self, hub: Rank) -> Option<&WLabelEntry> {
+        self.entries
+            .binary_search_by_key(&hub, |e| e.hub)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Whether `hub` labels this vertex.
+    pub fn contains(&self, hub: Rank) -> bool {
+        self.get(hub).is_some()
+    }
+
+    /// Inserts or replaces.
+    pub fn upsert(&mut self, e: WLabelEntry) -> Option<WLabelEntry> {
+        match self.entries.binary_search_by_key(&e.hub, |x| x.hub) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i], e)),
+            Err(i) => {
+                self.entries.insert(i, e);
+                None
+            }
+        }
+    }
+
+    /// Removes the entry for `hub`.
+    pub fn remove(&mut self, hub: Rank) -> Option<WLabelEntry> {
+        match self.entries.binary_search_by_key(&hub, |x| x.hub) {
+            Ok(i) => Some(self.entries.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Append fast path (hub ranks arrive ascending during construction).
+    pub fn push_descending(&mut self, e: WLabelEntry) {
+        debug_assert!(self.entries.last().is_none_or(|l| l.hub < e.hub));
+        self.entries.push(e);
+    }
+
+    /// Clears all entries.
+    pub fn clear_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Strictly-sorted invariant.
+    pub fn is_sorted_strict(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].hub < w[1].hub)
+    }
+}
+
+/// The weighted SPC-Index.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSpcIndex {
+    labels: Vec<WLabelSet>,
+    ranks: crate::order::RankMap,
+}
+
+impl WeightedSpcIndex {
+    pub(crate) fn new(labels: Vec<WLabelSet>, ranks: crate::order::RankMap) -> Self {
+        WeightedSpcIndex { labels, ranks }
+    }
+
+    /// The vertex total order.
+    pub fn ranks(&self) -> &crate::order::RankMap {
+        &self.ranks
+    }
+
+    /// Rank of `v`.
+    pub fn rank(&self, v: VertexId) -> Rank {
+        self.ranks.rank(v)
+    }
+
+    /// Vertex at `r`.
+    pub fn vertex(&self, r: Rank) -> VertexId {
+        self.ranks.vertex(r)
+    }
+
+    /// `L(v)`.
+    pub fn label_set(&self, v: VertexId) -> &WLabelSet {
+        &self.labels[v.index()]
+    }
+
+    /// Mutable `L(v)`.
+    pub fn label_set_mut(&mut self, v: VertexId) -> &mut WLabelSet {
+        &mut self.labels[v.index()]
+    }
+
+    /// Total label entries.
+    pub fn num_entries(&self) -> usize {
+        self.labels.iter().map(WLabelSet::len).sum()
+    }
+
+    /// Registers a freshly added isolated vertex at the lowest rank.
+    pub fn append_vertex(&mut self, v: VertexId) -> Rank {
+        let r = self.ranks.append_vertex(v);
+        self.labels.push(WLabelSet::self_only(r));
+        r
+    }
+
+    /// Structural invariants (sorted, self labels, upward hubs).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (vi, ls) in self.labels.iter().enumerate() {
+            let v = VertexId(vi as u32);
+            if !ls.is_sorted_strict() {
+                return Err(format!("L({v}) not sorted"));
+            }
+            let sr = self.ranks.rank(v);
+            match ls.get(sr) {
+                Some(e) if e.dist == 0 && e.count == 1 => {}
+                _ => return Err(format!("self label of {v} missing/malformed")),
+            }
+            for e in ls.entries() {
+                if e.hub > sr {
+                    return Err(format!("L({v}) hub below owner"));
+                }
+                if e.count == 0 {
+                    return Err(format!("L({v}) zero count"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Weighted query result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WQueryResult {
+    /// Accumulated weight (`WDIST_INF` when disconnected).
+    pub dist: WDist,
+    /// Shortest-path count.
+    pub count: Count,
+}
+
+impl WQueryResult {
+    /// Whether connected.
+    pub fn is_connected(&self) -> bool {
+        self.dist != WDIST_INF
+    }
+
+    /// As `Option<(dist, count)>`.
+    pub fn as_option(&self) -> Option<(WDist, Count)> {
+        self.is_connected().then_some((self.dist, self.count))
+    }
+}
+
+/// Weighted `SpcQUERY(s, t)`.
+pub fn weighted_spc_query(index: &WeightedSpcIndex, s: VertexId, t: VertexId) -> WQueryResult {
+    let a = index.label_set(s).entries();
+    let b = index.label_set(t).entries();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best = WDIST_INF;
+    let mut count: Count = 0;
+    while i < a.len() && j < b.len() {
+        let (ha, hb) = (a[i].hub, b[j].hub);
+        if ha == hb {
+            let d = a[i].dist.saturating_add(b[j].dist);
+            if d < best {
+                best = d;
+                count = a[i].count.saturating_mul(b[j].count);
+            } else if d == best && d != WDIST_INF {
+                count = count.saturating_add(a[i].count.saturating_mul(b[j].count));
+            }
+            i += 1;
+            j += 1;
+        } else if ha < hb {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    WQueryResult { dist: best, count }
+}
+
+/// Rank-indexed probe for repeated weighted queries against one hub.
+#[derive(Clone, Debug)]
+pub struct WHubProbe {
+    dist: Vec<WDist>,
+    count: Vec<Count>,
+    loaded: Vec<Rank>,
+}
+
+impl WHubProbe {
+    /// Creates a probe.
+    pub fn new(capacity: usize) -> Self {
+        WHubProbe {
+            dist: vec![WDIST_INF; capacity],
+            count: vec![0; capacity],
+            loaded: Vec::new(),
+        }
+    }
+
+    /// Grows if needed.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.dist.len() < capacity {
+            self.dist.resize(capacity, WDIST_INF);
+            self.count.resize(capacity, 0);
+        }
+    }
+
+    /// Pins `L(h)`.
+    pub fn load(&mut self, index: &WeightedSpcIndex, h: VertexId) {
+        self.ensure_capacity(index.ranks().len());
+        for &r in &self.loaded {
+            self.dist[r.index()] = WDIST_INF;
+            self.count[r.index()] = 0;
+        }
+        self.loaded.clear();
+        for e in index.label_set(h).entries() {
+            self.dist[e.hub.index()] = e.dist;
+            self.count[e.hub.index()] = e.count;
+            self.loaded.push(e.hub);
+        }
+    }
+
+    /// Weighted `SpcQUERY(h, v)` with optional rank limit (`PreQUERY`).
+    pub fn query_limited(&self, lv: &WLabelSet, limit: Option<Rank>) -> WQueryResult {
+        let mut best = WDIST_INF;
+        let mut count: Count = 0;
+        for e in lv.entries() {
+            if let Some(lim) = limit {
+                if e.hub >= lim {
+                    break;
+                }
+            }
+            let hd = self.dist[e.hub.index()];
+            if hd == WDIST_INF {
+                continue;
+            }
+            let d = hd.saturating_add(e.dist);
+            if d < best {
+                best = d;
+                count = self.count[e.hub.index()].saturating_mul(e.count);
+            } else if d == best && d != WDIST_INF {
+                count = count.saturating_add(self.count[e.hub.index()].saturating_mul(e.count));
+            }
+        }
+        WQueryResult { dist: best, count }
+    }
+}
+
+/// Weighted facade keeping a [`WeightedGraph`] and its index in lockstep.
+#[derive(Debug)]
+pub struct DynamicWeightedSpc {
+    graph: WeightedGraph,
+    index: WeightedSpcIndex,
+    inc: WeightedIncSpc,
+    dec: WeightedDecSpc,
+}
+
+impl DynamicWeightedSpc {
+    /// Builds and wraps.
+    pub fn build(graph: WeightedGraph, strategy: OrderingStrategy) -> Self {
+        let index = build_weighted_index(&graph, strategy);
+        let cap = graph.capacity();
+        DynamicWeightedSpc {
+            graph,
+            index,
+            inc: WeightedIncSpc::new(cap),
+            dec: WeightedDecSpc::new(cap),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// The maintained index.
+    pub fn index(&self) -> &WeightedSpcIndex {
+        &self.index
+    }
+
+    /// `SPC(s, t)` under weighted shortest paths.
+    pub fn query(&self, s: VertexId, t: VertexId) -> Option<(WDist, Count)> {
+        weighted_spc_query(&self.index, s, t).as_option()
+    }
+
+    /// Inserts edge `(a, b)` with weight `w` (incremental update).
+    pub fn insert_edge(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        w: dspc_graph::Weight,
+    ) -> dspc_graph::Result<()> {
+        self.graph.insert_edge(a, b, w)?;
+        self.inc.apply(&self.graph, &mut self.index, a, b, w);
+        Ok(())
+    }
+
+    /// Deletes edge `(a, b)` (decremental update).
+    pub fn delete_edge(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<()> {
+        self.dec
+            .delete_edge(&mut self.graph, &mut self.index, a, b)
+    }
+
+    /// Adds an isolated vertex at the lowest rank (O(1) on the index).
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = self.graph.add_vertex();
+        self.index.append_vertex(v);
+        v
+    }
+
+    /// Deletes vertex `v` as a cascade of edge deletions.
+    pub fn delete_vertex(&mut self, v: VertexId) -> dspc_graph::Result<()> {
+        if !self.graph.contains_vertex(v) {
+            return Err(dspc_graph::GraphError::UnknownVertex(v));
+        }
+        let neighbors: Vec<u32> = self.graph.neighbors(v).iter().map(|&(n, _)| n).collect();
+        for u in neighbors {
+            self.delete_edge(v, VertexId(u))?;
+        }
+        self.graph.delete_vertex(v)?;
+        Ok(())
+    }
+
+    /// Changes the weight of `(a, b)`: decreases run the incremental
+    /// machinery, increases the decremental one, equal weights are no-ops.
+    pub fn set_weight(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        w: dspc_graph::Weight,
+    ) -> dspc_graph::Result<()> {
+        let old = self
+            .graph
+            .weight(a, b)
+            .ok_or(dspc_graph::GraphError::MissingEdge(a, b))?;
+        if w == old {
+            return Ok(());
+        }
+        if w < old {
+            self.graph.set_weight(a, b, w)?;
+            self.inc.apply(&self.graph, &mut self.index, a, b, w);
+            Ok(())
+        } else {
+            self.dec
+                .increase_weight(&mut self.graph, &mut self.index, a, b, w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::RankMap;
+    use dspc_graph::generators::classic::path_graph;
+
+    #[test]
+    fn wlabel_set_ops() {
+        let mut ls = WLabelSet::self_only(Rank(3));
+        assert!(ls.contains(Rank(3)));
+        ls.upsert(WLabelEntry::new(Rank(1), 5, 2));
+        ls.upsert(WLabelEntry::new(Rank(0), 9, 1));
+        assert!(ls.is_sorted_strict());
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls.remove(Rank(1)).unwrap().dist, 5);
+        assert!(!ls.contains(Rank(1)));
+    }
+
+    #[test]
+    fn empty_index_queries() {
+        let g = path_graph(3);
+        let ranks = RankMap::build(&g, OrderingStrategy::Identity);
+        let labels = (0..3)
+            .map(|v| WLabelSet::self_only(ranks.rank(VertexId(v))))
+            .collect();
+        let idx = WeightedSpcIndex::new(labels, ranks);
+        idx.check_invariants().unwrap();
+        assert_eq!(
+            weighted_spc_query(&idx, VertexId(1), VertexId(1)).as_option(),
+            Some((0, 1))
+        );
+        assert!(!weighted_spc_query(&idx, VertexId(0), VertexId(2)).is_connected());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for graph mutation and I/O.
+
+use crate::VertexId;
+use std::fmt;
+
+/// Errors produced by graph mutations and edge-list I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The vertex id is out of range or has been deleted.
+    UnknownVertex(VertexId),
+    /// The edge already exists (simple graphs reject parallel edges).
+    DuplicateEdge(VertexId, VertexId),
+    /// The edge does not exist.
+    MissingEdge(VertexId, VertexId),
+    /// Self loops are not allowed — shortest path counting is defined on
+    /// simple graphs.
+    SelfLoop(VertexId),
+    /// A non-positive or non-finite weight was supplied.
+    InvalidWeight(f64),
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown or deleted vertex {v:?}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u:?}, {v:?}) already exists"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u:?}, {v:?}) does not exist"),
+            GraphError::SelfLoop(v) => write!(f, "self loop at {v:?} rejected"),
+            GraphError::InvalidWeight(w) => write!(f, "invalid edge weight {w}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::UnknownVertex(VertexId(9));
+        assert!(e.to_string().contains("v9"));
+        let e = GraphError::DuplicateEdge(VertexId(1), VertexId(2));
+        assert!(e.to_string().contains("already exists"));
+        let e = GraphError::SelfLoop(VertexId(3));
+        assert!(e.to_string().contains("self loop"));
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic classic topologies.
+//!
+//! These have closed-form shortest-path counts, which makes them ideal
+//! oracles for tests: e.g. on a `p × q` grid the number of shortest paths
+//! between opposite corners is the binomial coefficient `C(p+q-2, p-1)`.
+
+use crate::UndirectedGraph;
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path_graph(n: usize) -> UndirectedGraph {
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+/// Cycle graph on `n ≥ 3` vertices.
+pub fn cycle_graph(n: usize) -> UndirectedGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n as u32 - 1, 0));
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+/// Star graph: center `0` connected to `1..n`.
+pub fn star_graph(n: usize) -> UndirectedGraph {
+    assert!(n >= 1);
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> UndirectedGraph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+/// `rows × cols` grid graph; vertex `(r, c)` has id `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize) -> UndirectedGraph {
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as u32;
+            if c + 1 < cols {
+                edges.push((id, id + 1));
+            }
+            if r + 1 < rows {
+                edges.push((id, id + cols as u32));
+            }
+        }
+    }
+    UndirectedGraph::from_edges(rows * cols, &edges)
+}
+
+/// Two cliques of size `k` joined by a single bridge edge — a worst case for
+/// decremental updates (deleting the bridge disconnects the halves and
+/// forces label removals).
+pub fn two_cliques_bridge(k: usize) -> UndirectedGraph {
+    assert!(k >= 1);
+    let n = 2 * k;
+    let mut edges = Vec::new();
+    for u in 0..k as u32 {
+        for v in (u + 1)..k as u32 {
+            edges.push((u, v));
+        }
+    }
+    for u in k as u32..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    // Bridge between vertex 0 of each clique.
+    edges.push((0, k as u32));
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VertexId;
+
+    #[test]
+    fn path_counts() {
+        let g = path_graph(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let g = path_graph(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle_graph(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.has_edge(VertexId(5), VertexId(0)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star_graph(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(VertexId(0)), 6);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete_graph(6);
+        assert_eq!(g.num_edges(), 15);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 5);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // 3*3 horizontal rows of edges + 2*4 vertical
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn two_cliques_counts() {
+        let g = two_cliques_bridge(4);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 2 * 6 + 1);
+        assert!(g.has_edge(VertexId(0), VertexId(4)));
+        g.validate().unwrap();
+    }
+}

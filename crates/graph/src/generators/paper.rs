@@ -1,0 +1,168 @@
+//! The exact example graphs from the paper's figures.
+//!
+//! These are golden fixtures: the paper publishes the full SPC-Index of
+//! Figure 2's graph (Table 2) and walks both update algorithms through it
+//! (Figures 3 and 6), so tests can compare this reproduction's behaviour
+//! against the paper line by line.
+
+use crate::UndirectedGraph;
+
+/// Figure 1's toy social network `H`.
+///
+/// Vertices: `a = 0`, `v2 = 1`, `v4 = 2`, `b = 3`, `c = 4`. Both `b` and `c`
+/// are at distance 2 from `a`, but `spc(a, c) = 2 > spc(a, b) = 1` — the
+/// paper's motivating example for counting over pure distance.
+pub fn figure1_h() -> UndirectedGraph {
+    UndirectedGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 4)])
+}
+
+/// Figure 2's 12-vertex example graph `G`, whose SPC-Index under the
+/// identity ordering (`v0 ≤ v1 ≤ … ≤ v11`) is published in Table 2.
+///
+/// The edge set is reconstructed from Table 2's distance-1 canonical labels
+/// and verified against every worked example in the paper (Examples 2.1,
+/// 2.2, 3.5, 3.6, 3.13, 3.15).
+pub fn figure2_g() -> UndirectedGraph {
+    UndirectedGraph::from_edges(
+        12,
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 8),
+            (0, 11),
+            (1, 2),
+            (1, 5),
+            (1, 6),
+            (2, 3),
+            (2, 5),
+            (3, 7),
+            (3, 8),
+            (4, 5),
+            (4, 7),
+            (4, 9),
+            (6, 10),
+            (9, 10),
+        ],
+    )
+}
+
+/// Figure 4's toy graph for the decremental discussion.
+///
+/// Vertices (rank order): `h = 0 ≤ w = 1 ≤ a = 2 ≤ b = 3 ≤ u = 4 ≤ w1 = 5 ≤
+/// w2 = 6 ≤ w3 = 7 ≤ w4 = 8`. Deleting `(a, b)` reroutes `h → u` through the
+/// long `w`-chain: label `(h, 3, 1) ∈ L(u)` must become `(h, 6, 1)` and a new
+/// label `(w, 5, 1)` must appear even though `w` was a hub of neither `a` nor
+/// `b` (condition B of Definition 3.10).
+pub fn figure4_toy() -> UndirectedGraph {
+    UndirectedGraph::from_edges(
+        9,
+        &[
+            (0, 1), // h - w
+            (0, 2), // h - a
+            (2, 3), // a - b
+            (3, 4), // b - u
+            (1, 5), // w - w1
+            (5, 6), // w1 - w2
+            (6, 7), // w2 - w3
+            (7, 8), // w3 - w4
+            (8, 4), // w4 - u
+        ],
+    )
+}
+
+/// Figure 5's chain for the `SR` examples.
+///
+/// Vertices (rank order): `v1 = 0 ≤ v2 = 1 ≤ v3 = 2 ≤ a = 3 ≤ b = 4 ≤ u = 5`.
+/// Edges: `v1-a`, `a-b`, `b-u`, and the detour `a-v2`, `v2-v3`, `v3-b`.
+/// Deleting `(a, b)` changes `L(u)`: `(v1, 3, 1) → (v1, 5, 1)` and
+/// `(v2, 3, 2) → (v2, 3, 1)` — both `v1` and `v2` are in `SR_a` by
+/// condition A.
+pub fn figure5_chain() -> UndirectedGraph {
+    UndirectedGraph::from_edges(
+        6,
+        &[(0, 3), (3, 4), (4, 5), (3, 1), (1, 2), (2, 4)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs::BfsCounter;
+    use crate::VertexId;
+
+    #[test]
+    fn figure1_motivating_counts() {
+        let g = figure1_h();
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(3)), Some((2, 1)));
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(4)), Some((2, 2)));
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let g = figure2_g();
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 17);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn figure2_example_2_1() {
+        // SPC(v4, v6) = 2 with sd = 3 (paper Example 2.1).
+        let g = figure2_g();
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(4), VertexId(6)), Some((3, 2)));
+    }
+
+    #[test]
+    fn figure2_table2_distances_and_counts_from_v0() {
+        // Cross-check Table 2's canonical labels with hub v0 against BFS.
+        let g = figure2_g();
+        let mut bfs = BfsCounter::new(g.capacity());
+        let expect = [
+            (1, 1, 1), // v1: (v0,1,1)
+            (2, 1, 1),
+            (3, 1, 1),
+            (4, 3, 3),
+            (5, 2, 2),
+            (6, 2, 1),
+            (7, 2, 1),
+            (8, 1, 1),
+            (9, 4, 4),
+            (10, 3, 1),
+            (11, 1, 1),
+        ];
+        for (v, d, c) in expect {
+            assert_eq!(
+                bfs.count(&g, VertexId(0), VertexId(v)),
+                Some((d, c)),
+                "v0 → v{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure4_rerouting_counts() {
+        let mut g = figure4_toy();
+        let mut bfs = BfsCounter::new(g.capacity());
+        // Before deletion: h → u at distance 3 via a-b.
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(4)), Some((3, 1)));
+        g.delete_edge(VertexId(2), VertexId(3)).unwrap();
+        // After: rerouted through the w-chain at distance 6.
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(4)), Some((6, 1)));
+        // And w → u at distance 5.
+        assert_eq!(bfs.count(&g, VertexId(1), VertexId(4)), Some((5, 1)));
+    }
+
+    #[test]
+    fn figure5_label_changes() {
+        let mut g = figure5_chain();
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(5)), Some((3, 1)));
+        assert_eq!(bfs.count(&g, VertexId(1), VertexId(5)), Some((3, 2)));
+        g.delete_edge(VertexId(3), VertexId(4)).unwrap();
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(5)), Some((5, 1)));
+        assert_eq!(bfs.count(&g, VertexId(1), VertexId(5)), Some((3, 1)));
+    }
+}

@@ -1,0 +1,339 @@
+//! Random graph models — synthetic stand-ins for the paper's datasets.
+//!
+//! All generators take an explicit `Rng` so experiments are reproducible
+//! from a seed; the benchmark harness records the seed per dataset.
+
+use crate::{UndirectedGraph, WeightedGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`.
+///
+/// Uses the skip-sampling technique (geometric jumps) so the cost is
+/// `O(n + m)` rather than `O(n²)` for sparse graphs.
+pub fn erdos_renyi_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> UndirectedGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p <= 0.0 || n < 2 {
+        return UndirectedGraph::with_vertices(n);
+    }
+    if p >= 1.0 {
+        return super::classic::complete_graph(n);
+    }
+    let mut edges = Vec::new();
+    let lp = (1.0 - p).ln();
+    // Iterate pairs (v, w) with w < v in lexicographic order, skipping
+    // geometrically many non-edges at a time (Batagelj–Brandes).
+    let (mut v, mut w) = (1i64, -1i64);
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / lp).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            edges.push((w as u32, v as u32));
+        }
+    }
+    UndirectedGraph::from_edges(n as usize, &edges)
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges sampled uniformly.
+pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> UndirectedGraph {
+    let max_m = n * n.saturating_sub(1) / 2;
+    assert!(m <= max_m, "too many edges requested");
+    let mut g = UndirectedGraph::with_vertices(n);
+    let mut inserted = 0;
+    while inserted < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        if g.insert_edge(crate::VertexId(u), crate::VertexId(v)).is_ok() {
+            inserted += 1;
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices with probability proportional to degree.
+///
+/// This is the primary stand-in for the paper's scale-free web/social
+/// graphs: it produces the heavy-tailed degree distribution and small
+/// diameter that make degree-ordered hub labeling effective.
+pub fn barabasi_albert<R: Rng>(n: usize, m_attach: usize, rng: &mut R) -> UndirectedGraph {
+    assert!(m_attach >= 1, "attachment count must be positive");
+    assert!(n > m_attach, "need more vertices than the attachment count");
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m_attach);
+    // `targets` holds one entry per half-edge: sampling uniformly from it is
+    // sampling proportional to degree.
+    let mut half_edges: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+    // Seed: a star over the first m_attach + 1 vertices so every seed vertex
+    // has nonzero degree.
+    for v in 1..=m_attach as u32 {
+        edges.push((0, v));
+        half_edges.push(0);
+        half_edges.push(v);
+    }
+    for v in (m_attach as u32 + 1)..n as u32 {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m_attach);
+        let mut guard = 0;
+        while chosen.len() < m_attach {
+            let &t = half_edges
+                .as_slice()
+                .choose(rng)
+                .expect("half-edge list cannot be empty");
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+            if guard > 64 * m_attach {
+                // Extremely unlikely fallback: pick any remaining vertex.
+                for u in 0..v {
+                    if !chosen.contains(&u) {
+                        chosen.push(u);
+                        break;
+                    }
+                }
+            }
+        }
+        for t in chosen {
+            edges.push((t, v));
+            half_edges.push(t);
+            half_edges.push(v);
+        }
+    }
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
+/// each edge rewired with probability `beta`.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> UndirectedGraph {
+    assert!(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut g = UndirectedGraph::with_vertices(n);
+    for u in 0..n as u32 {
+        for j in 1..=k as u32 {
+            let v = (u + j) % n as u32;
+            let (mut a, mut b) = (u, v);
+            if rng.gen_bool(beta) {
+                // Rewire endpoint b to a uniform random vertex.
+                let mut tries = 0;
+                loop {
+                    let c = rng.gen_range(0..n as u32);
+                    if c != a && !g.has_edge(crate::VertexId(a), crate::VertexId(c)) {
+                        b = c;
+                        break;
+                    }
+                    tries += 1;
+                    if tries > 32 {
+                        break; // keep the lattice edge
+                    }
+                }
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            let _ = g.insert_edge(crate::VertexId(a), crate::VertexId(b));
+        }
+    }
+    g
+}
+
+/// Power-law configuration model: degrees drawn from a discrete power law
+/// with exponent `gamma` in `[min_deg, max_deg]`, stubs matched randomly,
+/// multi-edges and self loops dropped.
+pub fn powerlaw_configuration<R: Rng>(
+    n: usize,
+    gamma: f64,
+    min_deg: usize,
+    max_deg: usize,
+    rng: &mut R,
+) -> UndirectedGraph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(min_deg >= 1 && min_deg <= max_deg && max_deg < n);
+    // Inverse-CDF sampling of the truncated discrete power law.
+    let weights: Vec<f64> = (min_deg..=max_deg)
+        .map(|d| (d as f64).powf(-gamma))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut stubs: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        let mut x = rng.gen_range(0.0..total);
+        let mut deg = max_deg;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                deg = min_deg + i;
+                break;
+            }
+            x -= w;
+        }
+        for _ in 0..deg {
+            stubs.push(v);
+        }
+    }
+    if stubs.len() % 2 == 1 {
+        stubs.pop();
+    }
+    stubs.shuffle(rng);
+    let edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+/// Uniform random labelled tree (random attachment), guaranteeing
+/// connectivity — useful for tests that need a connected sparse base.
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> UndirectedGraph {
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n as u32 {
+        let parent = rng.gen_range(0..v);
+        edges.push((parent, v));
+    }
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+/// Orients each edge of an undirected graph randomly, keeping both
+/// directions with probability `both` — produces the directed substrate for
+/// Appendix C.1 (web graphs are directed with many reciprocal links).
+pub fn random_orientation<R: Rng>(
+    g: &UndirectedGraph,
+    both: f64,
+    rng: &mut R,
+) -> crate::DirectedGraph {
+    assert!((0.0..=1.0).contains(&both));
+    let mut arcs = Vec::with_capacity(g.num_edges() * 2);
+    for (u, v) in g.edges() {
+        if rng.gen_bool(both) {
+            arcs.push((u.0, v.0));
+            arcs.push((v.0, u.0));
+        } else if rng.gen_bool(0.5) {
+            arcs.push((u.0, v.0));
+        } else {
+            arcs.push((v.0, u.0));
+        }
+    }
+    crate::DirectedGraph::from_arcs(g.capacity(), &arcs)
+}
+
+/// Assigns uniform random integer weights in `1..=max_w` to the edges of an
+/// unweighted graph, producing the weighted substrate for Appendix C.2.
+pub fn random_weights<R: Rng>(
+    g: &UndirectedGraph,
+    max_w: u32,
+    rng: &mut R,
+) -> WeightedGraph {
+    assert!(max_w >= 1);
+    let triples: Vec<(u32, u32, u32)> = g
+        .edges()
+        .map(|(u, v)| (u.0, v.0, rng.gen_range(1..=max_w)))
+        .collect();
+    WeightedGraph::from_weighted_edges(g.capacity(), &triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD5BC)
+    }
+
+    #[test]
+    fn gnp_density_is_plausible() {
+        let g = erdos_renyi_gnp(500, 0.02, &mut rng());
+        let expected = 0.02 * (500.0 * 499.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < 0.25 * expected,
+            "m={m}, expected≈{expected}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(10, 0.0, &mut rng()).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(5, 1.0, &mut rng()).num_edges(), 10);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, &mut rng());
+        assert_eq!(g.num_edges(), 250);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn ba_shape() {
+        let g = barabasi_albert(300, 3, &mut rng());
+        assert_eq!(g.num_vertices(), 300);
+        // Seed star has m_attach edges; every later vertex adds m_attach.
+        assert_eq!(g.num_edges(), 3 + (300 - 4) * 3);
+        // Scale-free: max degree far above the mean.
+        assert!(g.max_degree() > 3 * (2 * g.num_edges() / 300));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn ws_shape() {
+        let g = watts_strogatz(200, 3, 0.1, &mut rng());
+        assert_eq!(g.num_vertices(), 200);
+        // Rewiring can only drop edges in rare dead-ends.
+        assert!(g.num_edges() > 550 && g.num_edges() <= 600);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn powerlaw_degrees_within_bounds_before_dedup() {
+        let g = powerlaw_configuration(400, 2.5, 2, 50, &mut rng());
+        assert_eq!(g.num_vertices(), 400);
+        assert!(g.max_degree() <= 50 + 1);
+        assert!(g.num_edges() > 300);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn tree_is_connected_and_acyclic() {
+        let g = random_tree(64, &mut rng());
+        assert_eq!(g.num_edges(), 63);
+        let comps = crate::stats::connected_components(&g);
+        assert_eq!(comps.num_components, 1);
+    }
+
+    #[test]
+    fn random_orientation_arc_counts() {
+        let base = erdos_renyi_gnm(60, 150, &mut rng());
+        let all_single = random_orientation(&base, 0.0, &mut rng());
+        assert_eq!(all_single.num_arcs(), 150);
+        let all_both = random_orientation(&base, 1.0, &mut rng());
+        assert_eq!(all_both.num_arcs(), 300);
+        all_single.validate().unwrap();
+        all_both.validate().unwrap();
+    }
+
+    #[test]
+    fn random_weights_cover_edges() {
+        let base = erdos_renyi_gnm(50, 120, &mut rng());
+        let wg = random_weights(&base, 10, &mut rng());
+        assert_eq!(wg.num_edges(), 120);
+        for (u, v, w) in wg.edges() {
+            assert!((1..=10).contains(&w));
+            assert!(base.has_edge(u, v));
+        }
+        wg.validate().unwrap();
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(7));
+        let b = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(7));
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

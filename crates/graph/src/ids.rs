@@ -1,0 +1,93 @@
+//! Vertex identifiers.
+//!
+//! The DSPC index relabels vertices by rank internally, so the substrate
+//! exposes plain dense `u32` identifiers wrapped in a newtype for type
+//! safety. A `u32` id space matches the paper's packed label encoding (25
+//! bits for the vertex field) while comfortably covering the laptop-scale
+//! graphs this reproduction targets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense vertex identifier.
+///
+/// Graphs hand out ids `0..capacity`; deleting a vertex retires its id —
+/// ids are never reused, so a `VertexId` remains a stable handle across
+/// topology updates, exactly what a long-lived hub labeling needs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The maximum representable id.
+    pub const MAX: VertexId = VertexId(u32::MAX);
+
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        VertexId(u32::try_from(i).expect("vertex index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn ordering_is_by_id() {
+        assert!(VertexId(1) < VertexId(2));
+        assert_eq!(VertexId(7), VertexId(7));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", VertexId(3)), "v3");
+        assert_eq!(format!("{}", VertexId(3)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex index exceeds u32 range")]
+    fn from_index_overflow_panics() {
+        let _ = VertexId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Graph statistics — backing for the paper's Table 3 and the dataset
+//! registry's sanity reports.
+
+use crate::{UndirectedGraph, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Connected-component decomposition result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `component[v]` is the component index of vertex `v` (undefined for
+    /// deleted vertices).
+    pub component: Vec<u32>,
+    /// Number of components among alive vertices.
+    pub num_components: usize,
+    /// Size of the largest component.
+    pub largest: usize,
+}
+
+/// Computes connected components over alive vertices with iterative BFS.
+pub fn connected_components(g: &UndirectedGraph) -> Components {
+    let cap = g.capacity();
+    let mut component = vec![u32::MAX; cap];
+    let mut num = 0u32;
+    let mut largest = 0usize;
+    let mut queue = VecDeque::new();
+    for s in g.vertices() {
+        if component[s.index()] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        component[s.index()] = num;
+        queue.push_back(s.0);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &w in g.neighbors(VertexId(v)) {
+                if component[w as usize] == u32::MAX {
+                    component[w as usize] = num;
+                    queue.push_back(w);
+                }
+            }
+        }
+        largest = largest.max(size);
+        num += 1;
+    }
+    Components {
+        component,
+        num_components: num as usize,
+        largest,
+    }
+}
+
+/// Whether `s` and `t` are connected.
+pub fn connected(g: &UndirectedGraph, s: VertexId, t: VertexId) -> bool {
+    if s == t {
+        return true;
+    }
+    let comps = connected_components(g);
+    comps.component[s.index()] == comps.component[t.index()]
+}
+
+/// Summary statistics in the shape of the paper's Table 3, extended with
+/// degree and connectivity diagnostics.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices (paper's `n`).
+    pub n: usize,
+    /// Number of edges (paper's `m`).
+    pub m: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree `2m / n`.
+    pub avg_degree: f64,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn of(g: &UndirectedGraph) -> Self {
+        let comps = connected_components(g);
+        let n = g.num_vertices();
+        GraphStats {
+            n,
+            m: g.num_edges(),
+            max_degree: g.max_degree(),
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * g.num_edges() as f64 / n as f64
+            },
+            num_components: comps.num_components,
+            largest_component: comps.largest,
+        }
+    }
+}
+
+/// Exact eccentricity-based diameter of the largest component — exponential
+/// in nothing but still `O(n·m)`; intended for the small graphs used in
+/// tests and examples.
+pub fn diameter(g: &UndirectedGraph) -> u32 {
+    let mut best = 0u32;
+    let mut dist = vec![u32::MAX; g.capacity()];
+    let mut queue = VecDeque::new();
+    for s in g.vertices() {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        dist[s.index()] = 0;
+        queue.clear();
+        queue.push_back(s.0);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(VertexId(v)) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    best = best.max(dist[w as usize]);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::*;
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = path_graph(6);
+        g.delete_edge(VertexId(2), VertexId(3)).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 2);
+        assert_eq!(c.largest, 3);
+        assert!(connected(&g, VertexId(0), VertexId(2)));
+        assert!(!connected(&g, VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn components_skip_deleted_vertices() {
+        let mut g = path_graph(5);
+        g.delete_vertex(VertexId(2)).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 2);
+    }
+
+    #[test]
+    fn stats_shape() {
+        let g = star_graph(5);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.avg_degree - 1.6).abs() < 1e-9);
+        assert_eq!(s.num_components, 1);
+        assert_eq!(s.largest_component, 5);
+    }
+
+    #[test]
+    fn diameter_of_classics() {
+        assert_eq!(diameter(&path_graph(7)), 6);
+        assert_eq!(diameter(&cycle_graph(8)), 4);
+        assert_eq!(diameter(&complete_graph(5)), 1);
+        assert_eq!(diameter(&grid_graph(3, 4)), 5);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = UndirectedGraph::new();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(diameter(&g), 0);
+    }
+}

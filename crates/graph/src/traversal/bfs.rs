@@ -1,0 +1,260 @@
+//! Counting breadth-first search — the paper's §1 baseline and the
+//! ground-truth oracle.
+//!
+//! During the BFS rooted at `s`, `D[v]` tracks the shortest distance and
+//! `C[v]` the number of shortest paths: discovering `w` through `v` sets
+//! `D[w] = D[v] + 1, C[w] = C[v]`; re-reaching `w` at the same level adds
+//! `C[w] += C[v]`.
+//!
+//! The workspace is reusable: arrays are allocated once and reset lazily via
+//! a touched list, so repeated queries on a large graph cost `O(visited)`,
+//! not `O(n)` — the same engineering the paper's C++ baselines use.
+
+use super::INF;
+use crate::{UndirectedGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Reusable counting-BFS workspace.
+#[derive(Clone, Debug)]
+pub struct BfsCounter {
+    dist: Vec<u32>,
+    count: Vec<u64>,
+    queue: VecDeque<u32>,
+    touched: Vec<u32>,
+}
+
+impl BfsCounter {
+    /// Creates a workspace for graphs with id space `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BfsCounter {
+            dist: vec![INF; capacity],
+            count: vec![0; capacity],
+            queue: VecDeque::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grows the workspace if the graph gained vertices since construction.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.dist.len() < capacity {
+            self.dist.resize(capacity, INF);
+            self.count.resize(capacity, 0);
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF;
+            self.count[v as usize] = 0;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Point-to-point query: returns `(sd(s, t), spc(s, t))`, or `None` if
+    /// `t` is unreachable from `s`. `(0, 1)` when `s == t`.
+    pub fn count(&mut self, g: &UndirectedGraph, s: VertexId, t: VertexId) -> Option<(u32, u64)> {
+        self.ensure_capacity(g.capacity());
+        self.reset();
+        if s == t {
+            return Some((0, 1));
+        }
+        self.dist[s.index()] = 0;
+        self.count[s.index()] = 1;
+        self.touched.push(s.0);
+        self.queue.push_back(s.0);
+        let mut found: Option<u32> = None;
+        while let Some(v) = self.queue.pop_front() {
+            let dv = self.dist[v as usize];
+            if let Some(ft) = found {
+                // Every vertex at distance ft-1 has been expanded once we
+                // dequeue anything at distance >= ft, so C[t] is final.
+                if dv >= ft {
+                    break;
+                }
+            }
+            let cv = self.count[v as usize];
+            for &w in g.neighbors(VertexId(v)) {
+                let dw = self.dist[w as usize];
+                if dw == INF {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.queue.push_back(w);
+                    if w == t.0 {
+                        found = Some(dv + 1);
+                    }
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+        found.map(|d| (d, self.count[t.index()]))
+    }
+
+    /// Single-source sweep: fills internal arrays with `sd(s, ·)` and
+    /// `spc(s, ·)` for every reachable vertex and returns views.
+    ///
+    /// Unreachable vertices read `(INF, 0)`.
+    pub fn sssp(&mut self, g: &UndirectedGraph, s: VertexId) -> (&[u32], &[u64]) {
+        self.sssp_restricted(g, s, |_| true)
+    }
+
+    /// Single-source sweep restricted to vertices accepted by `allow`
+    /// (the source is always allowed).
+    ///
+    /// The DSPC verification oracle uses this with `allow = rank(w) below
+    /// rank(h)` to compute the paper's `spc(ĥ, ·)` — shortest-path counts
+    /// over paths on which `h` is the highest-ranked vertex.
+    pub fn sssp_restricted<F: Fn(u32) -> bool>(
+        &mut self,
+        g: &UndirectedGraph,
+        s: VertexId,
+        allow: F,
+    ) -> (&[u32], &[u64]) {
+        self.ensure_capacity(g.capacity());
+        self.reset();
+        self.dist[s.index()] = 0;
+        self.count[s.index()] = 1;
+        self.touched.push(s.0);
+        self.queue.push_back(s.0);
+        while let Some(v) = self.queue.pop_front() {
+            let dv = self.dist[v as usize];
+            let cv = self.count[v as usize];
+            for &w in g.neighbors(VertexId(v)) {
+                if !allow(w) {
+                    continue;
+                }
+                let dw = self.dist[w as usize];
+                if dw == INF {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.queue.push_back(w);
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+        (&self.dist, &self.count)
+    }
+
+    /// Distance-only view after a sweep (`INF` when unreached).
+    pub fn distances(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Count view after a sweep (0 when unreached).
+    pub fn counts(&self) -> &[u64] {
+        &self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::*;
+
+    #[test]
+    fn same_vertex() {
+        let g = path_graph(3);
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(1), VertexId(1)), Some((0, 1)));
+    }
+
+    #[test]
+    fn path_has_single_shortest_path() {
+        let g = path_graph(6);
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(5)), Some((5, 1)));
+    }
+
+    #[test]
+    fn even_cycle_has_two_paths_to_antipode() {
+        let g = cycle_graph(8);
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(4)), Some((4, 2)));
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(3)), Some((3, 1)));
+    }
+
+    #[test]
+    fn grid_counts_are_binomial() {
+        // 3x4 grid: corner-to-corner shortest paths = C(2+3, 2) = 10.
+        let g = grid_graph(3, 4);
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(11)), Some((5, 10)));
+    }
+
+    #[test]
+    fn complete_graph_distance_one() {
+        let g = complete_graph(5);
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(4)), Some((1, 1)));
+        // Distance-2 pairs don't exist in K5.
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = UndirectedGraph::with_vertices(4);
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(3)), None);
+    }
+
+    #[test]
+    fn star_center_counts() {
+        let g = star_graph(6);
+        let mut bfs = BfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(1), VertexId(2)), Some((2, 1)));
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(3)), Some((1, 1)));
+    }
+
+    #[test]
+    fn sssp_matches_point_queries() {
+        let g = grid_graph(4, 4);
+        let mut bfs = BfsCounter::new(g.capacity());
+        let (dist, count) = {
+            let (d, c) = bfs.sssp(&g, VertexId(0));
+            (d.to_vec(), c.to_vec())
+        };
+        let mut bfs2 = BfsCounter::new(g.capacity());
+        for v in g.vertices() {
+            let got = bfs2.count(&g, VertexId(0), v);
+            if v == VertexId(0) {
+                assert_eq!(dist[0], 0);
+                assert_eq!(count[0], 1);
+            } else {
+                assert_eq!(got, Some((dist[v.index()], count[v.index()])));
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_sweep_blocks_paths() {
+        // Path 0-1-2 where vertex 1 is disallowed: 2 unreachable.
+        let g = path_graph(3);
+        let mut bfs = BfsCounter::new(g.capacity());
+        let (dist, _) = bfs.sssp_restricted(&g, VertexId(0), |w| w != 1);
+        assert_eq!(dist[2], INF);
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let g = cycle_graph(10);
+        let mut bfs = BfsCounter::new(g.capacity());
+        let a = bfs.count(&g, VertexId(0), VertexId(5));
+        let b = bfs.count(&g, VertexId(1), VertexId(6));
+        let a2 = bfs.count(&g, VertexId(0), VertexId(5));
+        assert_eq!(a, a2);
+        assert_eq!(a, Some((5, 2)));
+        assert_eq!(b, Some((5, 2)));
+    }
+
+    #[test]
+    fn ensure_capacity_growth() {
+        let mut g = path_graph(3);
+        let mut bfs = BfsCounter::new(g.capacity());
+        let v = g.add_vertex();
+        g.insert_edge(VertexId(2), v).unwrap();
+        assert_eq!(bfs.count(&g, VertexId(0), v), Some((3, 1)));
+    }
+}

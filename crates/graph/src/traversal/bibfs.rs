@@ -1,0 +1,252 @@
+//! Bidirectional counting BFS — the paper's query baseline (**BiBFS**,
+//! §4.1.2).
+//!
+//! Two BFS frontiers grow from `s` and `t`; at each step the side with the
+//! smaller frontier expands one level (the paper: "selects the side with the
+//! smaller queue size to continue each iteration"). Once the expanded depths
+//! `a + b` reach the best meeting distance μ no shorter path can exist, and
+//! the count is accumulated over a *single split level* — every shortest
+//! path of length μ crosses exactly one vertex at distance `ℓ` from `s`
+//! (with `ℓ ≤ a` and `μ - ℓ ≤ b`), so
+//! `spc(s, t) = Σ_{w : d_s(w) = ℓ, d_t(w) = μ-ℓ} c_s(w) · c_t(w)`
+//! counts each path exactly once.
+
+use super::INF;
+use crate::{UndirectedGraph, VertexId};
+
+/// One directional half of the bidirectional search.
+#[derive(Clone, Debug)]
+struct Side {
+    dist: Vec<u32>,
+    count: Vec<u64>,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+    touched: Vec<u32>,
+    /// Levels fully expanded: every vertex at distance <= depth has final
+    /// distance and count.
+    depth: u32,
+}
+
+impl Side {
+    fn new(capacity: usize) -> Self {
+        Side {
+            dist: vec![INF; capacity],
+            count: vec![0; capacity],
+            frontier: Vec::new(),
+            next: Vec::new(),
+            touched: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    fn ensure_capacity(&mut self, capacity: usize) {
+        if self.dist.len() < capacity {
+            self.dist.resize(capacity, INF);
+            self.count.resize(capacity, 0);
+        }
+    }
+
+    fn reset(&mut self, root: u32) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF;
+            self.count[v as usize] = 0;
+        }
+        self.touched.clear();
+        self.frontier.clear();
+        self.next.clear();
+        self.depth = 0;
+        self.dist[root as usize] = 0;
+        self.count[root as usize] = 1;
+        self.touched.push(root);
+        self.frontier.push(root);
+    }
+
+    /// Expands one level; afterwards `depth` increases by one. Returns the
+    /// best (smallest) `dist_here + dist_other` seen among vertices newly
+    /// discovered or re-relaxed that are also labeled by the other side.
+    fn expand(&mut self, g: &UndirectedGraph, other: &Side) -> u32 {
+        let mut best = INF;
+        self.next.clear();
+        for &v in &self.frontier {
+            let dv = self.dist[v as usize];
+            let cv = self.count[v as usize];
+            for &w in g.neighbors(VertexId(v)) {
+                let dw = self.dist[w as usize];
+                if dw == INF {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.next.push(w);
+                    let od = other.dist[w as usize];
+                    if od != INF {
+                        best = best.min(dv + 1 + od);
+                    }
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+        std::mem::swap(&mut self.frontier, &mut self.next);
+        self.depth += 1;
+        best
+    }
+}
+
+/// Reusable bidirectional-BFS workspace.
+#[derive(Clone, Debug)]
+pub struct BiBfsCounter {
+    fwd: Side,
+    bwd: Side,
+}
+
+impl BiBfsCounter {
+    /// Creates a workspace for graphs with id space `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BiBfsCounter {
+            fwd: Side::new(capacity),
+            bwd: Side::new(capacity),
+        }
+    }
+
+    /// Returns `(sd(s, t), spc(s, t))`, or `None` if disconnected.
+    pub fn count(&mut self, g: &UndirectedGraph, s: VertexId, t: VertexId) -> Option<(u32, u64)> {
+        self.fwd.ensure_capacity(g.capacity());
+        self.bwd.ensure_capacity(g.capacity());
+        if s == t {
+            return Some((0, 1));
+        }
+        self.fwd.reset(s.0);
+        self.bwd.reset(t.0);
+        let mut mu = INF;
+        loop {
+            if self.fwd.frontier.is_empty() && self.bwd.frontier.is_empty() {
+                break;
+            }
+            // Once a+b >= mu, no undiscovered meeting can improve on mu.
+            if mu != INF && self.fwd.depth + self.bwd.depth >= mu {
+                break;
+            }
+            // Expand the smaller frontier (ties go forward); an empty side
+            // can no longer improve anything, expand the other.
+            let fwd_turn = if self.fwd.frontier.is_empty() {
+                false
+            } else if self.bwd.frontier.is_empty() {
+                true
+            } else {
+                self.fwd.frontier.len() <= self.bwd.frontier.len()
+            };
+            let best = if fwd_turn {
+                self.fwd.expand(g, &self.bwd)
+            } else {
+                self.bwd.expand(g, &self.fwd)
+            };
+            mu = mu.min(best);
+        }
+        if mu == INF {
+            return None;
+        }
+        // Pick a split level l with l <= depth_s and mu - l <= depth_t so
+        // both sides' counts at the split are complete.
+        let l = mu.saturating_sub(self.bwd.depth).min(self.fwd.depth);
+        debug_assert!(mu - l <= self.bwd.depth);
+        let mut total: u64 = 0;
+        // Iterate the smaller touched set.
+        let (a, b, la, lb) = if self.fwd.touched.len() <= self.bwd.touched.len() {
+            (&self.fwd, &self.bwd, l, mu - l)
+        } else {
+            (&self.bwd, &self.fwd, mu - l, l)
+        };
+        for &w in &a.touched {
+            if a.dist[w as usize] == la && b.dist[w as usize] == lb {
+                total = total.saturating_add(
+                    a.count[w as usize].saturating_mul(b.count[w as usize]),
+                );
+            }
+        }
+        Some((mu, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::*;
+    use crate::generators::random::*;
+    use crate::traversal::bfs::BfsCounter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn trivial_cases() {
+        let g = path_graph(4);
+        let mut bi = BiBfsCounter::new(g.capacity());
+        assert_eq!(bi.count(&g, VertexId(2), VertexId(2)), Some((0, 1)));
+        assert_eq!(bi.count(&g, VertexId(0), VertexId(1)), Some((1, 1)));
+        assert_eq!(bi.count(&g, VertexId(0), VertexId(3)), Some((3, 1)));
+    }
+
+    #[test]
+    fn disconnected() {
+        let g = UndirectedGraph::with_vertices(5);
+        let mut bi = BiBfsCounter::new(g.capacity());
+        assert_eq!(bi.count(&g, VertexId(0), VertexId(4)), None);
+    }
+
+    #[test]
+    fn grid_corner_to_corner() {
+        let g = grid_graph(4, 4);
+        let mut bi = BiBfsCounter::new(g.capacity());
+        // C(6,3) = 20 monotone lattice paths.
+        assert_eq!(bi.count(&g, VertexId(0), VertexId(15)), Some((6, 20)));
+    }
+
+    #[test]
+    fn even_cycle_antipode() {
+        let g = cycle_graph(10);
+        let mut bi = BiBfsCounter::new(g.capacity());
+        assert_eq!(bi.count(&g, VertexId(0), VertexId(5)), Some((5, 2)));
+    }
+
+    #[test]
+    fn matches_unidirectional_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let g = erdos_renyi_gnm(60, 120, &mut rng);
+            let mut bfs = BfsCounter::new(g.capacity());
+            let mut bi = BiBfsCounter::new(g.capacity());
+            for _ in 0..50 {
+                let s = VertexId(rng.gen_range(0..60));
+                let t = VertexId(rng.gen_range(0..60));
+                assert_eq!(
+                    bi.count(&g, s, t),
+                    bfs.count(&g, s, t),
+                    "trial {trial}, {s:?}→{t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_unidirectional_on_scale_free() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = barabasi_albert(150, 2, &mut rng);
+        let mut bfs = BfsCounter::new(g.capacity());
+        let mut bi = BiBfsCounter::new(g.capacity());
+        for _ in 0..200 {
+            let s = VertexId(rng.gen_range(0..150));
+            let t = VertexId(rng.gen_range(0..150));
+            assert_eq!(bi.count(&g, s, t), bfs.count(&g, s, t));
+        }
+    }
+
+    #[test]
+    fn workspace_reuse() {
+        let g = grid_graph(3, 3);
+        let mut bi = BiBfsCounter::new(g.capacity());
+        let first = bi.count(&g, VertexId(0), VertexId(8));
+        for _ in 0..5 {
+            assert_eq!(bi.count(&g, VertexId(0), VertexId(8)), first);
+        }
+        assert_eq!(first, Some((4, 6)));
+    }
+}

@@ -1,0 +1,154 @@
+//! Counting BFS over directed graphs — oracle and baseline for the
+//! Appendix C.1 extension.
+
+use super::INF;
+use crate::{DirectedGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Direction of a sweep over a [`DirectedGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow arcs `v → w` (distances *from* the source).
+    Forward,
+    /// Follow arcs `w → v` backwards (distances *to* the source).
+    Backward,
+}
+
+/// Reusable counting-BFS workspace for directed graphs.
+#[derive(Clone, Debug)]
+pub struct DirectedBfsCounter {
+    dist: Vec<u32>,
+    count: Vec<u64>,
+    queue: VecDeque<u32>,
+    touched: Vec<u32>,
+}
+
+impl DirectedBfsCounter {
+    /// Creates a workspace for graphs with id space `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        DirectedBfsCounter {
+            dist: vec![INF; capacity],
+            count: vec![0; capacity],
+            queue: VecDeque::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grows the workspace if needed.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.dist.len() < capacity {
+            self.dist.resize(capacity, INF);
+            self.count.resize(capacity, 0);
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF;
+            self.count[v as usize] = 0;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Point query: `(sd(s → t), spc(s → t))`, `None` if `t` is not
+    /// reachable from `s`.
+    pub fn count(&mut self, g: &DirectedGraph, s: VertexId, t: VertexId) -> Option<(u32, u64)> {
+        if s == t {
+            return Some((0, 1));
+        }
+        let (dist, count) = self.sweep(g, s, Direction::Forward, |_| true);
+        if dist[t.index()] == INF {
+            None
+        } else {
+            Some((dist[t.index()], count[t.index()]))
+        }
+    }
+
+    /// Full sweep from `s` in `dir`, restricted to vertices accepted by
+    /// `allow` (source always allowed). Returns `(distances, counts)`.
+    pub fn sweep<F: Fn(u32) -> bool>(
+        &mut self,
+        g: &DirectedGraph,
+        s: VertexId,
+        dir: Direction,
+        allow: F,
+    ) -> (&[u32], &[u64]) {
+        self.ensure_capacity(g.capacity());
+        self.reset();
+        self.dist[s.index()] = 0;
+        self.count[s.index()] = 1;
+        self.touched.push(s.0);
+        self.queue.push_back(s.0);
+        while let Some(v) = self.queue.pop_front() {
+            let dv = self.dist[v as usize];
+            let cv = self.count[v as usize];
+            let neighbors = match dir {
+                Direction::Forward => g.out_neighbors(VertexId(v)),
+                Direction::Backward => g.in_neighbors(VertexId(v)),
+            };
+            for &w in neighbors {
+                if !allow(w) {
+                    continue;
+                }
+                let dw = self.dist[w as usize];
+                if dw == INF {
+                    self.dist[w as usize] = dv + 1;
+                    self.count[w as usize] = cv;
+                    self.touched.push(w);
+                    self.queue.push_back(w);
+                } else if dw == dv + 1 {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+        (&self.dist, &self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_diamond() {
+        // 0→1→3, 0→2→3: two shortest 0→3 paths; none backwards.
+        let g = DirectedGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut bfs = DirectedBfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(3)), Some((2, 2)));
+        assert_eq!(bfs.count(&g, VertexId(3), VertexId(0)), None);
+    }
+
+    #[test]
+    fn backward_sweep_counts_into_source() {
+        let g = DirectedGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut bfs = DirectedBfsCounter::new(g.capacity());
+        let (dist, count) = bfs.sweep(&g, VertexId(3), Direction::Backward, |_| true);
+        assert_eq!(dist[0], 2);
+        assert_eq!(count[0], 2);
+        assert_eq!(dist[1], 1);
+    }
+
+    #[test]
+    fn cycle_distances_are_directional() {
+        let g = DirectedGraph::from_arcs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut bfs = DirectedBfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(0), VertexId(3)), Some((3, 1)));
+        assert_eq!(bfs.count(&g, VertexId(3), VertexId(0)), Some((1, 1)));
+    }
+
+    #[test]
+    fn restricted_sweep() {
+        let g = DirectedGraph::from_arcs(3, &[(0, 1), (1, 2)]);
+        let mut bfs = DirectedBfsCounter::new(g.capacity());
+        let (dist, _) = bfs.sweep(&g, VertexId(0), Direction::Forward, |w| w != 1);
+        assert_eq!(dist[2], INF);
+    }
+
+    #[test]
+    fn self_query() {
+        let g = DirectedGraph::with_vertices(2);
+        let mut bfs = DirectedBfsCounter::new(g.capacity());
+        assert_eq!(bfs.count(&g, VertexId(1), VertexId(1)), Some((0, 1)));
+    }
+}

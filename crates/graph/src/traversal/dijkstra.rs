@@ -1,0 +1,191 @@
+//! Dijkstra-based shortest-path counting for weighted graphs — the oracle
+//! and online baseline for the Appendix C.2 extension.
+//!
+//! Identical in spirit to the counting BFS: settle vertices in distance
+//! order; a relaxation that *improves* a tentative distance overwrites the
+//! count, one that *ties* accumulates it. Integer weights keep tie
+//! comparisons exact.
+
+use crate::weighted::{WDist, WeightedGraph, WDIST_INF};
+use crate::VertexId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable counting-Dijkstra workspace.
+#[derive(Clone, Debug)]
+pub struct DijkstraCounter {
+    dist: Vec<WDist>,
+    count: Vec<u64>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<Reverse<(WDist, u32)>>,
+    touched: Vec<u32>,
+}
+
+impl DijkstraCounter {
+    /// Creates a workspace for graphs with id space `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        DijkstraCounter {
+            dist: vec![WDIST_INF; capacity],
+            count: vec![0; capacity],
+            settled: vec![false; capacity],
+            heap: BinaryHeap::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grows the workspace if needed.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.dist.len() < capacity {
+            self.dist.resize(capacity, WDIST_INF);
+            self.count.resize(capacity, 0);
+            self.settled.resize(capacity, false);
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = WDIST_INF;
+            self.count[v as usize] = 0;
+            self.settled[v as usize] = false;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+
+    /// Point query: `(weighted sd(s,t), spc(s,t))`, `None` if disconnected.
+    pub fn count(&mut self, g: &WeightedGraph, s: VertexId, t: VertexId) -> Option<(WDist, u64)> {
+        let (dist, count) = self.sssp_until(g, s, Some(t));
+        if dist[t.index()] == WDIST_INF {
+            None
+        } else {
+            Some((dist[t.index()], count[t.index()]))
+        }
+    }
+
+    /// Full single-source sweep; returns `(distances, counts)` views.
+    pub fn sssp(&mut self, g: &WeightedGraph, s: VertexId) -> (&[WDist], &[u64]) {
+        self.sssp_until(g, s, None)
+    }
+
+    fn sssp_until(
+        &mut self,
+        g: &WeightedGraph,
+        s: VertexId,
+        stop_at: Option<VertexId>,
+    ) -> (&[WDist], &[u64]) {
+        self.ensure_capacity(g.capacity());
+        self.reset();
+        self.dist[s.index()] = 0;
+        self.count[s.index()] = 1;
+        self.touched.push(s.0);
+        self.heap.push(Reverse((0, s.0)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if self.settled[v as usize] {
+                continue;
+            }
+            self.settled[v as usize] = true;
+            // A settled vertex has final distance AND final count: every
+            // tying predecessor has strictly smaller distance (positive
+            // weights) and was settled earlier.
+            if stop_at == Some(VertexId(v)) {
+                break;
+            }
+            let cv = self.count[v as usize];
+            for &(w, wt) in g.neighbors(VertexId(v)) {
+                let nd = d + wt as WDist;
+                let dw = self.dist[w as usize];
+                if nd < dw {
+                    if dw == WDIST_INF {
+                        self.touched.push(w);
+                    }
+                    self.dist[w as usize] = nd;
+                    self.count[w as usize] = cv;
+                    self.heap.push(Reverse((nd, w)));
+                } else if nd == dw {
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                }
+            }
+        }
+        (&self.dist, &self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::{erdos_renyi_gnm, random_weights};
+    use crate::traversal::bfs::BfsCounter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn simple_weighted_counts() {
+        // Diamond: 0-1 (1), 0-2 (1), 1-3 (1), 2-3 (1), plus direct 0-3 (2).
+        let g = WeightedGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1), (0, 3, 2)],
+        );
+        let mut dj = DijkstraCounter::new(g.capacity());
+        assert_eq!(dj.count(&g, VertexId(0), VertexId(3)), Some((2, 3)));
+    }
+
+    #[test]
+    fn same_vertex_and_disconnected() {
+        let g = WeightedGraph::with_vertices(3);
+        let mut dj = DijkstraCounter::new(g.capacity());
+        assert_eq!(dj.count(&g, VertexId(1), VertexId(1)), Some((0, 1)));
+        assert_eq!(dj.count(&g, VertexId(0), VertexId(2)), None);
+    }
+
+    #[test]
+    fn weight_changes_alter_counts() {
+        let mut g =
+            WeightedGraph::from_weighted_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 2)]);
+        let mut dj = DijkstraCounter::new(g.capacity());
+        assert_eq!(dj.count(&g, VertexId(0), VertexId(2)), Some((2, 2)));
+        g.set_weight(VertexId(0), VertexId(2), 1).unwrap();
+        assert_eq!(dj.count(&g, VertexId(0), VertexId(2)), Some((1, 1)));
+        g.set_weight(VertexId(0), VertexId(2), 5).unwrap();
+        assert_eq!(dj.count(&g, VertexId(0), VertexId(2)), Some((2, 1)));
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = erdos_renyi_gnm(80, 200, &mut rng);
+        let wg = random_weights(&base, 1, &mut rng); // all weights 1
+        let mut dj = DijkstraCounter::new(wg.capacity());
+        let mut bfs = BfsCounter::new(base.capacity());
+        for _ in 0..100 {
+            let s = VertexId(rng.gen_range(0..80));
+            let t = VertexId(rng.gen_range(0..80));
+            let expect = bfs.count(&base, s, t).map(|(d, c)| (d as WDist, c));
+            assert_eq!(dj.count(&wg, s, t), expect);
+        }
+    }
+
+    #[test]
+    fn sssp_settles_all_reachable() {
+        let g = WeightedGraph::from_weighted_edges(
+            5,
+            &[(0, 1, 2), (1, 2, 2), (0, 2, 4), (2, 3, 1)],
+        );
+        let mut dj = DijkstraCounter::new(g.capacity());
+        let (dist, count) = dj.sssp(&g, VertexId(0));
+        assert_eq!(dist[2], 4);
+        assert_eq!(count[2], 2); // via 1 and direct
+        assert_eq!(dist[3], 5);
+        assert_eq!(count[3], 2);
+        assert_eq!(dist[4], WDIST_INF);
+        assert_eq!(count[4], 0);
+    }
+
+    #[test]
+    fn workspace_reuse() {
+        let g = WeightedGraph::from_weighted_edges(3, &[(0, 1, 3), (1, 2, 4)]);
+        let mut dj = DijkstraCounter::new(g.capacity());
+        for _ in 0..3 {
+            assert_eq!(dj.count(&g, VertexId(0), VertexId(2)), Some((7, 1)));
+        }
+    }
+}

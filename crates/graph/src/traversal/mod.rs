@@ -1,0 +1,14 @@
+//! Online shortest-path-counting algorithms — the paper's baselines.
+//!
+//! * [`bfs`] — the textbook counting BFS from §1 of the paper, also the
+//!   ground-truth oracle for every test in this repository,
+//! * [`bibfs`] — bidirectional BFS, the query baseline of §4.1.2,
+//! * [`dijkstra`] — Dijkstra counting for the weighted extension.
+
+pub mod bfs;
+pub mod bibfs;
+pub mod dbfs;
+pub mod dijkstra;
+
+/// Distance sentinel meaning "unreached".
+pub const INF: u32 = u32::MAX;

@@ -1,0 +1,419 @@
+//! The paper's primary substrate: an undirected, unweighted, *simple*
+//! dynamic graph.
+//!
+//! Design notes:
+//!
+//! * Adjacency lists are kept **sorted by vertex id**, so `has_edge` is a
+//!   binary search and neighbor iteration is deterministic — determinism
+//!   matters because the DSPC update algorithms are compared against full
+//!   reconstruction and both must see identical graphs.
+//! * Deleting a vertex retires its id rather than renumbering: the SPC-Index
+//!   stores per-vertex label sets indexed by id, so ids must be stable under
+//!   deletion (the paper models vertex deletion as deleting all incident
+//!   edges, §3).
+//! * Parallel edges and self loops are rejected: shortest path counting is
+//!   defined on simple graphs (§2.1).
+
+use crate::{GraphError, Result, VertexId};
+
+/// An undirected, unweighted dynamic graph with stable vertex ids.
+#[derive(Clone, Debug, Default)]
+pub struct UndirectedGraph {
+    /// `adj[v]` is the sorted list of neighbors of `v`.
+    adj: Vec<Vec<u32>>,
+    /// `alive[v]` is false once `v` has been deleted.
+    alive: Vec<bool>,
+    /// Number of alive vertices.
+    n_alive: usize,
+    /// Number of edges.
+    m: usize,
+}
+
+impl UndirectedGraph {
+    /// Creates an empty graph with no vertices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` isolated vertices, ids `0..n`.
+    pub fn with_vertices(n: usize) -> Self {
+        UndirectedGraph {
+            adj: vec![Vec::new(); n],
+            alive: vec![true; n],
+            n_alive: n,
+            m: 0,
+        }
+    }
+
+    /// Bulk-builds a graph from an edge list over vertices `0..n`.
+    ///
+    /// Duplicate edges and self loops are silently dropped, mirroring the
+    /// paper's preprocessing of the SNAP datasets (directed inputs are
+    /// symmetrized, multi-edges collapsed).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            let (ui, vi) = (u as usize, v as usize);
+            assert!(ui < n && vi < n, "edge endpoint out of range");
+            adj[ui].push(v);
+            adj[vi].push(u);
+        }
+        let mut m = 0;
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            m += list.len();
+        }
+        debug_assert!(m % 2 == 0);
+        UndirectedGraph {
+            adj,
+            alive: vec![true; n],
+            n_alive: n,
+            m: m / 2,
+        }
+    }
+
+    /// Total id space (`0..capacity()`), including deleted vertices.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of alive vertices (the paper's `n`).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Number of edges (the paper's `m`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Whether `v` is a valid, alive vertex.
+    #[inline]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.alive.len() && self.alive[v.index()]
+    }
+
+    /// Adds a fresh isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = VertexId::from_index(self.adj.len());
+        self.adj.push(Vec::new());
+        self.alive.push(true);
+        self.n_alive += 1;
+        id
+    }
+
+    /// Degree of `v` (the paper's `deg(v)`).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Sorted neighbor slice of `v` (the paper's `nbr(v)`).
+    ///
+    /// This is the hot accessor used by every BFS in the reproduction, so it
+    /// returns the raw `u32` slice without wrapping.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[u32] {
+        &self.adj[v.index()]
+    }
+
+    /// Whether edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u.index() >= self.adj.len() || v.index() >= self.adj.len() {
+            return false;
+        }
+        self.adj[u.index()].binary_search(&v.0).is_ok()
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<()> {
+        if self.contains_vertex(v) {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownVertex(v))
+        }
+    }
+
+    /// Inserts edge `(u, v)`.
+    ///
+    /// Rejects self loops, unknown endpoints, and duplicates.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let pos_u = match self.adj[u.index()].binary_search(&v.0) {
+            Ok(_) => return Err(GraphError::DuplicateEdge(u, v)),
+            Err(p) => p,
+        };
+        self.adj[u.index()].insert(pos_u, v.0);
+        let pos_v = self.adj[v.index()]
+            .binary_search(&u.0)
+            .expect_err("adjacency symmetry violated");
+        self.adj[v.index()].insert(pos_v, u.0);
+        self.m += 1;
+        Ok(())
+    }
+
+    /// Deletes edge `(u, v)`.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let pos_u = self.adj[u.index()]
+            .binary_search(&v.0)
+            .map_err(|_| GraphError::MissingEdge(u, v))?;
+        self.adj[u.index()].remove(pos_u);
+        let pos_v = self.adj[v.index()]
+            .binary_search(&u.0)
+            .expect("adjacency symmetry violated");
+        self.adj[v.index()].remove(pos_v);
+        self.m -= 1;
+        Ok(())
+    }
+
+    /// Deletes vertex `v`, removing its incident edges.
+    ///
+    /// Returns the former neighbors — the paper treats vertex deletion as a
+    /// sequence of edge deletions (§3), and callers replay exactly this list
+    /// through `DecSPC`.
+    pub fn delete_vertex(&mut self, v: VertexId) -> Result<Vec<VertexId>> {
+        self.check_vertex(v)?;
+        let neighbors = std::mem::take(&mut self.adj[v.index()]);
+        for &u in &neighbors {
+            let pos = self.adj[u as usize]
+                .binary_search(&v.0)
+                .expect("adjacency symmetry violated");
+            self.adj[u as usize].remove(pos);
+        }
+        self.m -= neighbors.len();
+        self.alive[v.index()] = false;
+        self.n_alive -= 1;
+        Ok(neighbors.into_iter().map(VertexId).collect())
+    }
+
+    /// Iterates alive vertex ids in increasing order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| VertexId::from_index(i))
+    }
+
+    /// Iterates every edge once as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            let u32u = u as u32;
+            list.iter()
+                .take_while(move |&&v| v < u32u)
+                .map(move |&v| (VertexId(v), VertexId(u32u)))
+        })
+    }
+
+    /// Picks an arbitrary existing edge by dense index, useful for sampling
+    /// deletion workloads. `i` must be `< num_edges()`.
+    pub fn nth_edge(&self, i: usize) -> Option<(VertexId, VertexId)> {
+        self.edges().nth(i)
+    }
+
+    /// Maximum degree over alive vertices.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Sum of degrees (== 2m); sanity hook for tests.
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Debug-time structural validation: symmetry, sortedness, no self
+    /// loops, edge count consistency, no edges at dead vertices.
+    pub fn validate(&self) -> Result<()> {
+        let mut half_edges = 0usize;
+        for (u, list) in self.adj.iter().enumerate() {
+            if !self.alive[u] && !list.is_empty() {
+                return Err(GraphError::UnknownVertex(VertexId::from_index(u)));
+            }
+            let mut prev: Option<u32> = None;
+            for &v in list {
+                if v as usize == u {
+                    return Err(GraphError::SelfLoop(VertexId::from_index(u)));
+                }
+                if let Some(p) = prev {
+                    if p >= v {
+                        return Err(GraphError::Parse {
+                            line: 0,
+                            message: format!("adjacency of v{u} not strictly sorted"),
+                        });
+                    }
+                }
+                prev = Some(v);
+                if self.adj[v as usize].binary_search(&(u as u32)).is_err() {
+                    return Err(GraphError::MissingEdge(VertexId::from_index(u), VertexId(v)));
+                }
+                half_edges += 1;
+            }
+        }
+        if half_edges != 2 * self.m {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!("edge count mismatch: {} half-edges, m={}", half_edges, self.m),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> UndirectedGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        UndirectedGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraph::new();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.capacity(), 0);
+        assert_eq!(g.vertices().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_and_query_edges() {
+        let mut g = UndirectedGraph::with_vertices(4);
+        g.insert_edge(VertexId(0), VertexId(1)).unwrap();
+        g.insert_edge(VertexId(2), VertexId(1)).unwrap();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert!(g.has_edge(VertexId(1), VertexId(2)));
+        assert!(!g.has_edge(VertexId(0), VertexId(2)));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(VertexId(1)), 2);
+        assert_eq!(g.neighbors(VertexId(1)), &[0, 2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = UndirectedGraph::with_vertices(2);
+        g.insert_edge(VertexId(0), VertexId(1)).unwrap();
+        assert!(matches!(
+            g.insert_edge(VertexId(1), VertexId(0)),
+            Err(GraphError::DuplicateEdge(_, _))
+        ));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = UndirectedGraph::with_vertices(1);
+        assert!(matches!(
+            g.insert_edge(VertexId(0), VertexId(0)),
+            Err(GraphError::SelfLoop(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_vertex_rejected() {
+        let mut g = UndirectedGraph::with_vertices(2);
+        assert!(matches!(
+            g.insert_edge(VertexId(0), VertexId(5)),
+            Err(GraphError::UnknownVertex(_))
+        ));
+    }
+
+    #[test]
+    fn delete_edge() {
+        let mut g = path(3);
+        g.delete_edge(VertexId(0), VertexId(1)).unwrap();
+        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        assert_eq!(g.num_edges(), 1);
+        assert!(matches!(
+            g.delete_edge(VertexId(0), VertexId(1)),
+            Err(GraphError::MissingEdge(_, _))
+        ));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_vertex_removes_incident_edges() {
+        let mut g = path(5);
+        let removed = g.delete_vertex(VertexId(2)).unwrap();
+        assert_eq!(removed, vec![VertexId(1), VertexId(3)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 4);
+        assert!(!g.contains_vertex(VertexId(2)));
+        assert!(matches!(
+            g.insert_edge(VertexId(2), VertexId(0)),
+            Err(GraphError::UnknownVertex(_))
+        ));
+        assert_eq!(g.vertices().count(), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn add_vertex_after_delete_gets_fresh_id() {
+        let mut g = path(3);
+        g.delete_vertex(VertexId(1)).unwrap();
+        let v = g.add_vertex();
+        assert_eq!(v, VertexId(3));
+        assert_eq!(g.num_vertices(), 3);
+        g.insert_edge(v, VertexId(0)).unwrap();
+        assert!(g.has_edge(VertexId(3), VertexId(0)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn from_edges_dedups_and_drops_loops() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 0), (1, 1), (1, 2), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(VertexId(1)), &[0, 2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in &edges {
+            assert!(u < v);
+        }
+        assert_eq!(g.degree_sum(), 8);
+    }
+
+    #[test]
+    fn nth_edge_matches_iterator() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.nth_edge(0), g.edges().next());
+        assert_eq!(g.nth_edge(2), g.edges().nth(2));
+        assert_eq!(g.nth_edge(3), None);
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn validate_catches_m_mismatch() {
+        let mut g = path(3);
+        g.m = 5;
+        assert!(g.validate().is_err());
+    }
+}

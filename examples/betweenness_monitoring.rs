@@ -1,0 +1,83 @@
+//! Group betweenness monitoring — the paper's second motivating
+//! application (§1, following Puzis et al.).
+//!
+//! An operator watches how central a set of gateway routers stays while
+//! the topology evolves. Every betweenness term `δ_st(C)/δ_st` needs
+//! shortest-path *counts*, not just distances — and with DSPC those counts
+//! survive topology churn without reindexing.
+//!
+//! Run with: `cargo run --release --example betweenness_monitoring`
+
+use dspc::{DynamicSpc, OrderingStrategy};
+use dspc_apps::betweenness::{group_betweenness, vertex_betweenness};
+use dspc_graph::generators::random::watts_strogatz;
+use dspc_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xBE73);
+    // A small-world network: ring of routers with shortcut links.
+    let graph = watts_strogatz(400, 3, 0.15, &mut rng);
+    println!(
+        "Router network: {} nodes, {} links",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let mut dspc = DynamicSpc::build(graph, OrderingStrategy::Degree);
+
+    // Pick the three most-connected routers as the monitored gateway group.
+    let mut by_degree: Vec<VertexId> = dspc.graph().vertices().collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(dspc.graph().degree(v)));
+    let gateways: Vec<VertexId> = by_degree[..3].to_vec();
+    println!(
+        "Monitored gateways: {:?} (degrees {:?})",
+        gateways,
+        gateways
+            .iter()
+            .map(|&v| dspc.graph().degree(v))
+            .collect::<Vec<_>>()
+    );
+
+    let initial = group_betweenness(&dspc, &gateways);
+    println!("Initial group betweenness B̈(C) = {initial:.1}\n");
+
+    // Simulate maintenance windows: links near the gateways go down and
+    // new redundant links come up; betweenness is re-read after each epoch.
+    for epoch in 1..=5 {
+        // Drop one gateway link (if any remain) …
+        let g0 = gateways[epoch % gateways.len()];
+        if let Some(&nb) = dspc.graph().neighbors(g0).first() {
+            dspc.delete_edge(g0, VertexId(nb)).unwrap();
+        }
+        // … and add two random redundant links elsewhere.
+        let n = dspc.graph().capacity() as u32;
+        for _ in 0..2 {
+            loop {
+                let a = VertexId(rng.gen_range(0..n));
+                let b = VertexId(rng.gen_range(0..n));
+                if a != b && !dspc.graph().has_edge(a, b) {
+                    dspc.insert_edge(a, b).unwrap();
+                    break;
+                }
+            }
+        }
+        let now = group_betweenness(&dspc, &gateways);
+        println!(
+            "epoch {epoch}: B̈(C) = {now:.1}  ({:+.1} vs initial)",
+            now - initial
+        );
+    }
+
+    // Single-vertex betweenness from pure index queries, cross-checked
+    // against the classic Brandes algorithm.
+    let v = gateways[0];
+    let via_index = vertex_betweenness(&dspc, v);
+    let via_brandes = dspc_apps::betweenness::brandes_betweenness(dspc.graph())[v.index()];
+    println!(
+        "\nBetweenness of {v}: index = {via_index:.3}, Brandes = {via_brandes:.3} (|Δ| = {:.1e})",
+        (via_index - via_brandes).abs()
+    );
+    assert!((via_index - via_brandes).abs() < 1e-6);
+    println!("Index-based betweenness matches Brandes. OK");
+}

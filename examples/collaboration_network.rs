@@ -1,0 +1,96 @@
+//! Collaboration-network analytics — the paper's Appendix A scenario.
+//!
+//! Authors are vertices, co-authorship is an edge. Distance is the
+//! Erdős-number analogue; the *number* of shortest collaboration chains
+//! distinguishes strongly from weakly connected peers. The weighted
+//! extension (Appendix C.2) models collaboration cost (1 / #joint papers,
+//! discretized), and weight *decreases* — new joint papers — are cheap
+//! incremental updates.
+//!
+//! Run with: `cargo run --release --example collaboration_network`
+
+use dspc::weighted::DynamicWeightedSpc;
+use dspc::{DynamicSpc, OrderingStrategy};
+use dspc_graph::generators::random::{barabasi_albert, random_weights};
+use dspc_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xC0AB);
+    let authors = 1200usize;
+    let coauth = barabasi_albert(authors, 2, &mut rng);
+    println!(
+        "Collaboration network: {} authors, {} co-authorships",
+        coauth.num_vertices(),
+        coauth.num_edges()
+    );
+
+    // ── Unweighted: Erdős-number analytics ────────────────────────────
+    let mut dspc = DynamicSpc::build(coauth.clone(), OrderingStrategy::Degree);
+    let erdos = VertexId(0); // the seed author: the network grew around them
+    let (a, b) = (VertexId(800), VertexId(801));
+    for author in [a, b] {
+        match dspc.query(erdos, author) {
+            Some((d, c)) => println!(
+                "  author {:<4} Erdős-number {d} via {c} distinct shortest chains",
+                author.0
+            ),
+            None => println!("  author {:<4} unconnected", author.0),
+        }
+    }
+
+    // A new cross-community paper appears: three authors join up.
+    println!("\nNew paper by authors 800, 801 and 3:");
+    for (x, y) in [(800u32, 801u32), (800, 3), (801, 3)] {
+        if !dspc.graph().has_edge(VertexId(x), VertexId(y)) {
+            let s = dspc.insert_edge(VertexId(x), VertexId(y)).unwrap();
+            println!(
+                "  +({x},{y}): {} label ops in the index",
+                s.renew_count + s.renew_dist + s.inserted
+            );
+        }
+    }
+    for author in [a, b] {
+        let (d, c) = dspc.query(erdos, author).unwrap();
+        println!(
+            "  author {:<4} Erdős-number now {d} via {c} chains",
+            author.0
+        );
+    }
+
+    // ── Weighted: collaboration strength ──────────────────────────────
+    // Weight = discretized collaboration cost in 1..=5 (1 = frequent
+    // co-authors). New papers lower the cost — incremental updates.
+    let weighted = random_weights(&coauth, 5, &mut rng);
+    let mut wdspc = DynamicWeightedSpc::build(weighted, OrderingStrategy::Degree);
+    let (s, t) = (VertexId(500), VertexId(900));
+    let before = wdspc.query(s, t);
+    println!("\nWeighted collaboration distance {s} → {t}: {before:?}");
+    // The pair's neighbourhoods publish together: drop some edge costs.
+    let lowered: Vec<(VertexId, VertexId, u32)> = wdspc
+        .graph()
+        .edges()
+        .filter(|&(u, _, w)| (u == s || u == t) && w > 1)
+        .take(3)
+        .map(|(u, v, _)| (u, v, 1))
+        .collect();
+    for (u, v, w) in lowered {
+        wdspc.set_weight(u, v, w).unwrap();
+        println!("  cost({u},{v}) lowered to {w}");
+    }
+    let after = wdspc.query(s, t);
+    println!("Weighted collaboration distance {s} → {t} now: {after:?}");
+    if let (Some((db, _)), Some((da, _))) = (before, after) {
+        assert!(da <= db, "costs only decreased");
+    }
+
+    dspc::verify::verify_sampled_pairs(
+        dspc.graph(),
+        dspc.index(),
+        1000,
+        &mut StdRng::seed_from_u64(2),
+    )
+    .unwrap();
+    println!("\nSampled verification against counting BFS: OK");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build an SPC-Index, query it, and keep it alive through
+//! edge insertions and deletions — the full DSPC loop on the paper's own
+//! example graph (Figure 2).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dspc::{DynamicSpc, OrderingStrategy};
+use dspc_graph::generators::paper::figure2_g;
+use dspc_graph::VertexId;
+
+fn show(dspc: &DynamicSpc, s: u32, t: u32) {
+    match dspc.query(VertexId(s), VertexId(t)) {
+        Some((d, c)) => println!("  SPC(v{s}, v{t}) = {c} shortest path(s) of length {d}"),
+        None => println!("  SPC(v{s}, v{t}) : disconnected"),
+    }
+}
+
+fn main() {
+    // 1. Build: HP-SPC over a degree-ranked order (the paper uses the
+    //    identity order for this graph; both answer identically).
+    let graph = figure2_g();
+    println!(
+        "Graph G from Figure 2: n={} m={}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let mut dspc = DynamicSpc::build(graph, OrderingStrategy::Identity);
+    let stats = dspc.index_stats();
+    println!(
+        "SPC-Index built: {} label entries, {} bytes packed, avg |L(v)| = {:.1}\n",
+        stats.entries, stats.packed_bytes, stats.avg_label_len
+    );
+
+    // 2. Query (Example 2.1 of the paper: two shortest v4–v6 paths).
+    println!("Initial queries:");
+    show(&dspc, 4, 6);
+    show(&dspc, 0, 9);
+
+    // 3. Insert edge (v3, v9) — the paper's Figure 3 walkthrough.
+    let s = dspc.insert_edge(VertexId(3), VertexId(9)).unwrap();
+    println!(
+        "\nIncSPC after inserting (v3, v9): {} renewC, {} renewD, {} inserted labels",
+        s.renew_count, s.renew_dist, s.inserted
+    );
+    show(&dspc, 0, 9); // distance drops 4 → 2
+
+    // 4. Delete edge (v1, v2) — the paper's Figure 6 walkthrough.
+    let s = dspc.delete_edge(VertexId(1), VertexId(2)).unwrap();
+    println!(
+        "\nDecSPC after deleting (v1, v2): {} renewC, {} renewD, {} inserted, {} removed",
+        s.renew_count, s.renew_dist, s.inserted, s.removed
+    );
+    show(&dspc, 1, 2); // rerouted through v5
+
+    // 5. Vertices come and go too.
+    let (v, _) = dspc
+        .add_vertex_connected(&[VertexId(6), VertexId(8)])
+        .unwrap();
+    println!("\nAdded vertex {v} connected to v6 and v8:");
+    show(&dspc, 6, 8);
+    dspc.delete_vertex(v).unwrap();
+    println!("…and removed it again:");
+    show(&dspc, 6, 8);
+
+    // 6. The index never lies: cross-check everything against BFS.
+    dspc::verify::verify_all_pairs(dspc.graph(), dspc.index()).unwrap();
+    println!("\nAll-pairs verification against counting BFS: OK");
+}

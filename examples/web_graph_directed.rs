@@ -1,0 +1,76 @@
+//! Directed web-graph maintenance — the Appendix C.1 extension in action.
+//!
+//! Hyperlinks are directed; `SPC(s → t)` counts shortest *click chains*
+//! from page `s` to page `t`. The directed SPC-Index (`L_in`/`L_out` per
+//! page) follows link additions and removals without reindexing.
+//!
+//! Run with: `cargo run --release --example web_graph_directed`
+
+use dspc::directed::DynamicDirectedSpc;
+use dspc::OrderingStrategy;
+use dspc_graph::generators::random::{barabasi_albert, random_orientation};
+use dspc_graph::traversal::dbfs::DirectedBfsCounter;
+use dspc_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x3EB);
+    // A scale-free site graph, each link oriented (20% reciprocal).
+    let base = barabasi_albert(1500, 3, &mut rng);
+    let web = random_orientation(&base, 0.2, &mut rng);
+    println!(
+        "Web graph: {} pages, {} hyperlinks",
+        web.num_vertices(),
+        web.num_arcs()
+    );
+    let mut site = DynamicDirectedSpc::build(web, OrderingStrategy::Degree);
+
+    let (home, deep) = (VertexId(0), VertexId(1234));
+    let report = |site: &DynamicDirectedSpc, label: &str| {
+        match site.query(home, deep) {
+            Some((d, c)) => println!("  {label}: {c} shortest click chain(s) of length {d}"),
+            None => println!("  {label}: unreachable"),
+        }
+    };
+    println!("\nNavigation home → page {}:", deep.0);
+    report(&site, "initial");
+
+    // The CMS publishes new cross-links…
+    let mut added = Vec::new();
+    for _ in 0..40 {
+        loop {
+            let a = VertexId(rng.gen_range(0..1500));
+            let b = VertexId(rng.gen_range(0..1500));
+            if a != b && !site.graph().has_arc(a, b) {
+                site.insert_arc(a, b).unwrap();
+                added.push((a, b));
+                break;
+            }
+        }
+    }
+    report(&site, "after 40 new links");
+
+    // …and a cleanup pass removes half of them again.
+    for &(a, b) in added.iter().take(20) {
+        site.delete_arc(a, b).unwrap();
+    }
+    report(&site, "after removing 20");
+
+    // Navigability is asymmetric — check the reverse direction too.
+    match site.query(deep, home) {
+        Some((d, c)) => println!("  reverse: {c} chain(s) of length {d}"),
+        None => println!("  reverse: page {} cannot reach home", deep.0),
+    }
+
+    // Verify the maintained directed index against directed BFS.
+    let mut bfs = DirectedBfsCounter::new(site.graph().capacity());
+    let mut checked = 0;
+    for _ in 0..2000 {
+        let s = VertexId(rng.gen_range(0..1500));
+        let t = VertexId(rng.gen_range(0..1500));
+        assert_eq!(site.query(s, t), bfs.count(site.graph(), s, t));
+        checked += 1;
+    }
+    println!("\nVerified {checked} random directed queries against BFS: OK");
+}

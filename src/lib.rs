@@ -1,0 +1,8 @@
+//! Workspace root helper crate: re-exports for examples and integration tests.
+//!
+//! See the member crates for the actual library surface:
+//! [`dspc`], [`dspc_graph`], [`dspc_apps`].
+pub use dspc;
+pub use dspc_apps;
+pub use dspc_graph;
+

@@ -1,0 +1,158 @@
+//! Integration tests for the Appendix C extensions: directed and weighted
+//! dynamic indexes driven through realistic cross-crate scenarios.
+
+use dspc::directed::DynamicDirectedSpc;
+use dspc::verify::{verify_directed_all_pairs, verify_weighted_all_pairs};
+use dspc::weighted::DynamicWeightedSpc;
+use dspc::OrderingStrategy;
+use dspc_graph::generators::random::{
+    barabasi_albert, erdos_renyi_gnm, random_orientation, random_weights,
+};
+use dspc_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn directed_web_graph_full_lifecycle() {
+    let mut rng = StdRng::seed_from_u64(0x2001);
+    let base = barabasi_albert(60, 2, &mut rng);
+    let web = random_orientation(&base, 0.3, &mut rng);
+    let mut site = DynamicDirectedSpc::build(web, OrderingStrategy::Degree);
+    verify_directed_all_pairs(site.graph(), site.index()).unwrap();
+
+    // Publish new links, retire others, add and remove a page.
+    for _ in 0..20 {
+        loop {
+            let a = VertexId(rng.gen_range(0..site.graph().capacity() as u32));
+            let b = VertexId(rng.gen_range(0..site.graph().capacity() as u32));
+            if a != b
+                && site.graph().contains_vertex(a)
+                && site.graph().contains_vertex(b)
+                && !site.graph().has_arc(a, b)
+            {
+                site.insert_arc(a, b).unwrap();
+                break;
+            }
+        }
+    }
+    for _ in 0..8 {
+        let arcs: Vec<_> = site.graph().arcs().collect();
+        let (a, b) = arcs[rng.gen_range(0..arcs.len())];
+        site.delete_arc(a, b).unwrap();
+    }
+    let page = site.add_vertex();
+    site.insert_arc(VertexId(0), page).unwrap();
+    site.insert_arc(page, VertexId(5)).unwrap();
+    verify_directed_all_pairs(site.graph(), site.index()).unwrap();
+    site.delete_vertex(page).unwrap();
+    verify_directed_all_pairs(site.graph(), site.index()).unwrap();
+    site.index().check_invariants().unwrap();
+}
+
+#[test]
+fn weighted_road_network_full_lifecycle() {
+    let mut rng = StdRng::seed_from_u64(0x2002);
+    let base = erdos_renyi_gnm(50, 120, &mut rng);
+    let roads = random_weights(&base, 9, &mut rng);
+    let mut net = DynamicWeightedSpc::build(roads, OrderingStrategy::Degree);
+    verify_weighted_all_pairs(net.graph(), net.index()).unwrap();
+
+    // Traffic updates: congestion (weight up), clearing (weight down),
+    // closures (delete), new roads (insert), a new junction.
+    for step in 0..25 {
+        match step % 5 {
+            0 => {
+                let edges: Vec<_> = net.graph().edges().collect();
+                let (a, b, w) = edges[rng.gen_range(0..edges.len())];
+                net.set_weight(a, b, w + rng.gen_range(1..4)).unwrap();
+            }
+            1 => {
+                let edges: Vec<_> = net.graph().edges().collect();
+                let (a, b, w) = edges[rng.gen_range(0..edges.len())];
+                if w > 1 {
+                    net.set_weight(a, b, rng.gen_range(1..w.max(2))).unwrap();
+                }
+            }
+            2 => {
+                let edges: Vec<_> = net.graph().edges().collect();
+                let (a, b, _) = edges[rng.gen_range(0..edges.len())];
+                net.delete_edge(a, b).unwrap();
+            }
+            _ => loop {
+                let a = VertexId(rng.gen_range(0..net.graph().capacity() as u32));
+                let b = VertexId(rng.gen_range(0..net.graph().capacity() as u32));
+                if a != b
+                    && net.graph().contains_vertex(a)
+                    && net.graph().contains_vertex(b)
+                    && !net.graph().has_edge(a, b)
+                {
+                    net.insert_edge(a, b, rng.gen_range(1..=9)).unwrap();
+                    break;
+                }
+            },
+        }
+        if step % 8 == 7 {
+            verify_weighted_all_pairs(net.graph(), net.index()).unwrap();
+        }
+    }
+    let junction = net.add_vertex();
+    net.insert_edge(junction, VertexId(0), 2).unwrap();
+    net.insert_edge(junction, VertexId(10), 2).unwrap();
+    verify_weighted_all_pairs(net.graph(), net.index()).unwrap();
+    net.delete_vertex(junction).unwrap();
+    verify_weighted_all_pairs(net.graph(), net.index()).unwrap();
+    net.index().check_invariants().unwrap();
+}
+
+#[test]
+fn weighted_unit_weights_agree_with_unweighted_index() {
+    // With all weights = 1 the weighted and unweighted indexes must agree
+    // on every pair — even after equivalent update streams.
+    let mut rng = StdRng::seed_from_u64(0x2003);
+    let base = erdos_renyi_gnm(40, 90, &mut rng);
+    let wgraph = random_weights(&base, 1, &mut rng);
+    let mut wd = DynamicWeightedSpc::build(wgraph, OrderingStrategy::Degree);
+    let mut ud = dspc::DynamicSpc::build(base, OrderingStrategy::Degree);
+    for _ in 0..10 {
+        loop {
+            let a = VertexId(rng.gen_range(0..40));
+            let b = VertexId(rng.gen_range(0..40));
+            if a != b && !ud.graph().has_edge(a, b) {
+                ud.insert_edge(a, b).unwrap();
+                wd.insert_edge(a, b, 1).unwrap();
+                break;
+            }
+        }
+    }
+    for _ in 0..5 {
+        let m = ud.graph().num_edges();
+        let (a, b) = ud.graph().nth_edge(rng.gen_range(0..m)).unwrap();
+        ud.delete_edge(a, b).unwrap();
+        wd.delete_edge(a, b).unwrap();
+    }
+    for s in ud.graph().vertices() {
+        for t in ud.graph().vertices() {
+            assert_eq!(
+                wd.query(s, t),
+                ud.query(s, t).map(|(d, c)| (d as u64, c)),
+                "pair ({s:?},{t:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn directed_symmetric_graph_agrees_with_undirected_index() {
+    // A digraph with every arc reciprocated is an undirected graph in
+    // disguise: both indexes must answer identically.
+    let mut rng = StdRng::seed_from_u64(0x2004);
+    let base = erdos_renyi_gnm(35, 80, &mut rng);
+    let sym = random_orientation(&base, 1.0, &mut rng); // keep both directions
+    let dd = DynamicDirectedSpc::build(sym, OrderingStrategy::Degree);
+    let ud = dspc::DynamicSpc::build(base, OrderingStrategy::Degree);
+    for s in ud.graph().vertices() {
+        for t in ud.graph().vertices() {
+            assert_eq!(dd.query(s, t), ud.query(s, t), "pair ({s:?},{t:?})");
+        }
+    }
+}
