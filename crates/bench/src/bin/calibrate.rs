@@ -13,7 +13,14 @@ use std::time::Instant;
 
 fn main() {
     println!("HP-SPC construction scaling on BA(n, m_attach) graphs:");
-    for (n, m) in [(500usize, 3usize), (1000, 3), (2000, 3), (4000, 3), (8000, 3), (4000, 8)] {
+    for (n, m) in [
+        (500usize, 3usize),
+        (1000, 3),
+        (2000, 3),
+        (4000, 3),
+        (8000, 3),
+        (4000, 8),
+    ] {
         let mut rng = StdRng::seed_from_u64(1);
         let g = barabasi_albert(n, m, &mut rng);
         let t = Instant::now();

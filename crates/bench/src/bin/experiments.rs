@@ -40,7 +40,10 @@ fn parse_args() -> (String, Config) {
             "--queries" => cfg.queries = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--datasets" => {
-                cfg.only = value(&mut i).split(',').map(|s| s.trim().to_string()).collect()
+                cfg.only = value(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect()
             }
             flag if flag.starts_with("--") => usage(),
             t => target = t.to_ascii_lowercase(),

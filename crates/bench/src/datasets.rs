@@ -164,9 +164,7 @@ pub const DATASETS: &[Dataset] = &[
 
 /// Looks a dataset up by key (case insensitive).
 pub fn find(key: &str) -> Option<&'static Dataset> {
-    DATASETS
-        .iter()
-        .find(|d| d.key.eq_ignore_ascii_case(key))
+    DATASETS.iter().find(|d| d.key.eq_ignore_ascii_case(key))
 }
 
 /// The three "largest" datasets used by the streaming/skewed experiments

@@ -27,9 +27,7 @@ pub fn run(cfg: &Config) -> String {
     let ins = STREAM_INS.min(cfg.insertions.max(10));
     let del = STREAM_DEL.min(cfg.deletions.max(2));
     for d in streaming_trio() {
-        if !cfg.only.is_empty()
-            && !cfg.only.iter().any(|k| k.eq_ignore_ascii_case(d.key))
-        {
+        if !cfg.only.is_empty() && !cfg.only.iter().any(|k| k.eq_ignore_ascii_case(d.key)) {
             continue;
         }
         let g = d.generate(cfg.scale);

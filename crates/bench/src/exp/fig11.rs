@@ -24,15 +24,15 @@ pub fn run(cfg: &Config) -> String {
          (buckets are degree-product quartiles; expectation: flat rows)\n",
     );
     for d in streaming_trio() {
-        if !cfg.only.is_empty()
-            && !cfg.only.iter().any(|k| k.eq_ignore_ascii_case(d.key))
-        {
+        if !cfg.only.is_empty() && !cfg.only.iter().any(|k| k.eq_ignore_ascii_case(d.key)) {
             continue;
         }
         let g = d.generate(cfg.scale);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ d.seed ^ 0xF1_11);
-        let ins_pool = sample_skewed_insertions(&g, cfg.insertions.max(BUCKETS * 4), BUCKETS, &mut rng);
-        let del_pool = sample_skewed_deletions(&g, cfg.deletions.max(BUCKETS * 2), BUCKETS, &mut rng);
+        let ins_pool =
+            sample_skewed_insertions(&g, cfg.insertions.max(BUCKETS * 4), BUCKETS, &mut rng);
+        let del_pool =
+            sample_skewed_deletions(&g, cfg.deletions.max(BUCKETS * 2), BUCKETS, &mut rng);
         let mut dspc = DynamicSpc::build(g, OrderingStrategy::Degree);
 
         // Bucketed measurements. Insertions first (on the original graph),

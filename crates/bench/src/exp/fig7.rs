@@ -18,12 +18,20 @@ use std::time::Instant;
 
 /// Figure 7(a): incremental update time distribution.
 pub fn render_a(runs: &[DatasetRun]) -> String {
-    distribution_table("Figure 7(a): Incremental Update Time Distribution", runs, true)
+    distribution_table(
+        "Figure 7(a): Incremental Update Time Distribution",
+        runs,
+        true,
+    )
 }
 
 /// Figure 7(b): decremental update time distribution.
 pub fn render_b(runs: &[DatasetRun]) -> String {
-    distribution_table("Figure 7(b): Decremental Update Time Distribution", runs, false)
+    distribution_table(
+        "Figure 7(b): Decremental Update Time Distribution",
+        runs,
+        false,
+    )
 }
 
 fn distribution_table(title: &str, runs: &[DatasetRun], inc: bool) -> String {

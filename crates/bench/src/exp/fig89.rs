@@ -47,9 +47,7 @@ pub fn render_fig8(runs: &[DatasetRun]) -> String {
 
 /// Figure 9: label-operation averages for decremental updates.
 pub fn render_fig9(runs: &[DatasetRun]) -> String {
-    let mut t = Table::new(&[
-        "Graph", "RenewC", "RenewD", "Insert", "Remove", "ΔSize/upd",
-    ]);
+    let mut t = Table::new(&["Graph", "RenewC", "RenewD", "Insert", "Remove", "ΔSize/upd"]);
     for r in runs {
         let (rc, rd, ins, rem) = averages(&r.dec_stats);
         let delta = (ins - rem) * 8.0;

@@ -62,11 +62,7 @@ impl Config {
         } else {
             DATASETS
                 .iter()
-                .filter(|d| {
-                    self.only
-                        .iter()
-                        .any(|k| k.eq_ignore_ascii_case(d.key))
-                })
+                .filter(|d| self.only.iter().any(|k| k.eq_ignore_ascii_case(d.key)))
                 .collect()
         }
     }

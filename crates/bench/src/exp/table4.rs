@@ -17,13 +17,7 @@ fn avg(samples: &[Duration]) -> Duration {
 /// Renders Table 4 from shared runs.
 pub fn render(runs: &[DatasetRun]) -> String {
     let mut t = Table::new(&[
-        "Graph",
-        "L Size",
-        "L Time",
-        "IncSPC",
-        "DecSPC",
-        "Time/Inc",
-        "Time/Dec",
+        "Graph", "L Size", "L Time", "IncSPC", "DecSPC", "Time/Inc", "Time/Dec",
     ]);
     for r in runs {
         let inc = avg(&r.inc_times);

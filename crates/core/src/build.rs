@@ -97,7 +97,9 @@ impl HpSpcBuilder {
             let vid = VertexId(v as u32);
             if index.label_set(vid).is_empty() {
                 let rank = index.rank(vid);
-                index.label_set_mut(vid).push_descending(LabelEntry::new(rank, 0, 1));
+                index
+                    .label_set_mut(vid)
+                    .push_descending(LabelEntry::new(rank, 0, 1));
             }
         }
         index
@@ -142,8 +144,7 @@ impl HpSpcBuilder {
                     self.touched.push(w);
                     self.queue.push(w);
                 } else if dw == dv + 1 {
-                    self.count[w as usize] =
-                        self.count[w as usize].saturating_add(cv);
+                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
                 }
             }
         }
@@ -260,7 +261,10 @@ mod tests {
         assert_eq!(index.num_entries(), 0);
         let g1 = UndirectedGraph::with_vertices(1);
         let i1 = build_index(&g1, OrderingStrategy::Degree);
-        assert_eq!(spc_query(&i1, VertexId(0), VertexId(0)).as_option(), Some((0, 1)));
+        assert_eq!(
+            spc_query(&i1, VertexId(0), VertexId(0)).as_option(),
+            Some((0, 1))
+        );
     }
 
     #[test]

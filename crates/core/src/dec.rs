@@ -23,14 +23,19 @@
 //!    *opposite side's* `SR ∪ R` (Lemma 3.14), pruning where `PreQUERY`
 //!    (hubs ranked strictly above `h`, already repaired) certifies a
 //!    shorter path. Labels of opposite-side vertices the BFS never updated
-//!    are removed afterwards — but only when `h` was a common hub of `a`
-//!    and `b` (only such labels can die).
+//!    are removed afterwards — unconditionally, not only for common hubs
+//!    of `a` and `b` as in the paper's Algorithm 6: the common-hub gate is
+//!    unsound once Lemma 3.1's kept-stale labels are in play (see
+//!    [`crate::engine`] module docs for the counterexample).
 //!
 //! The isolated-vertex optimization (§3.2.3) short-circuits the whole
-//! procedure when the deletion strands a degree-one, lower-ranked endpoint.
+//! procedure when the deletion strands a degree-one endpoint that no label
+//! anywhere uses as a hub (tracked exactly by the index's hub-entry
+//! counts).
 
+use crate::engine::{OpCounters, UndirectedTopo, UpdateEngine};
 use crate::index::SpcIndex;
-use crate::label::{Count, LabelEntry, Rank, INF_DIST};
+use crate::label::Rank;
 use crate::query::HubProbe;
 use dspc_graph::{UndirectedGraph, VertexId};
 
@@ -71,6 +76,20 @@ impl DecStats {
     }
 }
 
+impl From<OpCounters> for DecStats {
+    fn from(c: OpCounters) -> Self {
+        DecStats {
+            renew_count: c.renew_count,
+            renew_dist: c.renew_dist,
+            inserted: c.inserted,
+            removed: c.removed,
+            hubs_processed: c.hubs_processed,
+            vertices_visited: c.vertices_visited,
+            isolated_fast_path: false,
+        }
+    }
+}
+
 /// The affected-vertex sets computed by `SrrSEARCH` — Table 5 reports their
 /// cardinalities.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -84,10 +103,6 @@ pub struct SrrOutcome {
     /// Receiver-only vertices on `b`'s side (`R_b`).
     pub r_b: Vec<VertexId>,
 }
-
-/// Side markers for `SR ∪ R` membership, stored per vertex.
-const MARK_A: u8 = 1;
-const MARK_B: u8 = 2;
 
 /// Which affected-hub set drives the update BFSs — the ablation knob
 /// behind the paper's §2.3 argument that prior SD-Index definitions of
@@ -108,53 +123,21 @@ pub enum DecMode {
     SrOnlyNoFastPath,
 }
 
-/// Reusable DecSPC engine (Algorithm 4).
+/// Reusable DecSPC driver (Algorithm 4): the undirected deletion policy
+/// over the shared [`UpdateEngine`].
 #[derive(Debug)]
 pub struct DecSpc {
-    dist: Vec<u32>,
-    count: Vec<Count>,
-    queue: Vec<u32>,
-    touched: Vec<u32>,
+    engine: UpdateEngine<u32>,
     probe: HubProbe,
-    /// `SR ∪ R` side membership (`MARK_A` / `MARK_B` bits).
-    marks: Vec<u8>,
-    marked: Vec<u32>,
-    /// Algorithm 6's `U[·]`: visited-and-updated flags.
-    updated: Vec<bool>,
 }
 
 impl DecSpc {
     /// Creates an engine for graphs up to `capacity` ids.
     pub fn new(capacity: usize) -> Self {
         DecSpc {
-            dist: vec![INF_DIST; capacity],
-            count: vec![0; capacity],
-            queue: Vec::new(),
-            touched: Vec::new(),
+            engine: UpdateEngine::new(capacity),
             probe: HubProbe::new(capacity),
-            marks: vec![0; capacity],
-            marked: Vec::new(),
-            updated: vec![false; capacity],
         }
-    }
-
-    fn ensure_capacity(&mut self, capacity: usize) {
-        if self.dist.len() < capacity {
-            self.dist.resize(capacity, INF_DIST);
-            self.count.resize(capacity, 0);
-            self.marks.resize(capacity, 0);
-            self.updated.resize(capacity, false);
-        }
-        self.probe.ensure_capacity(capacity);
-    }
-
-    fn reset_bfs_workspace(&mut self) {
-        for &v in &self.touched {
-            self.dist[v as usize] = INF_DIST;
-            self.count[v as usize] = 0;
-        }
-        self.touched.clear();
-        self.queue.clear();
     }
 
     /// Deletes `(a, b)` from `g` and repairs `index`. The engine performs
@@ -184,49 +167,51 @@ impl DecSpc {
         if !g.has_edge(a, b) {
             return Err(dspc_graph::GraphError::MissingEdge(a, b));
         }
-        self.ensure_capacity(g.capacity());
-        let mut stats = DecStats::default();
+        self.engine.ensure_capacity(g.capacity());
 
         // §3.2.3 isolated-vertex fast path: the deletion strands a
-        // degree-one endpoint `x` whose other endpoint ranks strictly
-        // higher. No label anywhere uses `x` as hub (every path out of `x`
-        // crosses the higher-ranked neighbor), so emptying L(x) suffices.
-        for (x, y) in [(b, a), (a, b)] {
+        // degree-one endpoint `x` that no label anywhere uses as a hub
+        // (checked exactly via the index's hub-entry counts — `x`'s own
+        // self label is the single permitted occurrence), so emptying L(x)
+        // is the entire repair. The count check replaces the paper's
+        // rank-comparison precondition: rank(y) < rank(x) guarantees a
+        // *freshly built* index has no (x, ·, ·) labels, but stale labels
+        // from earlier updates can violate that — and conversely the count
+        // check also fires for higher-ranked pendants whose hub entries
+        // happen to have been cleaned up, so it is both sound and broader.
+        for x in [b, a] {
             if mode != DecMode::SrOnlyNoFastPath
                 && g.degree(x) == 1
-                && index.rank(y) < index.rank(x)
+                && index.hub_entry_count(index.rank(x)) == 1
             {
                 g.delete_edge(a, b)?;
-                let rank_x = index.rank(x);
-                stats.removed = index.label_set_mut(x).reset_to_self(rank_x);
-                stats.isolated_fast_path = true;
+                let stats = DecStats {
+                    removed: index.reset_vertex_to_self(x),
+                    isolated_fast_path: true,
+                    ..DecStats::default()
+                };
                 return Ok((stats, SrrOutcome::default()));
             }
         }
 
         // Phase 1 — SrrSEARCH on G_i (edge still present).
-        let srr = self.srr_search(g, index, a, b);
-        for v in srr.sr_a.iter().chain(&srr.r_a) {
-            if self.marks[v.index()] == 0 {
-                self.marked.push(v.0);
+        let mut stats = OpCounters::default();
+        let srr = {
+            let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+            let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1);
+            let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1);
+            SrrOutcome {
+                sr_a,
+                sr_b,
+                r_a,
+                r_b,
             }
-            self.marks[v.index()] |= MARK_A;
-        }
-        for v in srr.sr_b.iter().chain(&srr.r_b) {
-            if self.marks[v.index()] == 0 {
-                self.marked.push(v.0);
-            }
-            self.marks[v.index()] |= MARK_B;
-        }
+        };
+        self.engine
+            .set_marks([&srr.sr_a, &srr.r_a], [&srr.sr_b, &srr.r_b]);
 
         // Phase boundary — G_{i+1} ← G_i ⊖ (a, b).
         g.delete_edge(a, b)?;
-
-        // L_ab = common hubs of a and b (triggers the removal pass).
-        let common_hub = |index: &SpcIndex, h: VertexId| {
-            let r = index.rank(h);
-            index.label_set(a).contains(r) && index.label_set(b).contains(r)
-        };
 
         // SR = SR_a ∪ SR_b sorted by descending rank (ascending position).
         // NaiveAffected additionally promotes every R vertex to hub status.
@@ -245,195 +230,43 @@ impl DecSpc {
         for &(h_rank, from_a) in &sr {
             let h = index.vertex(h_rank);
             stats.hubs_processed += 1;
-            let h_ab = common_hub(index, h);
-            let opposite = if from_a { MARK_B } else { MARK_A };
-            let removal_list = if from_a {
-                srr.sr_b.iter().chain(&srr.r_b)
+            let (opposite, removal) = if from_a {
+                (crate::engine::MARK_B, [&srr.sr_b[..], &srr.r_b[..]])
             } else {
-                srr.sr_a.iter().chain(&srr.r_a)
+                (crate::engine::MARK_A, [&srr.sr_a[..], &srr.r_a[..]])
             };
-            self.dec_update(g, index, h, opposite, h_ab, removal_list.copied(), &mut stats);
+            let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+            self.engine
+                .dec_pass(&mut topo, h, opposite, removal, &mut stats);
         }
 
-        // Clear side marks for the next update.
-        for &v in &self.marked {
-            self.marks[v as usize] = 0;
-        }
-        self.marked.clear();
-
-        Ok((stats, srr))
+        self.engine.clear_marks();
+        Ok((DecStats::from(stats), srr))
     }
 
     /// Algorithm 5 — computes `SR_a, R_a` (BFS from `a`, classifying against
     /// queries to `b`) and symmetrically `SR_b, R_b`, on the pre-deletion
-    /// graph.
+    /// graph. (Callers wanting the sets alongside a real deletion use
+    /// [`crate::DynamicSpc::delete_edge_with_sets`]; this standalone entry
+    /// backs the paper-example tests. `index` is taken mutably only because
+    /// the engine's topology view unifies read and repair passes.)
+    #[cfg(test)]
     fn srr_search(
         &mut self,
         g: &UndirectedGraph,
-        index: &SpcIndex,
+        index: &mut SpcIndex,
         a: VertexId,
         b: VertexId,
     ) -> SrrOutcome {
-        let mut out = SrrOutcome::default();
-        {
-            let (sr, r) = self.srr_side(g, index, a, b);
-            out.sr_a = sr;
-            out.r_a = r;
-        }
-        {
-            let (sr, r) = self.srr_side(g, index, b, a);
-            out.sr_b = sr;
-            out.r_b = r;
-        }
-        out
-    }
-
-    /// One side of `SrrSEARCH`: BFS from `near`, classify against `far`.
-    fn srr_side(
-        &mut self,
-        g: &UndirectedGraph,
-        index: &SpcIndex,
-        near: VertexId,
-        far: VertexId,
-    ) -> (Vec<VertexId>, Vec<VertexId>) {
-        let mut sr = Vec::new();
-        let mut r = Vec::new();
-        self.reset_bfs_workspace();
-        // Queries SpcQUERY(v, far) share the pinned L(far).
-        self.probe.load(index, far);
-        self.dist[near.index()] = 0;
-        self.count[near.index()] = 1;
-        self.touched.push(near.0);
-        self.queue.push(near.0);
-        let far_rank = index.rank(far);
-        let near_rank = index.rank(near);
-        let mut head = 0usize;
-        while head < self.queue.len() {
-            let v = self.queue[head];
-            head += 1;
-            let dv = self.dist[v as usize];
-            let q = self.probe.query(index.label_set(VertexId(v)));
-            // Prune: v has no shortest path to `far` through the edge.
-            if q.dist == INF_DIST || dv + 1 != q.dist {
-                continue;
-            }
-            // Condition A: v is a common hub of both endpoints. Checking
-            // `v ∈ L(near) ∧ v ∈ L(far)` via rank membership.
-            let vr = index.rank(VertexId(v));
-            let cond_a = (vr <= near_rank && vr <= far_rank)
-                && index.label_set(near).contains(vr)
-                && index.label_set(far).contains(vr);
-            // Condition B: spc_i(v, near) = spc_i(v, far) — every shortest
-            // path to the far endpoint crosses the edge.
-            let cond_b = self.count[v as usize] == q.count;
-            if cond_a || cond_b {
-                sr.push(VertexId(v));
-            } else {
-                r.push(VertexId(v));
-            }
-            let cv = self.count[v as usize];
-            for &w in g.neighbors(VertexId(v)) {
-                let dw = self.dist[w as usize];
-                if dw == INF_DIST {
-                    self.dist[w as usize] = dv + 1;
-                    self.count[w as usize] = cv;
-                    self.touched.push(w);
-                    self.queue.push(w);
-                } else if dw == dv + 1 {
-                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
-                }
-            }
-        }
-        (sr, r)
-    }
-
-    /// Algorithm 6 — `DecUPDATE(h, SR, R, H_ab)`: repair `(h, ·, ·)` labels
-    /// of opposite-side vertices, then remove the never-visited ones when
-    /// `h` was a common hub.
-    #[allow(clippy::too_many_arguments)]
-    fn dec_update(
-        &mut self,
-        g: &UndirectedGraph,
-        index: &mut SpcIndex,
-        h: VertexId,
-        opposite_mark: u8,
-        h_ab: bool,
-        removal_candidates: impl Iterator<Item = VertexId>,
-        stats: &mut DecStats,
-    ) {
-        let h_rank = index.rank(h);
-        self.reset_bfs_workspace();
-        self.probe.load(index, h);
-        self.dist[h.index()] = 0;
-        self.count[h.index()] = 1;
-        self.touched.push(h.0);
-        self.queue.push(h.0);
-        let mut visited_marked: Vec<u32> = Vec::new();
-        let mut head = 0usize;
-        while head < self.queue.len() {
-            let v = self.queue[head];
-            head += 1;
-            stats.vertices_visited += 1;
-            let dv = self.dist[v as usize];
-            // PreQUERY prune: hubs ranked strictly above h (already
-            // repaired this round, or untouched-and-valid) certify a
-            // strictly shorter path — h tops no shortest path here.
-            let q = self
-                .probe
-                .pre_query(index.label_set(VertexId(v)), h_rank);
-            if q.dist < dv {
-                continue;
-            }
-            if self.marks[v as usize] & opposite_mark != 0 {
-                let cv = self.count[v as usize];
-                let ls = index.label_set_mut(VertexId(v));
-                match ls.get(h_rank).copied() {
-                    None => {
-                        ls.upsert(LabelEntry::new(h_rank, dv, cv));
-                        stats.inserted += 1;
-                    }
-                    Some(existing) => {
-                        if existing.dist != dv {
-                            ls.upsert(LabelEntry::new(h_rank, dv, cv));
-                            stats.renew_dist += 1;
-                        } else if existing.count != cv {
-                            ls.upsert(LabelEntry::new(h_rank, dv, cv));
-                            stats.renew_count += 1;
-                        }
-                    }
-                }
-                self.updated[v as usize] = true;
-                visited_marked.push(v);
-            }
-            let cv = self.count[v as usize];
-            for &w in g.neighbors(VertexId(v)) {
-                if h_rank > index.rank(VertexId(w)) {
-                    continue; // rank pruning: stay inside G_h
-                }
-                let dw = self.dist[w as usize];
-                if dw == INF_DIST {
-                    self.dist[w as usize] = dv + 1;
-                    self.count[w as usize] = cv;
-                    self.touched.push(w);
-                    self.queue.push(w);
-                } else if dw == dv + 1 {
-                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
-                }
-            }
-        }
-        // Removal pass (lines 23-26): only when h was a common hub of the
-        // deleted edge's endpoints can labels (h, ·, ·) become invalid.
-        if h_ab {
-            for u in removal_candidates {
-                if !self.updated[u.index()]
-                    && index.label_set_mut(u).remove(h_rank).is_some()
-                {
-                    stats.removed += 1;
-                }
-            }
-        }
-        for v in visited_marked {
-            self.updated[v as usize] = false;
+        self.engine.ensure_capacity(g.capacity());
+        let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+        let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1);
+        let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1);
+        SrrOutcome {
+            sr_a,
+            sr_b,
+            r_a,
+            r_b,
         }
     }
 }
@@ -470,9 +303,9 @@ mod tests {
         // Deleting (v1, v2) from Figure 2's G: SR_v1 = {v1, v6, v10},
         // SR_v2 = {v2}, R_v2 = {v3, v7}, R_v1 = ∅.
         let g = figure2_g();
-        let index = build_index(&g, OrderingStrategy::Identity);
+        let mut index = build_index(&g, OrderingStrategy::Identity);
         let mut engine = DecSpc::new(g.capacity());
-        let srr = engine.srr_search(&g, &index, VertexId(1), VertexId(2));
+        let srr = engine.srr_search(&g, &mut index, VertexId(1), VertexId(2));
         let as_set = |v: &[VertexId]| {
             let mut s: Vec<u32> = v.iter().map(|x| x.0).collect();
             s.sort_unstable();

@@ -94,11 +94,9 @@ impl DirectedBuilder {
         self.reset();
         // Pinned side of the prune query: the hub's *opposite* family —
         // forward prune is L_out(h) ⋈ L_in(w), so pin L_out(h).
-        let pinned = match target {
-            Side::In => Side::Out,
-            Side::Out => Side::In,
-        };
-        self.probe.load_labels(index.label(pinned, h), index.ranks().len());
+        let pinned = target.opposite();
+        self.probe
+            .load_labels(index.label(pinned, h), index.ranks().len());
         self.dist[h.index()] = 0;
         self.count[h.index()] = 1;
         self.touched.push(h.0);

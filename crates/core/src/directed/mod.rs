@@ -17,6 +17,8 @@ pub mod update;
 pub use build::{build_directed_index, DirectedBuilder};
 pub use update::{DirectedDecSpc, DirectedIncSpc};
 
+use crate::dynamic::{UpdateKind, UpdateStats};
+use crate::engine::EdgeCoalescer;
 use crate::label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
 use crate::order::OrderingStrategy;
 use crate::query::QueryResult;
@@ -30,6 +32,17 @@ pub enum Side {
     In,
     /// `L_out` — labels describing paths vertex → hub.
     Out,
+}
+
+impl Side {
+    /// The other family (`L_in` ↔ `L_out`).
+    #[inline]
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::In => Side::Out,
+            Side::Out => Side::In,
+        }
+    }
 }
 
 /// Bijection between vertex ids and ranks for directed graphs (degree =
@@ -48,10 +61,7 @@ impl DirectedRankMap {
         match strategy {
             OrderingStrategy::Degree => ids.sort_by_key(|&v| {
                 let vid = VertexId(v);
-                (
-                    std::cmp::Reverse(g.out_degree(vid) + g.in_degree(vid)),
-                    v,
-                )
+                (std::cmp::Reverse(g.out_degree(vid) + g.in_degree(vid)), v)
             }),
             OrderingStrategy::Identity => {}
             OrderingStrategy::Random(seed) => {
@@ -223,11 +233,7 @@ impl DirectedSpcIndex {
 }
 
 /// `SPC(s → t)`: merge `L_out(s)` with `L_in(t)`.
-pub fn directed_spc_query(
-    index: &DirectedSpcIndex,
-    s: VertexId,
-    t: VertexId,
-) -> QueryResult {
+pub fn directed_spc_query(index: &DirectedSpcIndex, s: VertexId, t: VertexId) -> QueryResult {
     merge_directed(index.label_out(s), index.label_in(t), None)
 }
 
@@ -261,6 +267,15 @@ fn merge_directed(ls: &LabelSet, lt: &LabelSet, limit: Option<Rank>) -> QueryRes
         }
     }
     QueryResult { dist: best, count }
+}
+
+/// A directed topological update, for batch application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArcUpdate {
+    /// Insert arc `a → b`.
+    InsertArc(VertexId, VertexId),
+    /// Delete arc `a → b`.
+    DeleteArc(VertexId, VertexId),
 }
 
 /// Directed facade: a [`DirectedGraph`] and its index kept in lockstep.
@@ -301,15 +316,56 @@ impl DynamicDirectedSpc {
     }
 
     /// Inserts arc `a → b` and repairs the index.
-    pub fn insert_arc(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<()> {
+    pub fn insert_arc(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<UpdateStats> {
         self.graph.insert_arc(a, b)?;
-        self.inc.insert_arc(&self.graph, &mut self.index, a, b);
-        Ok(())
+        let c = self.inc.insert_arc(&self.graph, &mut self.index, a, b);
+        Ok(UpdateStats::from_counters(UpdateKind::InsertEdge, c))
     }
 
     /// Deletes arc `a → b` and repairs the index.
-    pub fn delete_arc(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<()> {
-        self.dec.delete_arc(&mut self.graph, &mut self.index, a, b)
+    pub fn delete_arc(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<UpdateStats> {
+        let c = self
+            .dec
+            .delete_arc(&mut self.graph, &mut self.index, a, b)?;
+        Ok(UpdateStats::from_counters(UpdateKind::DeleteEdge, c))
+    }
+
+    /// Applies `updates` as one epoch: arc operations are deduplicated and
+    /// coalesced (insert + delete of the same arc cancels, delete +
+    /// re-insert is a topological no-op), the surviving net operations run
+    /// through the engine in rank-friendly order (deletions before
+    /// insertions, each ordered by the higher-ranked endpoint), and the
+    /// aggregated counters come back as one [`UpdateStats`]. Validation
+    /// mirrors applying the arcs one by one.
+    pub fn apply_batch(&mut self, updates: &[ArcUpdate]) -> dspc_graph::Result<UpdateStats> {
+        let mut co: EdgeCoalescer<()> = EdgeCoalescer::new();
+        for &u in updates {
+            match u {
+                ArcUpdate::InsertArc(a, b) => {
+                    let graph = &self.graph;
+                    crate::engine::check_endpoints(a, b, |v| graph.contains_vertex(v))?;
+                    co.fold_insert((a.0, b.0), (), || graph.has_arc(a, b).then_some(()))?;
+                }
+                ArcUpdate::DeleteArc(a, b) => {
+                    let graph = &self.graph;
+                    crate::engine::check_endpoints(a, b, |v| graph.contains_vertex(v))?;
+                    co.fold_remove((a.0, b.0), || graph.has_arc(a, b).then_some(()))?;
+                }
+            }
+        }
+        let index = &self.index;
+        let plan = crate::engine::NetPlan::build(co.drain(), |v| index.rank(VertexId(v)));
+        let mut total = UpdateStats::empty(UpdateKind::Batch);
+        for op in plan.into_ops() {
+            total.absorb(&match op {
+                crate::engine::NetOp::Delete(a, b) => self.delete_arc(a, b)?,
+                crate::engine::NetOp::Insert(a, b, ()) => self.insert_arc(a, b)?,
+                crate::engine::NetOp::Rewrite(..) => {
+                    unreachable!("unit payloads cannot rewrite")
+                }
+            });
+        }
+        Ok(total)
     }
 
     /// Adds an isolated vertex at the lowest rank (O(1) on the index, as in

@@ -18,20 +18,17 @@
 //!   removal pass as the undirected Algorithm 6.
 
 use super::{DirectedSpcIndex, Side};
-use crate::label::{Count, LabelEntry, Rank, INF_DIST};
+use crate::engine::{merge_affected, DirectedTopo, OpCounters, UpdateEngine, MARK_A, MARK_B};
+use crate::label::Rank;
 use crate::query::HubProbe;
 use dspc_graph::{DirectedGraph, VertexId};
 
-const MARK_A: u8 = 1;
-const MARK_B: u8 = 2;
-
-/// Directed incremental engine.
+/// Directed incremental driver: the arc-insertion policy over the shared
+/// [`UpdateEngine`], running the forward (`L_in`) and backward (`L_out`)
+/// halves through [`DirectedTopo`] views.
 #[derive(Debug)]
 pub struct DirectedIncSpc {
-    dist: Vec<u32>,
-    count: Vec<Count>,
-    queue: Vec<u32>,
-    touched: Vec<u32>,
+    engine: UpdateEngine<u32>,
     probe: HubProbe,
 }
 
@@ -39,231 +36,100 @@ impl DirectedIncSpc {
     /// Creates an engine for graphs up to `capacity` ids.
     pub fn new(capacity: usize) -> Self {
         DirectedIncSpc {
-            dist: vec![INF_DIST; capacity],
-            count: vec![0; capacity],
-            queue: Vec::new(),
-            touched: Vec::new(),
+            engine: UpdateEngine::new(capacity),
             probe: HubProbe::new(capacity),
         }
     }
 
-    fn reset(&mut self) {
-        for &v in &self.touched {
-            self.dist[v as usize] = INF_DIST;
-            self.count[v as usize] = 0;
-        }
-        self.touched.clear();
-        self.queue.clear();
-    }
-
-    /// Repairs `index` after arc `a → b` was inserted into `g`.
+    /// Repairs `index` after arc `a → b` was inserted into `g`. Returns the
+    /// label-operation counters.
     pub fn insert_arc(
         &mut self,
         g: &DirectedGraph,
         index: &mut DirectedSpcIndex,
         a: VertexId,
         b: VertexId,
-    ) {
+    ) -> OpCounters {
         debug_assert!(g.has_arc(a, b));
-        let cap = g.capacity();
-        if self.dist.len() < cap {
-            self.dist.resize(cap, INF_DIST);
-            self.count.resize(cap, 0);
-        }
-        self.probe.ensure_capacity(cap);
-        // Snapshot AFF with side flags, merged in descending rank order.
-        let mut aff: Vec<(Rank, bool, bool)> = Vec::new();
-        {
-            let la = index.label_in(a).entries();
-            let lb = index.label_out(b).entries();
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < la.len() || j < lb.len() {
-                match (la.get(i), lb.get(j)) {
-                    (Some(x), Some(y)) if x.hub == y.hub => {
-                        aff.push((x.hub, true, true));
-                        i += 1;
-                        j += 1;
-                    }
-                    (Some(x), Some(y)) if x.hub < y.hub => {
-                        aff.push((x.hub, true, false));
-                        i += 1;
-                    }
-                    (Some(_), Some(y)) => {
-                        aff.push((y.hub, false, true));
-                        j += 1;
-                    }
-                    (Some(x), None) => {
-                        aff.push((x.hub, true, false));
-                        i += 1;
-                    }
-                    (None, Some(y)) => {
-                        aff.push((y.hub, false, true));
-                        j += 1;
-                    }
-                    (None, None) => unreachable!(),
-                }
-            }
-        }
+        self.engine.ensure_capacity(g.capacity());
+        let mut stats = OpCounters::default();
+        // Snapshot AFF = hubs(L_in(a)) ∪ hubs(L_out(b)) with side flags,
+        // merged in descending rank order.
+        let aff = merge_affected(index.label_in(a).entries(), index.label_out(b).entries());
         let rank_a = index.rank(a);
         let rank_b = index.rank(b);
         for (h_rank, from_in_a, from_out_b) in aff {
             let h = index.vertex(h_rank);
+            stats.hubs_processed += 1;
+            // The seed label lives on the same family as the repaired side:
+            // L_in(a) when repairing L_in, L_out(b) when repairing L_out.
             if from_in_a && h_rank <= rank_b {
                 // New paths h → … → a → b → …: forward from b, L_in side.
-                self.inc_update(g, index, h, a, b, Side::In);
+                if let Some(seed) = index.label_in(a).get(h_rank).copied() {
+                    let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::In);
+                    self.engine
+                        .inc_pass(&mut topo, h, b, seed.dist + 1, seed.count, &mut stats);
+                }
             }
             if from_out_b && h_rank <= rank_a {
                 // New paths … → a → b → … → h: backward from a, L_out side.
-                self.inc_update(g, index, h, b, a, Side::Out);
-            }
-        }
-    }
-
-    /// One directed `IncUPDATE`: BFS from `vb` seeded from the hub's label
-    /// at `va`, repairing `target`-side labels.
-    fn inc_update(
-        &mut self,
-        g: &DirectedGraph,
-        index: &mut DirectedSpcIndex,
-        h: VertexId,
-        va: VertexId,
-        vb: VertexId,
-        target: Side,
-    ) {
-        let h_rank = index.rank(h);
-        // Seed label lives on the same family as the target side: L_in(a)
-        // when repairing L_in, L_out(b) when repairing L_out.
-        let Some(seed) = index.label(target, va).get(h_rank).copied() else {
-            return;
-        };
-        let pinned = match target {
-            Side::In => Side::Out,
-            Side::Out => Side::In,
-        };
-        self.reset();
-        self.probe
-            .load_labels(index.label(pinned, h), index.ranks().len());
-        self.dist[vb.index()] = seed.dist + 1;
-        self.count[vb.index()] = seed.count;
-        self.touched.push(vb.0);
-        self.queue.push(vb.0);
-        let mut head = 0usize;
-        while head < self.queue.len() {
-            let v = self.queue[head];
-            head += 1;
-            let dv = self.dist[v as usize];
-            let q = self.probe.query(index.label(target, VertexId(v)));
-            if q.dist < dv {
-                continue;
-            }
-            let cv = self.count[v as usize];
-            let ls = index.label_mut(target, VertexId(v));
-            match ls.get(h_rank).copied() {
-                Some(existing) if existing.dist == dv => {
-                    ls.upsert(LabelEntry::new(
-                        h_rank,
-                        dv,
-                        cv.saturating_add(existing.count),
-                    ));
-                }
-                _ => {
-                    ls.upsert(LabelEntry::new(h_rank, dv, cv));
-                }
-            }
-            let neighbors = match target {
-                Side::In => g.out_neighbors(VertexId(v)),
-                Side::Out => g.in_neighbors(VertexId(v)),
-            };
-            for &w in neighbors {
-                if h_rank > index.rank(VertexId(w)) {
-                    continue;
-                }
-                let dw = self.dist[w as usize];
-                if dw == INF_DIST {
-                    self.dist[w as usize] = dv + 1;
-                    self.count[w as usize] = cv;
-                    self.touched.push(w);
-                    self.queue.push(w);
-                } else if dw == dv + 1 {
-                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                if let Some(seed) = index.label_out(b).get(h_rank).copied() {
+                    let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::Out);
+                    self.engine
+                        .inc_pass(&mut topo, h, a, seed.dist + 1, seed.count, &mut stats);
                 }
             }
         }
+        stats
     }
 }
 
-/// Directed decremental engine.
+/// Directed decremental driver: the arc-deletion policy over the shared
+/// [`UpdateEngine`].
 #[derive(Debug)]
 pub struct DirectedDecSpc {
-    dist: Vec<u32>,
-    count: Vec<Count>,
-    queue: Vec<u32>,
-    touched: Vec<u32>,
+    engine: UpdateEngine<u32>,
     probe: HubProbe,
-    marks: Vec<u8>,
-    marked: Vec<u32>,
-    updated: Vec<bool>,
 }
 
 impl DirectedDecSpc {
     /// Creates an engine for graphs up to `capacity` ids.
     pub fn new(capacity: usize) -> Self {
         DirectedDecSpc {
-            dist: vec![INF_DIST; capacity],
-            count: vec![0; capacity],
-            queue: Vec::new(),
-            touched: Vec::new(),
+            engine: UpdateEngine::new(capacity),
             probe: HubProbe::new(capacity),
-            marks: vec![0; capacity],
-            marked: Vec::new(),
-            updated: vec![false; capacity],
         }
     }
 
-    fn reset_bfs(&mut self) {
-        for &v in &self.touched {
-            self.dist[v as usize] = INF_DIST;
-            self.count[v as usize] = 0;
-        }
-        self.touched.clear();
-        self.queue.clear();
-    }
-
-    /// Deletes arc `a → b` from `g` and repairs `index`.
+    /// Deletes arc `a → b` from `g` and repairs `index`. Returns the
+    /// label-operation counters.
     pub fn delete_arc(
         &mut self,
         g: &mut DirectedGraph,
         index: &mut DirectedSpcIndex,
         a: VertexId,
         b: VertexId,
-    ) -> dspc_graph::Result<()> {
+    ) -> dspc_graph::Result<OpCounters> {
         if !g.has_arc(a, b) {
             return Err(dspc_graph::GraphError::MissingEdge(a, b));
         }
-        let cap = g.capacity();
-        if self.dist.len() < cap {
-            self.dist.resize(cap, INF_DIST);
-            self.count.resize(cap, 0);
-            self.marks.resize(cap, 0);
-            self.updated.resize(cap, false);
-        }
-        self.probe.ensure_capacity(cap);
+        self.engine.ensure_capacity(g.capacity());
+        let mut stats = OpCounters::default();
 
-        // Phase 1 on G_i: senders upstream of a, receivers downstream of b.
-        let (sr_a, r_a) = self.srr_side(g, index, a, b, Side::Out);
-        let (sr_b, r_b) = self.srr_side(g, index, b, a, Side::In);
-        for v in sr_a.iter().chain(&r_a) {
-            if self.marks[v.index()] == 0 {
-                self.marked.push(v.0);
-            }
-            self.marks[v.index()] |= MARK_A;
-        }
-        for v in sr_b.iter().chain(&r_b) {
-            if self.marks[v.index()] == 0 {
-                self.marked.push(v.0);
-            }
-            self.marks[v.index()] |= MARK_B;
-        }
+        // Phase 1 on G_i: senders upstream of a (backward sweep from a over
+        // in-arcs = the L_out view), receivers downstream of b (forward
+        // sweep from b = the L_in view). The view's pin/scan/membership
+        // sides line up with the sweep direction by construction — see
+        // [`DirectedTopo`].
+        let (sr_a, r_a) = {
+            let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::Out);
+            self.engine.srr_pass(&mut topo, a, b, 1)
+        };
+        let (sr_b, r_b) = {
+            let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::In);
+            self.engine.srr_pass(&mut topo, b, a, 1)
+        };
+        self.engine.set_marks([&sr_a, &r_a], [&sr_b, &r_b]);
 
         g.delete_arc(a, b)?;
 
@@ -276,191 +142,20 @@ impl DirectedDecSpc {
 
         for &(h_rank, upstream) in &sr {
             let h = index.vertex(h_rank);
-            if upstream {
-                // h tops paths h → … → a → b → …; repair L_in of the
-                // downstream side.
-                let h_ab = index.label_in(a).contains(h_rank)
-                    && index.label_in(b).contains(h_rank);
-                self.dec_update(
-                    g,
-                    index,
-                    h,
-                    Side::In,
-                    MARK_B,
-                    h_ab,
-                    sr_b.iter().chain(&r_b).copied().collect::<Vec<_>>(),
-                );
+            stats.hubs_processed += 1;
+            let (repair, opposite, removal) = if upstream {
+                // h tops paths h → … → a → b → …; repair L_in downstream.
+                (Side::In, MARK_B, [&sr_b[..], &r_b[..]])
             } else {
-                let h_ab = index.label_out(a).contains(h_rank)
-                    && index.label_out(b).contains(h_rank);
-                self.dec_update(
-                    g,
-                    index,
-                    h,
-                    Side::Out,
-                    MARK_A,
-                    h_ab,
-                    sr_a.iter().chain(&r_a).copied().collect::<Vec<_>>(),
-                );
-            }
-        }
-
-        for &v in &self.marked {
-            self.marks[v as usize] = 0;
-        }
-        self.marked.clear();
-        Ok(())
-    }
-
-    /// One side of the directed `SrrSEARCH`. `membership_side` selects the
-    /// hub-membership family for condition A: upstream senders must be
-    /// common *in*-hubs… of which endpoints — see body.
-    fn srr_side(
-        &mut self,
-        g: &DirectedGraph,
-        index: &DirectedSpcIndex,
-        near: VertexId,
-        far: VertexId,
-        sweep: Side,
-    ) -> (Vec<VertexId>, Vec<VertexId>) {
-        let mut sr = Vec::new();
-        let mut r = Vec::new();
-        self.reset_bfs();
-        // sweep == Out: backward BFS from `near == a` over in-arcs, finding
-        // v with sd(v, a); classify against query(v → far=b): pin L_in(b),
-        // scan L_out(v). Condition A uses in-side membership (v ∈ L_in(a) ∧
-        // v ∈ L_in(b)).
-        // sweep == In: forward BFS from `near == b`, finding v with
-        // sd(b, v); classify against query(far=a → v): pin L_out(a), scan
-        // L_in(v); condition A uses out-side membership.
-        let (bfs_dir_in_arcs, pin_side, scan_side, member_side) = match sweep {
-            Side::Out => (true, Side::In, Side::Out, Side::In),
-            Side::In => (false, Side::Out, Side::In, Side::Out),
-        };
-        self.probe
-            .load_labels(index.label(pin_side, far), index.ranks().len());
-        self.dist[near.index()] = 0;
-        self.count[near.index()] = 1;
-        self.touched.push(near.0);
-        self.queue.push(near.0);
-        let mut head = 0usize;
-        while head < self.queue.len() {
-            let v = self.queue[head];
-            head += 1;
-            let dv = self.dist[v as usize];
-            let q = self.probe.query(index.label(scan_side, VertexId(v)));
-            if q.dist == INF_DIST || dv + 1 != q.dist {
-                continue;
-            }
-            let vr = index.rank(VertexId(v));
-            let cond_a = index.label(member_side, near).contains(vr)
-                && index.label(member_side, far).contains(vr);
-            let cond_b = self.count[v as usize] == q.count;
-            if cond_a || cond_b {
-                sr.push(VertexId(v));
-            } else {
-                r.push(VertexId(v));
-            }
-            let cv = self.count[v as usize];
-            let neighbors = if bfs_dir_in_arcs {
-                g.in_neighbors(VertexId(v))
-            } else {
-                g.out_neighbors(VertexId(v))
+                (Side::Out, MARK_A, [&sr_a[..], &r_a[..]])
             };
-            for &w in neighbors {
-                let dw = self.dist[w as usize];
-                if dw == INF_DIST {
-                    self.dist[w as usize] = dv + 1;
-                    self.count[w as usize] = cv;
-                    self.touched.push(w);
-                    self.queue.push(w);
-                } else if dw == dv + 1 {
-                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
-                }
-            }
+            let mut topo = DirectedTopo::new(g, index, &mut self.probe, repair);
+            self.engine
+                .dec_pass(&mut topo, h, opposite, removal, &mut stats);
         }
-        (sr, r)
-    }
 
-    /// Directed `DecUPDATE` for hub `h`, repairing `target`-side labels of
-    /// vertices carrying `opposite_mark`.
-    #[allow(clippy::too_many_arguments)]
-    fn dec_update(
-        &mut self,
-        g: &DirectedGraph,
-        index: &mut DirectedSpcIndex,
-        h: VertexId,
-        target: Side,
-        opposite_mark: u8,
-        h_ab: bool,
-        removal_candidates: Vec<VertexId>,
-    ) {
-        let h_rank = index.rank(h);
-        let pinned = match target {
-            Side::In => Side::Out,
-            Side::Out => Side::In,
-        };
-        self.reset_bfs();
-        self.probe
-            .load_labels(index.label(pinned, h), index.ranks().len());
-        self.dist[h.index()] = 0;
-        self.count[h.index()] = 1;
-        self.touched.push(h.0);
-        self.queue.push(h.0);
-        let mut visited_marked: Vec<u32> = Vec::new();
-        let mut head = 0usize;
-        while head < self.queue.len() {
-            let v = self.queue[head];
-            head += 1;
-            let dv = self.dist[v as usize];
-            let q = self
-                .probe
-                .pre_query(index.label(target, VertexId(v)), h_rank);
-            if q.dist < dv {
-                continue;
-            }
-            if self.marks[v as usize] & opposite_mark != 0 {
-                let cv = self.count[v as usize];
-                let ls = index.label_mut(target, VertexId(v));
-                match ls.get(h_rank).copied() {
-                    Some(existing) if existing.dist == dv && existing.count == cv => {}
-                    _ => {
-                        ls.upsert(LabelEntry::new(h_rank, dv, cv));
-                    }
-                }
-                self.updated[v as usize] = true;
-                visited_marked.push(v);
-            }
-            let cv = self.count[v as usize];
-            let neighbors = match target {
-                Side::In => g.out_neighbors(VertexId(v)),
-                Side::Out => g.in_neighbors(VertexId(v)),
-            };
-            for &w in neighbors {
-                if h_rank > index.rank(VertexId(w)) {
-                    continue;
-                }
-                let dw = self.dist[w as usize];
-                if dw == INF_DIST {
-                    self.dist[w as usize] = dv + 1;
-                    self.count[w as usize] = cv;
-                    self.touched.push(w);
-                    self.queue.push(w);
-                } else if dw == dv + 1 {
-                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
-                }
-            }
-        }
-        if h_ab {
-            for u in removal_candidates {
-                if !self.updated[u.index()]
-                    && index.label_mut(target, u).remove(h_rank).is_some()
-                {}
-            }
-        }
-        for v in visited_marked {
-            self.updated[v as usize] = false;
-        }
+        self.engine.clear_marks();
+        Ok(stats)
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::build::HpSpcBuilder;
 use crate::dec::{DecSpc, DecStats, SrrOutcome};
+use crate::engine::{ordered_key, OpCounters};
 use crate::inc::{IncSpc, IncStats};
 use crate::index::{IndexStats, SpcIndex};
 use crate::label::Count;
@@ -27,6 +28,12 @@ pub enum UpdateKind {
     InsertVertex,
     /// Vertex deletion (a DecSPC cascade over incident edges).
     DeleteVertex,
+    /// Edge-weight change on the weighted facade (incremental machinery
+    /// for decreases, decremental for increases).
+    WeightChange,
+    /// A coalesced batch ([`DynamicSpc::apply_batch`] and the directed and
+    /// weighted equivalents).
+    Batch,
 }
 
 /// Unified per-update label-operation counters.
@@ -51,6 +58,35 @@ pub struct UpdateStats {
 }
 
 impl UpdateStats {
+    /// Zeroed counters tagged with `kind` — accumulation seed for cascades
+    /// and batches.
+    pub fn empty(kind: UpdateKind) -> Self {
+        UpdateStats {
+            kind,
+            renew_count: 0,
+            renew_dist: 0,
+            inserted: 0,
+            removed: 0,
+            hubs_processed: 0,
+            vertices_visited: 0,
+            isolated_fast_path: false,
+        }
+    }
+
+    /// Wraps raw engine counters.
+    pub(crate) fn from_counters(kind: UpdateKind, c: OpCounters) -> Self {
+        UpdateStats {
+            kind,
+            renew_count: c.renew_count,
+            renew_dist: c.renew_dist,
+            inserted: c.inserted,
+            removed: c.removed,
+            hubs_processed: c.hubs_processed,
+            vertices_visited: c.vertices_visited,
+            isolated_fast_path: false,
+        }
+    }
+
     fn from_inc(s: IncStats) -> Self {
         UpdateStats {
             kind: UpdateKind::InsertEdge,
@@ -75,6 +111,18 @@ impl UpdateStats {
             vertices_visited: s.vertices_visited,
             isolated_fast_path: s.isolated_fast_path,
         }
+    }
+
+    /// Accumulates another update's counters (kind and the fast-path flag
+    /// keep the receiver's values except that the flag ORs).
+    pub fn absorb(&mut self, other: &UpdateStats) {
+        self.renew_count += other.renew_count;
+        self.renew_dist += other.renew_dist;
+        self.inserted += other.inserted;
+        self.removed += other.removed;
+        self.hubs_processed += other.hubs_processed;
+        self.vertices_visited += other.vertices_visited;
+        self.isolated_fast_path |= other.isolated_fast_path;
     }
 
     /// Total label operations performed.
@@ -176,7 +224,9 @@ impl DynamicSpc {
         a: VertexId,
         b: VertexId,
     ) -> Result<(UpdateStats, SrrOutcome)> {
-        let (stats, srr) = self.dec.delete_edge(&mut self.graph, &mut self.index, a, b)?;
+        let (stats, srr) = self
+            .dec
+            .delete_edge(&mut self.graph, &mut self.index, a, b)?;
         self.updates_since_build += 1;
         Ok((UpdateStats::from_dec(stats), srr))
     }
@@ -192,25 +242,14 @@ impl DynamicSpc {
 
     /// Adds a vertex already connected to `neighbors` — modeled, per §3, as
     /// an isolated insertion followed by IncSPC per edge.
-    pub fn add_vertex_connected(&mut self, neighbors: &[VertexId]) -> Result<(VertexId, UpdateStats)> {
+    pub fn add_vertex_connected(
+        &mut self,
+        neighbors: &[VertexId],
+    ) -> Result<(VertexId, UpdateStats)> {
         let v = self.add_vertex();
-        let mut total = UpdateStats {
-            kind: UpdateKind::InsertVertex,
-            renew_count: 0,
-            renew_dist: 0,
-            inserted: 0,
-            removed: 0,
-            hubs_processed: 0,
-            vertices_visited: 0,
-            isolated_fast_path: false,
-        };
+        let mut total = UpdateStats::empty(UpdateKind::InsertVertex);
         for &u in neighbors {
-            let s = self.insert_edge(v, u)?;
-            total.renew_count += s.renew_count;
-            total.renew_dist += s.renew_dist;
-            total.inserted += s.inserted;
-            total.hubs_processed += s.hubs_processed;
-            total.vertices_visited += s.vertices_visited;
+            total.absorb(&self.insert_edge(v, u)?);
         }
         Ok((v, total))
     }
@@ -221,27 +260,15 @@ impl DynamicSpc {
         if !self.graph.contains_vertex(v) {
             return Err(dspc_graph::GraphError::UnknownVertex(v));
         }
-        let mut total = UpdateStats {
-            kind: UpdateKind::DeleteVertex,
-            renew_count: 0,
-            renew_dist: 0,
-            inserted: 0,
-            removed: 0,
-            hubs_processed: 0,
-            vertices_visited: 0,
-            isolated_fast_path: false,
-        };
+        let mut total = UpdateStats::empty(UpdateKind::DeleteVertex);
         // Delete incident edges one at a time (neighbor list snapshot).
         let neighbors: Vec<u32> = self.graph.neighbors(v).to_vec();
         for u in neighbors {
-            let s = self.delete_edge(v, VertexId(u))?;
-            total.renew_count += s.renew_count;
-            total.renew_dist += s.renew_dist;
-            total.inserted += s.inserted;
-            total.removed += s.removed;
-            total.hubs_processed += s.hubs_processed;
-            total.vertices_visited += s.vertices_visited;
+            total.absorb(&self.delete_edge(v, VertexId(u))?);
         }
+        // The cascade's fast-path flag describes sub-deletions, not the
+        // vertex deletion itself.
+        total.isolated_fast_path = false;
         // Retire the now-isolated vertex; its self label stays (harmless)
         // so that the id space and rank map remain aligned.
         self.graph.delete_vertex(v)?;
@@ -256,16 +283,9 @@ impl DynamicSpc {
             GraphUpdate::DeleteEdge(a, b) => self.delete_edge(a, b),
             GraphUpdate::InsertVertex => {
                 self.add_vertex();
-                Ok(UpdateStats {
-                    kind: UpdateKind::InsertVertex,
-                    renew_count: 0,
-                    renew_dist: 0,
-                    inserted: 1,
-                    removed: 0,
-                    hubs_processed: 0,
-                    vertices_visited: 0,
-                    isolated_fast_path: false,
-                })
+                let mut s = UpdateStats::empty(UpdateKind::InsertVertex);
+                s.inserted = 1;
+                Ok(s)
             }
             GraphUpdate::DeleteVertex(v) => self.delete_vertex(v),
         }
@@ -274,6 +294,75 @@ impl DynamicSpc {
     /// Applies a whole stream, returning per-update stats.
     pub fn apply_stream(&mut self, updates: &[GraphUpdate]) -> Result<Vec<UpdateStats>> {
         updates.iter().map(|&u| self.apply(u)).collect()
+    }
+
+    /// Applies `updates` as one epoch: edge operations are deduplicated and
+    /// coalesced (an insert and a delete of the same edge cancel; a delete
+    /// followed by a re-insert is a topological no-op), the surviving net
+    /// operations run through the engine in rank-friendly order, and the
+    /// aggregated label-operation counters come back as one
+    /// [`UpdateStats`].
+    ///
+    /// This is the write-side epoch boundary the serving story assumes:
+    /// [`crate::parallel::par_batch_query`] fans queries out between
+    /// batches, and the index is never observed mid-batch.
+    ///
+    /// Validation mirrors [`DynamicSpc::apply_stream`]: each edge op must
+    /// be valid against the state left by the ops before it (inserting a
+    /// present edge or deleting a missing one errors), and every edge op in
+    /// a segment is validated before the first one is applied. Vertex
+    /// operations act as barriers: pending edge ops flush first, then the
+    /// vertex op applies, preserving sequential meaning.
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<UpdateStats> {
+        let mut total = UpdateStats::empty(UpdateKind::Batch);
+        let mut co: crate::engine::EdgeCoalescer<()> = crate::engine::EdgeCoalescer::new();
+        for &u in updates {
+            match u {
+                GraphUpdate::InsertEdge(a, b) => {
+                    let (graph, key) = (&self.graph, ordered_key(a, b));
+                    crate::engine::check_endpoints(a, b, |v| graph.contains_vertex(v))?;
+                    co.fold_insert(key, (), || graph.has_edge(a, b).then_some(()))?;
+                }
+                GraphUpdate::DeleteEdge(a, b) => {
+                    let (graph, key) = (&self.graph, ordered_key(a, b));
+                    crate::engine::check_endpoints(a, b, |v| graph.contains_vertex(v))?;
+                    co.fold_remove(key, || graph.has_edge(a, b).then_some(()))?;
+                }
+                GraphUpdate::InsertVertex | GraphUpdate::DeleteVertex(_) => {
+                    self.flush_batch_segment(&mut co, &mut total)?;
+                    total.absorb(&self.apply(u)?);
+                }
+            }
+        }
+        self.flush_batch_segment(&mut co, &mut total)?;
+        Ok(total)
+    }
+
+    /// Applies one coalesced segment: net deletions first, then net
+    /// insertions, each ordered by the higher-ranked endpoint (ascending
+    /// rank position) — a heuristic that settles the labels of top hubs
+    /// before lower-ranked updates consult them, trimming repeat renewals.
+    fn flush_batch_segment(
+        &mut self,
+        co: &mut crate::engine::EdgeCoalescer<()>,
+        total: &mut UpdateStats,
+    ) -> Result<()> {
+        if co.is_empty() {
+            return Ok(());
+        }
+        let index = &self.index;
+        let plan = crate::engine::NetPlan::build(co.drain(), |v| index.rank(VertexId(v)));
+        for op in plan.into_ops() {
+            total.absorb(&match op {
+                crate::engine::NetOp::Delete(a, b) => self.delete_edge(a, b)?,
+                crate::engine::NetOp::Insert(a, b, ()) => self.insert_edge(a, b)?,
+                crate::engine::NetOp::Rewrite(..) => {
+                    unreachable!("unit payloads cannot rewrite")
+                }
+            });
+        }
+        total.isolated_fast_path = false;
+        Ok(())
     }
 
     /// Index size/shape statistics (Table 4's "L Size").
@@ -340,9 +429,7 @@ mod tests {
     #[test]
     fn vertex_lifecycle() {
         let mut d = DynamicSpc::build(figure2_g(), OrderingStrategy::Degree);
-        let (v, _) = d
-            .add_vertex_connected(&[VertexId(0), VertexId(9)])
-            .unwrap();
+        let (v, _) = d.add_vertex_connected(&[VertexId(0), VertexId(9)]).unwrap();
         assert_eq!(v, VertexId(12));
         verify_all_pairs(d.graph(), d.index()).unwrap();
         // New vertex creates a shortcut 0–9 of length 2.
@@ -399,6 +486,121 @@ mod tests {
         assert_eq!(d.query(VertexId(1), VertexId(3)), None);
         assert_eq!(d.query(VertexId(0), VertexId(3)), Some((1, 1)));
         assert_eq!(d.query(VertexId(1), VertexId(2)), Some((1, 1)));
+    }
+
+    #[test]
+    fn apply_batch_coalesces_and_matches_sequential() {
+        // Same ops, batch vs stream: identical final graphs and queries.
+        let base = figure2_g();
+        let ops = [
+            GraphUpdate::InsertEdge(VertexId(3), VertexId(9)),
+            GraphUpdate::DeleteEdge(VertexId(1), VertexId(2)),
+            GraphUpdate::DeleteEdge(VertexId(3), VertexId(9)), // cancels the insert
+            GraphUpdate::InsertEdge(VertexId(0), VertexId(10)),
+        ];
+        let mut batched = DynamicSpc::build(base.clone(), OrderingStrategy::Degree);
+        let stats = batched.apply_batch(&ops).unwrap();
+        assert_eq!(stats.kind, UpdateKind::Batch);
+        let mut streamed = DynamicSpc::build(base, OrderingStrategy::Degree);
+        streamed.apply_stream(&ops).unwrap();
+        assert_eq!(batched.graph().num_edges(), streamed.graph().num_edges());
+        for s in batched.graph().vertices() {
+            for t in batched.graph().vertices() {
+                assert_eq!(batched.query(s, t), streamed.query(s, t), "({s:?},{t:?})");
+            }
+        }
+        verify_all_pairs(batched.graph(), batched.index()).unwrap();
+        // The cancelled edge never exists in the batched graph.
+        assert!(!batched.graph().has_edge(VertexId(3), VertexId(9)));
+    }
+
+    #[test]
+    fn apply_batch_validates_like_the_stream() {
+        let mut d = DynamicSpc::build(figure2_g(), OrderingStrategy::Degree);
+        // Inserting an existing edge fails even inside a batch…
+        assert!(d
+            .apply_batch(&[GraphUpdate::InsertEdge(VertexId(0), VertexId(1))])
+            .is_err());
+        // …unless a preceding batched delete removed it first.
+        let stats = d
+            .apply_batch(&[
+                GraphUpdate::DeleteEdge(VertexId(0), VertexId(1)),
+                GraphUpdate::InsertEdge(VertexId(0), VertexId(1)),
+            ])
+            .unwrap();
+        // Delete + re-insert nets out: no maintenance ran at all.
+        assert_eq!(stats.total_ops(), 0);
+        assert!(d.graph().has_edge(VertexId(0), VertexId(1)));
+        // Deleting a missing edge fails, and double-delete inside a batch
+        // fails at fold time (before anything is applied).
+        assert!(d
+            .apply_batch(&[GraphUpdate::DeleteEdge(VertexId(0), VertexId(9))])
+            .is_err());
+        assert!(d
+            .apply_batch(&[
+                GraphUpdate::DeleteEdge(VertexId(0), VertexId(1)),
+                GraphUpdate::DeleteEdge(VertexId(0), VertexId(1)),
+            ])
+            .is_err());
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+    }
+
+    #[test]
+    fn apply_batch_rejects_bad_endpoints_before_applying_anything() {
+        // Presence checks alone would let an unknown-vertex op through
+        // folding and only fail mid-flush, after the reordered net plan
+        // already deleted (0, 1). Endpoint validation must fire at fold
+        // time, before any mutation.
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut d = DynamicSpc::build(g, OrderingStrategy::Degree);
+        assert!(d
+            .apply_batch(&[
+                GraphUpdate::InsertEdge(VertexId(0), VertexId(99)),
+                GraphUpdate::DeleteEdge(VertexId(0), VertexId(1)),
+            ])
+            .is_err());
+        assert!(
+            d.graph().has_edge(VertexId(0), VertexId(1)),
+            "nothing applied"
+        );
+        assert!(d
+            .apply_batch(&[GraphUpdate::InsertEdge(VertexId(2), VertexId(2))])
+            .is_err());
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+    }
+
+    #[test]
+    fn apply_batch_vertex_ops_are_barriers() {
+        let mut d = DynamicSpc::build(UndirectedGraph::with_vertices(2), OrderingStrategy::Degree);
+        let stats = d
+            .apply_batch(&[
+                GraphUpdate::InsertEdge(VertexId(0), VertexId(1)),
+                GraphUpdate::InsertVertex, // v2 — flushes the pending insert
+                GraphUpdate::InsertEdge(VertexId(1), VertexId(2)),
+                GraphUpdate::DeleteVertex(VertexId(0)),
+            ])
+            .unwrap();
+        assert!(stats.inserted >= 1);
+        assert_eq!(d.graph().num_vertices(), 2);
+        assert_eq!(d.query(VertexId(1), VertexId(2)), Some((1, 1)));
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+    }
+
+    #[test]
+    fn isolated_vertex_fast_path_through_facade() {
+        // Pendant off a triangle under degree order: deleting the pendant
+        // edge must take the §3.2.3 fast path and leave an exact index
+        // (exercises the one-pass LabelSet::reset_to_self).
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let mut d = DynamicSpc::build(g, OrderingStrategy::Degree);
+        let stats = d.delete_edge(VertexId(2), VertexId(3)).unwrap();
+        assert!(stats.isolated_fast_path);
+        assert!(stats.removed >= 1);
+        assert_eq!(d.index().label_set(VertexId(3)).len(), 1);
+        assert_eq!(d.query(VertexId(3), VertexId(0)), None);
+        assert_eq!(d.query(VertexId(3), VertexId(3)), Some((0, 1)));
+        verify_all_pairs(d.graph(), d.index()).unwrap();
+        d.index().check_invariants().unwrap();
     }
 
     #[test]

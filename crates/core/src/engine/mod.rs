@@ -1,0 +1,549 @@
+//! The shared update engine behind IncSPC and DecSPC — one implementation
+//! of the paper's hub-ordered renew/insert/remove machinery, reused by the
+//! undirected core and both extensions.
+//!
+//! Before this module existed, `inc`/`dec` (undirected), `directed::update`
+//! and `weighted::update` were three hand-copied variants of the same three
+//! traversals:
+//!
+//! * **`inc_pass`** — Algorithm 3's `IncUPDATE`: a pruned counting sweep
+//!   seeded across the new edge, renewing or inserting `(h, ·, ·)` labels
+//!   wherever the index does not already certify a strictly shorter path.
+//! * **`srr_pass`** — Algorithm 5's `SrrSEARCH` (one side): a full counting
+//!   sweep on the pre-mutation graph classifying every vertex with a
+//!   shortest path through the edge into `SR` (hub must re-sweep) or `R`
+//!   (labels may change, no sweep needed).
+//! * **`dec_pass`** — Algorithm 6's `DecUPDATE`: a rank-pruned counting
+//!   sweep from an affected hub on the post-mutation graph, repairing
+//!   labels of the opposite side's `SR ∪ R`, followed by a removal pass
+//!   over the never-reached candidates.
+//!
+//! What varies per variant is captured by [`LabelTopology`]: which
+//! adjacency to walk (undirected, directed-forward, directed-backward,
+//! weighted), which label family to read/repair (`L`, `L_in`, `L_out`,
+//! weighted `L`), the distance domain (`u32` hops vs `u64` accumulated
+//! weight — the latter switches the frontier from a FIFO queue to a binary
+//! heap), and the hub-membership test behind condition **A**. The engine
+//! owns every piece of scratch state (distance/count arrays, frontier,
+//! side marks, visited flags) plus the RenewC/RenewD/Insert/Remove
+//! counters ([`OpCounters`]) feeding Figures 8–9.
+//!
+//! ## Departure from the paper: the removal pass is unconditional
+//!
+//! Algorithm 6 removes never-updated `(h, ·, ·)` labels only when `h` is a
+//! common hub of the deleted edge's endpoints (`h ∈ L(a) ∩ L(b)`). That
+//! gate is unsound in the presence of Lemma 3.1's *kept stale labels*: a
+//! stale label's witness path can degrade under later updates until the
+//! hub no longer appears in `L(a) ∩ L(b)`, yet a deletion can raise the
+//! true distance to *meet* the stale distance — promoting the label from a
+//! harmless loser into a phantom count contributor (observed as an
+//! overcount on long hybrid streams). Removing unconditionally is safe:
+//! any label still valid after the mutation is re-established by the hub's
+//! own repair sweep (a valid `(h, d, c)` label means its witness path lies
+//! inside `G_h` at distance `d = sd(h, v)`, so the sweep reaches `v`
+//! unpruned and marks it updated), so only unjustifiable labels are
+//! dropped.
+
+use crate::label::{Count, Rank};
+use dspc_graph::VertexId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+mod batch;
+mod topology;
+
+pub(crate) use batch::{check_endpoints, ordered_key};
+pub use batch::{EdgeCoalescer, NetEdgeEffect, NetOp, NetPlan};
+pub use topology::{DirectedTopo, UndirectedTopo, WeightedTopo};
+
+/// Distance domain of one index variant.
+pub trait EngineDist: Copy + Ord + std::fmt::Debug {
+    /// The "unreachable" sentinel.
+    const INF: Self;
+
+    /// The zero distance (sweep seeds).
+    const ZERO: Self;
+
+    /// Saturating path extension (`self + len`).
+    fn extend(self, len: Self) -> Self;
+}
+
+impl EngineDist for u32 {
+    const INF: u32 = u32::MAX;
+    const ZERO: u32 = 0;
+
+    #[inline]
+    fn extend(self, len: u32) -> u32 {
+        self.saturating_add(len)
+    }
+}
+
+impl EngineDist for u64 {
+    const INF: u64 = u64::MAX;
+    const ZERO: u64 = 0;
+
+    #[inline]
+    fn extend(self, len: u64) -> u64 {
+        self.saturating_add(len)
+    }
+}
+
+/// One variant's view of "graph + index + pinned-hub probe" as the engine
+/// traverses it. Implementations borrow the graph immutably and the index
+/// mutably for the duration of one update.
+pub trait LabelTopology {
+    /// Distance domain (`u32` hops or `u64` accumulated weight).
+    type Dist: EngineDist;
+
+    /// Whether sweeps must settle in distance order (Dijkstra) rather than
+    /// FIFO order (unit-length BFS).
+    const DIJKSTRA: bool;
+
+    /// Rank of vertex `v`.
+    fn rank(&self, v: u32) -> Rank;
+
+    /// Pins the hub-side label set of `x` for subsequent
+    /// [`probe_query`](Self::probe_query) calls. Directed views pin the
+    /// family opposite to the one being repaired.
+    fn load_probe(&mut self, x: VertexId);
+
+    /// `SpcQUERY(pinned, v)` against the repaired family.
+    fn probe_query(&self, v: VertexId) -> (Self::Dist, Count);
+
+    /// `PreQUERY(pinned, v)`: hubs ranked strictly above `limit` only.
+    fn probe_pre_query(&self, v: VertexId, limit: Rank) -> (Self::Dist, Count);
+
+    /// Visits each traversal neighbor of `v` with its edge length.
+    fn for_each_neighbor<F: FnMut(u32, Self::Dist)>(&self, v: u32, f: F);
+
+    /// Entry `(hub, ·, ·)` of the repaired family at `v`, if present.
+    fn label_get(&self, v: VertexId, hub: Rank) -> Option<(Self::Dist, Count)>;
+
+    /// Inserts or replaces `(hub, d, c)` in the repaired family at `v`.
+    fn label_upsert(&mut self, v: VertexId, hub: Rank, d: Self::Dist, c: Count);
+
+    /// Removes `(hub, ·, ·)` from the repaired family at `v`; returns
+    /// whether an entry existed.
+    fn label_remove(&mut self, v: VertexId, hub: Rank) -> bool;
+
+    /// Condition **A** of Definition 3.10: is `hub` a common hub of both
+    /// endpoints (in the variant's membership family)?
+    fn is_common_hub(&self, hub: Rank, near: VertexId, far: VertexId) -> bool;
+}
+
+/// Label-operation counters shared by every variant (the RenewC / RenewD /
+/// Insert / Remove series of Figures 8–9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Labels whose count changed at unchanged distance (RenewC).
+    pub renew_count: usize,
+    /// Labels whose distance changed (RenewD).
+    pub renew_dist: usize,
+    /// Newly inserted labels (Insert).
+    pub inserted: usize,
+    /// Removed labels (Remove).
+    pub removed: usize,
+    /// Affected hubs processed.
+    pub hubs_processed: usize,
+    /// Vertices dequeued across update sweeps.
+    pub vertices_visited: usize,
+}
+
+impl OpCounters {
+    /// Total label operations.
+    pub fn total_ops(&self) -> usize {
+        self.renew_count + self.renew_dist + self.inserted + self.removed
+    }
+
+    /// Merges counters (for streams and batches).
+    pub fn absorb(&mut self, other: &OpCounters) {
+        self.renew_count += other.renew_count;
+        self.renew_dist += other.renew_dist;
+        self.inserted += other.inserted;
+        self.removed += other.removed;
+        self.hubs_processed += other.hubs_processed;
+        self.vertices_visited += other.vertices_visited;
+    }
+}
+
+/// An entry that knows its hub rank — lets [`merge_affected`] run over both
+/// unweighted [`crate::label::LabelEntry`] and weighted
+/// [`crate::weighted::WLabelEntry`] slices.
+pub trait HubBearing {
+    /// Hub rank of the entry.
+    fn hub_rank(&self) -> Rank;
+}
+
+impl HubBearing for crate::label::LabelEntry {
+    #[inline]
+    fn hub_rank(&self) -> Rank {
+        self.hub
+    }
+}
+
+impl HubBearing for crate::weighted::WLabelEntry {
+    #[inline]
+    fn hub_rank(&self) -> Rank {
+        self.hub
+    }
+}
+
+/// Merges two rank-sorted label slices into the affected-hub list
+/// `AFF = hubs(L(a)) ∪ hubs(L(b))` with per-side membership flags,
+/// in descending rank order (ascending rank position) — the snapshot every
+/// incremental update starts from (Algorithm 2 line 2).
+pub fn merge_affected<E: HubBearing>(la: &[E], lb: &[E]) -> Vec<(Rank, bool, bool)> {
+    let mut aff = Vec::with_capacity(la.len() + lb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < la.len() || j < lb.len() {
+        match (la.get(i), lb.get(j)) {
+            (Some(x), Some(y)) if x.hub_rank() == y.hub_rank() => {
+                aff.push((x.hub_rank(), true, true));
+                i += 1;
+                j += 1;
+            }
+            (Some(x), Some(y)) if x.hub_rank() < y.hub_rank() => {
+                aff.push((x.hub_rank(), true, false));
+                i += 1;
+            }
+            (Some(_), Some(y)) => {
+                aff.push((y.hub_rank(), false, true));
+                j += 1;
+            }
+            (Some(x), None) => {
+                aff.push((x.hub_rank(), true, false));
+                i += 1;
+            }
+            (None, Some(y)) => {
+                aff.push((y.hub_rank(), false, true));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    aff
+}
+
+/// Side markers for `SR ∪ R` membership.
+pub const MARK_A: u8 = 1;
+/// Second side marker.
+pub const MARK_B: u8 = 2;
+
+/// The generic maintenance engine: scratch state + the three traversal
+/// passes, parameterized over a [`LabelTopology`] view per call.
+#[derive(Debug)]
+pub struct UpdateEngine<D: EngineDist> {
+    dist: Vec<D>,
+    count: Vec<Count>,
+    /// FIFO frontier (unit-length sweeps).
+    fifo: Vec<u32>,
+    /// Priority frontier (weighted sweeps).
+    heap: BinaryHeap<Reverse<(D, u32)>>,
+    settled: Vec<bool>,
+    touched: Vec<u32>,
+    /// `SR ∪ R` side membership bits, valid between
+    /// [`set_marks`](Self::set_marks) and [`clear_marks`](Self::clear_marks).
+    marks: Vec<u8>,
+    marked: Vec<u32>,
+    /// Algorithm 6's `U[·]` visited-and-updated flags (reset per pass).
+    updated: Vec<bool>,
+}
+
+impl<D: EngineDist> UpdateEngine<D> {
+    /// Engine for graphs up to `capacity` ids.
+    pub fn new(capacity: usize) -> Self {
+        UpdateEngine {
+            dist: vec![D::INF; capacity],
+            count: vec![0; capacity],
+            fifo: Vec::new(),
+            heap: BinaryHeap::new(),
+            settled: vec![false; capacity],
+            touched: Vec::new(),
+            marks: vec![0; capacity],
+            marked: Vec::new(),
+            updated: vec![false; capacity],
+        }
+    }
+
+    /// Grows scratch arrays when the id space expanded.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.dist.len() < capacity {
+            self.dist.resize(capacity, D::INF);
+            self.count.resize(capacity, 0);
+            self.settled.resize(capacity, false);
+            self.marks.resize(capacity, 0);
+            self.updated.resize(capacity, false);
+        }
+    }
+
+    fn reset_sweep(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = D::INF;
+            self.count[v as usize] = 0;
+            self.settled[v as usize] = false;
+        }
+        self.touched.clear();
+        self.fifo.clear();
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn seed(&mut self, dijkstra: bool, v: VertexId, d: D, c: Count) {
+        self.dist[v.index()] = d;
+        self.count[v.index()] = c;
+        self.touched.push(v.0);
+        self.push_frontier(dijkstra, v.0, d);
+    }
+
+    #[inline]
+    fn push_frontier(&mut self, dijkstra: bool, v: u32, d: D) {
+        if dijkstra {
+            self.heap.push(Reverse((d, v)));
+        } else {
+            self.fifo.push(v);
+        }
+    }
+
+    /// Pops the next unsettled vertex in traversal order, marking it
+    /// settled. `head` is the FIFO cursor (unused under Dijkstra).
+    #[inline]
+    fn pop_frontier(&mut self, dijkstra: bool, head: &mut usize) -> Option<u32> {
+        if dijkstra {
+            while let Some(Reverse((_, v))) = self.heap.pop() {
+                if !self.settled[v as usize] {
+                    self.settled[v as usize] = true;
+                    return Some(v);
+                }
+            }
+            None
+        } else {
+            // Unit lengths + FIFO order: each vertex is pushed exactly once
+            // (relaxation only pushes on strict improvement from INF), so
+            // the settled check never skips here.
+            while *head < self.fifo.len() {
+                let v = self.fifo[*head];
+                *head += 1;
+                if !self.settled[v as usize] {
+                    self.settled[v as usize] = true;
+                    return Some(v);
+                }
+            }
+            None
+        }
+    }
+
+    /// Records the `SR ∪ R` sides for one decremental update.
+    pub fn set_marks(&mut self, side_a: [&[VertexId]; 2], side_b: [&[VertexId]; 2]) {
+        for (slices, bit) in [(side_a, MARK_A), (side_b, MARK_B)] {
+            for slice in slices {
+                for v in slice {
+                    if self.marks[v.index()] == 0 {
+                        self.marked.push(v.0);
+                    }
+                    self.marks[v.index()] |= bit;
+                }
+            }
+        }
+    }
+
+    /// Clears side marks after the hub loop.
+    pub fn clear_marks(&mut self) {
+        for &v in &self.marked {
+            self.marks[v as usize] = 0;
+        }
+        self.marked.clear();
+    }
+
+    /// Algorithm 3 — one incremental repair sweep for hub `h`, seeded at
+    /// `start` with `(seed_dist, seed_count)` (the hub's label at the near
+    /// endpoint, extended across the new/cheaper edge).
+    ///
+    /// Renews or inserts `(h, ·, ·)` labels wherever the current index does
+    /// not certify a strictly shorter path (the relaxed prune of Lemma 3.4
+    /// that keeps count-only changes reachable), expanding under rank
+    /// pruning (`rank(w) ≥ rank(h)` stays inside `G_h`).
+    pub fn inc_pass<T: LabelTopology<Dist = D>>(
+        &mut self,
+        topo: &mut T,
+        h: VertexId,
+        start: VertexId,
+        seed_dist: D,
+        seed_count: Count,
+        stats: &mut OpCounters,
+    ) {
+        let h_rank = topo.rank(h.0);
+        topo.load_probe(h);
+        self.reset_sweep();
+        self.seed(T::DIJKSTRA, start, seed_dist, seed_count);
+        let mut head = 0usize;
+        while let Some(v) = self.pop_frontier(T::DIJKSTRA, &mut head) {
+            stats.vertices_visited += 1;
+            let dv = self.dist[v as usize];
+            // The index already covers a strictly shorter path: the new
+            // paths through the mutated edge are not shortest here.
+            let (qd, _) = topo.probe_query(VertexId(v));
+            if qd < dv {
+                continue;
+            }
+            let cv = self.count[v as usize];
+            match topo.label_get(VertexId(v), h_rank) {
+                Some((ed, ec)) if ed == dv => {
+                    // Same length: additional shortest paths, counts add.
+                    topo.label_upsert(VertexId(v), h_rank, dv, cv.saturating_add(ec));
+                    stats.renew_count += 1;
+                }
+                Some(_) => {
+                    topo.label_upsert(VertexId(v), h_rank, dv, cv);
+                    stats.renew_dist += 1;
+                }
+                None => {
+                    topo.label_upsert(VertexId(v), h_rank, dv, cv);
+                    stats.inserted += 1;
+                }
+            }
+            self.expand_ranked(topo, v, dv, cv, h_rank);
+        }
+    }
+
+    /// Algorithm 5 (one side) — full counting sweep from `near` on the
+    /// pre-mutation graph, classifying every vertex with a shortest path to
+    /// `far` through the edge (of length `edge_len`) into `(SR, R)`.
+    pub fn srr_pass<T: LabelTopology<Dist = D>>(
+        &mut self,
+        topo: &mut T,
+        near: VertexId,
+        far: VertexId,
+        edge_len: D,
+    ) -> (Vec<VertexId>, Vec<VertexId>) {
+        let mut sr = Vec::new();
+        let mut r = Vec::new();
+        topo.load_probe(far);
+        self.reset_sweep();
+        self.seed(T::DIJKSTRA, near, D::ZERO, 1);
+        let mut head = 0usize;
+        while let Some(v) = self.pop_frontier(T::DIJKSTRA, &mut head) {
+            let dv = self.dist[v as usize];
+            let (qd, qc) = topo.probe_query(VertexId(v));
+            // Prune: no shortest path from v to `far` crosses the edge.
+            if qd == D::INF || dv.extend(edge_len) != qd {
+                continue;
+            }
+            let vr = topo.rank(v);
+            // Condition A: common hub of both endpoints.
+            // Condition B: *every* shortest path to `far` crosses the edge.
+            if topo.is_common_hub(vr, near, far) || self.count[v as usize] == qc {
+                sr.push(VertexId(v));
+            } else {
+                r.push(VertexId(v));
+            }
+            let cv = self.count[v as usize];
+            self.expand_all(topo, v, dv, cv);
+        }
+        (sr, r)
+    }
+
+    /// Algorithm 6 — one decremental repair sweep for hub `h` on the
+    /// post-mutation graph, repairing labels of vertices carrying
+    /// `opposite_mark`, then removing every never-reached candidate's
+    /// `(h, ·, ·)` label (unconditionally — see module docs).
+    pub fn dec_pass<T: LabelTopology<Dist = D>>(
+        &mut self,
+        topo: &mut T,
+        h: VertexId,
+        opposite_mark: u8,
+        removal_candidates: [&[VertexId]; 2],
+        stats: &mut OpCounters,
+    ) {
+        let h_rank = topo.rank(h.0);
+        topo.load_probe(h);
+        self.reset_sweep();
+        self.seed(T::DIJKSTRA, h, D::ZERO, 1);
+        let mut visited_marked: Vec<u32> = Vec::new();
+        let mut head = 0usize;
+        while let Some(v) = self.pop_frontier(T::DIJKSTRA, &mut head) {
+            stats.vertices_visited += 1;
+            let dv = self.dist[v as usize];
+            // PreQUERY prune: hubs ranked strictly above h (repaired this
+            // round or untouched-and-valid) certify a strictly shorter
+            // path — h tops no shortest path here.
+            let (qd, _) = topo.probe_pre_query(VertexId(v), h_rank);
+            if qd < dv {
+                continue;
+            }
+            if self.marks[v as usize] & opposite_mark != 0 {
+                let cv = self.count[v as usize];
+                match topo.label_get(VertexId(v), h_rank) {
+                    None => {
+                        topo.label_upsert(VertexId(v), h_rank, dv, cv);
+                        stats.inserted += 1;
+                    }
+                    Some((ed, _)) if ed != dv => {
+                        topo.label_upsert(VertexId(v), h_rank, dv, cv);
+                        stats.renew_dist += 1;
+                    }
+                    Some((_, ec)) if ec != cv => {
+                        topo.label_upsert(VertexId(v), h_rank, dv, cv);
+                        stats.renew_count += 1;
+                    }
+                    Some(_) => {}
+                }
+                self.updated[v as usize] = true;
+                visited_marked.push(v);
+            }
+            let cv = self.count[v as usize];
+            self.expand_ranked(topo, v, dv, cv, h_rank);
+        }
+        for side in removal_candidates {
+            for &u in side {
+                if !self.updated[u.index()] && topo.label_remove(u, h_rank) {
+                    stats.removed += 1;
+                }
+            }
+        }
+        for v in visited_marked {
+            self.updated[v as usize] = false;
+        }
+    }
+
+    /// Relaxes every neighbor inside `G_h` (rank pruning).
+    #[inline]
+    fn expand_ranked<T: LabelTopology<Dist = D>>(
+        &mut self,
+        topo: &T,
+        v: u32,
+        dv: D,
+        cv: Count,
+        h_rank: Rank,
+    ) {
+        topo.for_each_neighbor(v, |w, len| {
+            if topo.rank(w) < h_rank {
+                return; // strictly higher-ranked: outside G_h
+            }
+            self.relax(T::DIJKSTRA, w, dv.extend(len), cv);
+        });
+    }
+
+    /// Relaxes every neighbor (no rank pruning — SrrSEARCH sweeps the full
+    /// graph).
+    #[inline]
+    fn expand_all<T: LabelTopology<Dist = D>>(&mut self, topo: &T, v: u32, dv: D, cv: Count) {
+        topo.for_each_neighbor(v, |w, len| {
+            self.relax(T::DIJKSTRA, w, dv.extend(len), cv);
+        });
+    }
+
+    #[inline]
+    fn relax(&mut self, dijkstra: bool, w: u32, nd: D, cv: Count) {
+        let dw = self.dist[w as usize];
+        if nd < dw {
+            if dw == D::INF {
+                self.touched.push(w);
+            }
+            self.dist[w as usize] = nd;
+            self.count[w as usize] = cv;
+            self.push_frontier(dijkstra, w, nd);
+        } else if nd == dw && dw != D::INF {
+            self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+        }
+    }
+}

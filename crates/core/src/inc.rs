@@ -20,8 +20,8 @@
 //! distance is now an overestimate loses every query to some fresher hub,
 //! so correctness survives and update time drops.
 
+use crate::engine::{merge_affected, OpCounters, UndirectedTopo, UpdateEngine};
 use crate::index::SpcIndex;
-use crate::label::{Count, LabelEntry, Rank, INF_DIST};
 use crate::query::HubProbe;
 use dspc_graph::{UndirectedGraph, VertexId};
 
@@ -57,13 +57,23 @@ impl IncStats {
     }
 }
 
-/// Reusable IncSPC engine (Algorithm 2).
+impl From<OpCounters> for IncStats {
+    fn from(c: OpCounters) -> Self {
+        IncStats {
+            renew_count: c.renew_count,
+            renew_dist: c.renew_dist,
+            inserted: c.inserted,
+            hubs_processed: c.hubs_processed,
+            vertices_visited: c.vertices_visited,
+        }
+    }
+}
+
+/// Reusable IncSPC driver (Algorithm 2): the undirected insertion policy
+/// over the shared [`UpdateEngine`].
 #[derive(Debug)]
 pub struct IncSpc {
-    dist: Vec<u32>,
-    count: Vec<Count>,
-    queue: Vec<u32>,
-    touched: Vec<u32>,
+    engine: UpdateEngine<u32>,
     probe: HubProbe,
 }
 
@@ -71,29 +81,9 @@ impl IncSpc {
     /// Creates an engine for graphs up to `capacity` ids.
     pub fn new(capacity: usize) -> Self {
         IncSpc {
-            dist: vec![INF_DIST; capacity],
-            count: vec![0; capacity],
-            queue: Vec::new(),
-            touched: Vec::new(),
+            engine: UpdateEngine::new(capacity),
             probe: HubProbe::new(capacity),
         }
-    }
-
-    fn ensure_capacity(&mut self, capacity: usize) {
-        if self.dist.len() < capacity {
-            self.dist.resize(capacity, INF_DIST);
-            self.count.resize(capacity, 0);
-        }
-        self.probe.ensure_capacity(capacity);
-    }
-
-    fn reset_workspace(&mut self) {
-        for &v in &self.touched {
-            self.dist[v as usize] = INF_DIST;
-            self.count[v as usize] = 0;
-        }
-        self.touched.clear();
-        self.queue.clear();
     }
 
     /// Updates `index` for the insertion of `(a, b)`.
@@ -109,136 +99,39 @@ impl IncSpc {
         b: VertexId,
     ) -> IncStats {
         debug_assert!(g.has_edge(a, b), "IncSPC runs after the graph mutation");
-        self.ensure_capacity(g.capacity());
-        let mut stats = IncStats::default();
+        self.engine.ensure_capacity(g.capacity());
+        let mut stats = OpCounters::default();
 
         // AFF = {h | h ∈ L_i(a) ∪ L_i(b)}, membership snapshotted *before*
         // any label mutation, processed in descending rank order (ascending
         // rank position). Flags record which side(s) contributed the hub.
-        let mut aff: Vec<(Rank, bool, bool)> = Vec::new();
-        {
-            let la = index.label_set(a).entries();
-            let lb = index.label_set(b).entries();
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < la.len() || j < lb.len() {
-                match (la.get(i), lb.get(j)) {
-                    (Some(ea), Some(eb)) if ea.hub == eb.hub => {
-                        aff.push((ea.hub, true, true));
-                        i += 1;
-                        j += 1;
-                    }
-                    (Some(ea), Some(eb)) if ea.hub < eb.hub => {
-                        aff.push((ea.hub, true, false));
-                        i += 1;
-                    }
-                    (Some(_), Some(eb)) => {
-                        aff.push((eb.hub, false, true));
-                        j += 1;
-                    }
-                    (Some(ea), None) => {
-                        aff.push((ea.hub, true, false));
-                        i += 1;
-                    }
-                    (None, Some(eb)) => {
-                        aff.push((eb.hub, false, true));
-                        j += 1;
-                    }
-                    (None, None) => unreachable!(),
-                }
-            }
-        }
+        let aff = merge_affected(index.label_set(a).entries(), index.label_set(b).entries());
 
         let rank_a = index.rank(a);
         let rank_b = index.rank(b);
         for (h_rank, in_a, in_b) in aff {
             let h = index.vertex(h_rank);
             stats.hubs_processed += 1;
+            // IncUPDATE(h, v_a, v_b): sweep from v_b as if stepping over
+            // the new edge, seeded from the *live* label (h, d, c) ∈
+            // L(v_a) — a same-hub pass in the opposite direction may
+            // already have refreshed it.
             if in_a && h_rank <= rank_b {
-                self.inc_update(g, index, h, a, b, &mut stats);
+                if let Some(seed) = index.label_of(a, h).copied() {
+                    let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+                    self.engine
+                        .inc_pass(&mut topo, h, b, seed.dist + 1, seed.count, &mut stats);
+                }
             }
             if in_b && h_rank <= rank_a {
-                self.inc_update(g, index, h, b, a, &mut stats);
-            }
-        }
-        stats
-    }
-
-    /// Algorithm 3 — `IncUPDATE(h, v_a, v_b)`: pruned BFS from `v_b` as if
-    /// stepping over the new edge from `v_a`.
-    fn inc_update(
-        &mut self,
-        g: &UndirectedGraph,
-        index: &mut SpcIndex,
-        h: VertexId,
-        va: VertexId,
-        vb: VertexId,
-        stats: &mut IncStats,
-    ) {
-        // Seed from the *live* label (h, d, c) ∈ L(v_a); a same-hub pass in
-        // the opposite direction may already have refreshed it.
-        let Some(seed) = index.label_of(va, h).copied() else {
-            return;
-        };
-        let h_rank = index.rank(h);
-        self.reset_workspace();
-        self.probe.load(index, h);
-        self.dist[vb.index()] = seed.dist + 1;
-        self.count[vb.index()] = seed.count;
-        self.touched.push(vb.0);
-        self.queue.push(vb.0);
-        let mut head = 0usize;
-        while head < self.queue.len() {
-            let v = self.queue[head];
-            head += 1;
-            stats.vertices_visited += 1;
-            let dv = self.dist[v as usize];
-            // d_L < D[v]: the index already covers strictly shorter paths —
-            // the BFS paths through the new edge are not shortest here.
-            let q = self.probe.query(index.label_set(VertexId(v)));
-            if q.dist < dv {
-                continue;
-            }
-            let cv = self.count[v as usize];
-            // Renew or insert (h, ·, ·) ∈ L(v).
-            let ls = index.label_set_mut(VertexId(v));
-            match ls.get(h_rank).copied() {
-                Some(existing) => {
-                    if existing.dist == dv {
-                        // Same length: the BFS found *additional* shortest
-                        // paths through (a, b); counts accumulate.
-                        ls.upsert(LabelEntry::new(
-                            h_rank,
-                            dv,
-                            cv.saturating_add(existing.count),
-                        ));
-                        stats.renew_count += 1;
-                    } else {
-                        // Shorter: old paths are obsolete, counts reset.
-                        ls.upsert(LabelEntry::new(h_rank, dv, cv));
-                        stats.renew_dist += 1;
-                    }
-                }
-                None => {
-                    ls.upsert(LabelEntry::new(h_rank, dv, cv));
-                    stats.inserted += 1;
-                }
-            }
-            // Expand under rank pruning (h ≤ w).
-            for &w in g.neighbors(VertexId(v)) {
-                if h_rank > index.rank(VertexId(w)) {
-                    continue;
-                }
-                let dw = self.dist[w as usize];
-                if dw == INF_DIST {
-                    self.dist[w as usize] = dv + 1;
-                    self.count[w as usize] = cv;
-                    self.touched.push(w);
-                    self.queue.push(w);
-                } else if dw == dv + 1 {
-                    self.count[w as usize] = self.count[w as usize].saturating_add(cv);
+                if let Some(seed) = index.label_of(b, h).copied() {
+                    let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+                    self.engine
+                        .inc_pass(&mut topo, h, a, seed.dist + 1, seed.count, &mut stats);
                 }
             }
         }
+        IncStats::from(stats)
     }
 }
 

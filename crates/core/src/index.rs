@@ -11,12 +11,33 @@ use dspc_graph::VertexId;
 use serde::{Deserialize, Serialize};
 
 /// The SPC-Index of a graph (the paper's `L`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SpcIndex {
     /// `labels[v]` = `L(v)`, indexed by vertex id.
     labels: Vec<LabelSet>,
     /// The vertex total order.
     ranks: RankMap,
+    /// `hub_counts[r]` = number of label entries across the whole index
+    /// whose hub has rank `r` (self labels included). Maintained exactly by
+    /// the tracked mutators ([`SpcIndex::upsert_entry`] /
+    /// [`SpcIndex::remove_entry`] / [`SpcIndex::reset_vertex_to_self`]);
+    /// raw access through [`SpcIndex::label_set_mut`] invalidates the
+    /// counts, which are then recomputed on the next
+    /// [`SpcIndex::hub_entry_count`] call. The decremental isolated-vertex
+    /// fast path (§3.2.3) keys off these counts: emptying `L(x)` is a
+    /// complete repair exactly when no other vertex carries an
+    /// `(x, ·, ·)` label.
+    hub_counts: Vec<u32>,
+    /// Whether `hub_counts` is currently exact.
+    hub_counts_valid: bool,
+}
+
+impl PartialEq for SpcIndex {
+    fn eq(&self, other: &Self) -> bool {
+        // Hub-count bookkeeping is derived state; equality is label content
+        // plus the total order.
+        self.labels == other.labels && self.ranks == other.ranks
+    }
 }
 
 /// Size and shape statistics of an index (Table 4's "L Size" column).
@@ -40,10 +61,16 @@ impl SpcIndex {
     /// This is the correct index for an edgeless graph; [`crate::build`]
     /// populates the rest.
     pub fn self_labeled(ranks: RankMap) -> Self {
-        let labels = (0..ranks.len())
+        let labels: Vec<LabelSet> = (0..ranks.len())
             .map(|v| LabelSet::self_only(ranks.rank(VertexId(v as u32))))
             .collect();
-        SpcIndex { labels, ranks }
+        let n = labels.len();
+        SpcIndex {
+            labels,
+            ranks,
+            hub_counts: vec![1; n],
+            hub_counts_valid: true,
+        }
     }
 
     /// Number of vertices covered (id-space size).
@@ -64,10 +91,70 @@ impl SpcIndex {
         &self.labels[v.index()]
     }
 
-    /// Mutable `L(v)` — used by the update algorithms.
+    /// Raw mutable `L(v)` — wholesale construction/replacement (the
+    /// builder, the codec, tests). Invalidates the hub-entry counts; the
+    /// update engine uses the tracked mutators below instead.
     #[inline]
     pub fn label_set_mut(&mut self, v: VertexId) -> &mut LabelSet {
+        self.hub_counts_valid = false;
         &mut self.labels[v.index()]
+    }
+
+    /// Inserts or replaces `(e.hub, ·, ·) ∈ L(v)`, keeping hub-entry
+    /// counts exact. Returns the previous entry.
+    pub fn upsert_entry(&mut self, v: VertexId, e: LabelEntry) -> Option<LabelEntry> {
+        let old = self.labels[v.index()].upsert(e);
+        if self.hub_counts_valid && old.is_none() {
+            self.hub_counts[e.hub.index()] += 1;
+        }
+        old
+    }
+
+    /// Removes `(hub, ·, ·)` from `L(v)`, keeping hub-entry counts exact.
+    pub fn remove_entry(&mut self, v: VertexId, hub: Rank) -> Option<LabelEntry> {
+        let old = self.labels[v.index()].remove(hub);
+        if self.hub_counts_valid && old.is_some() {
+            self.hub_counts[hub.index()] -= 1;
+        }
+        old
+    }
+
+    /// Clears `L(v)` down to a fresh self label (the §3.2.3 isolated-vertex
+    /// repair), keeping hub-entry counts exact. Returns how many non-self
+    /// entries were dropped.
+    pub fn reset_vertex_to_self(&mut self, v: VertexId) -> usize {
+        let self_rank = self.ranks.rank(v);
+        if self.hub_counts_valid {
+            let mut had_self = false;
+            for e in self.labels[v.index()].entries() {
+                if e.hub == self_rank {
+                    had_self = true;
+                } else {
+                    self.hub_counts[e.hub.index()] -= 1;
+                }
+            }
+            if !had_self {
+                self.hub_counts[self_rank.index()] += 1;
+            }
+        }
+        self.labels[v.index()].reset_to_self(self_rank)
+    }
+
+    /// Number of label entries anywhere in the index whose hub has rank
+    /// `r` (including the hub vertex's own self label). Recomputes the
+    /// counts first if raw mutation invalidated them.
+    pub fn hub_entry_count(&mut self, r: Rank) -> u32 {
+        if !self.hub_counts_valid {
+            self.hub_counts.clear();
+            self.hub_counts.resize(self.ranks.len(), 0);
+            for ls in &self.labels {
+                for e in ls.entries() {
+                    self.hub_counts[e.hub.index()] += 1;
+                }
+            }
+            self.hub_counts_valid = true;
+        }
+        self.hub_counts[r.index()]
     }
 
     /// Rank of `v` (convenience).
@@ -89,6 +176,7 @@ impl SpcIndex {
     pub fn add_isolated_vertex(&mut self, v: VertexId) {
         let r = self.ranks.append_vertex(v);
         self.labels.push(LabelSet::self_only(r));
+        self.hub_counts.push(1);
     }
 
     /// Aggregate statistics.
@@ -99,13 +187,13 @@ impl SpcIndex {
         IndexStats {
             entries,
             packed_bytes: entries * 8,
-            wide_bytes: self
-                .labels
-                .iter()
-                .map(LabelSet::byte_size)
-                .sum(),
+            wide_bytes: self.labels.iter().map(LabelSet::byte_size).sum(),
             max_label_len: max,
-            avg_label_len: if n == 0 { 0.0 } else { entries as f64 / n as f64 },
+            avg_label_len: if n == 0 {
+                0.0
+            } else {
+                entries as f64 / n as f64
+            },
         }
     }
 

@@ -13,12 +13,18 @@
 //!   ([`query::spc_query`], Algorithm 1 of the paper).
 //! * **HP-SPC** ([`build`]) — hub-pushing index construction over a degree
 //!   ranked vertex order ([`order`]).
+//! * **[`engine::UpdateEngine`]** — the generic hub-ordered maintenance
+//!   core: one implementation of the renew/insert/remove machinery shared
+//!   by every variant, parameterized over [`engine::LabelTopology`] views.
 //! * **IncSPC** ([`inc`]) — incremental maintenance under edge/vertex
-//!   insertion (Algorithms 2–3).
+//!   insertion (Algorithms 2–3), as a thin policy over the engine.
 //! * **DecSPC** ([`dec`]) — decremental maintenance under edge/vertex
-//!   deletion, via the `SR`/`R` affected-vertex machinery (Algorithms 4–6).
+//!   deletion, via the `SR`/`R` affected-vertex machinery (Algorithms 4–6),
+//!   likewise engine-backed.
 //! * **[`dynamic::DynamicSpc`]** — the facade tying a graph and its index
-//!   together: apply updates, stream them, collect per-update statistics.
+//!   together: apply updates one by one, stream them, or coalesce them into
+//!   epochs with [`dynamic::DynamicSpc::apply_batch`] (insert + delete of
+//!   the same edge cancels before any repair runs).
 //! * **Extensions** — directed graphs ([`directed`], Appendix C.1) and
 //!   weighted graphs ([`weighted`], Appendix C.2).
 //! * **Verification** ([`verify`]) — BFS-backed oracles used by the test
@@ -55,6 +61,7 @@ pub mod build;
 pub mod dec;
 pub mod directed;
 pub mod dynamic;
+pub mod engine;
 pub mod inc;
 pub mod index;
 pub mod label;
@@ -68,7 +75,7 @@ pub mod verify;
 pub mod weighted;
 
 pub use build::{build_index, rebuild_index, HpSpcBuilder};
-pub use dynamic::{DynamicSpc, UpdateStats};
+pub use dynamic::{DynamicSpc, GraphUpdate, UpdateStats};
 pub use index::{IndexStats, SpcIndex};
 pub use label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
 pub use order::{OrderingStrategy, RankMap};

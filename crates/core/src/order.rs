@@ -82,7 +82,10 @@ impl RankMap {
         let n = order.len();
         let mut rank_of = vec![u32::MAX; n];
         for (r, &v) in order.iter().enumerate() {
-            assert!((v as usize) < n && rank_of[v as usize] == u32::MAX, "not a permutation");
+            assert!(
+                (v as usize) < n && rank_of[v as usize] == u32::MAX,
+                "not a permutation"
+            );
             rank_of[v as usize] = r as u32;
         }
         RankMap {

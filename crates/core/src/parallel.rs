@@ -26,17 +26,28 @@ pub fn par_batch_query(
     }
     let mut results = vec![QueryResult::DISCONNECTED; pairs.len()];
     let chunk = pairs.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (&(s, t), out) in pair_chunk.iter().zip(out_chunk.iter_mut()) {
                     *out = spc_query(index, s, t);
                 }
             });
         }
-    })
-    .expect("query worker panicked");
+    });
     results
+}
+
+/// [`par_batch_query`] with the thread count taken from the machine:
+/// `std::thread::available_parallelism()`, falling back to sequential
+/// evaluation when the hardware does not report one. This is the entry
+/// point a serving deployment should reach for — callers pick an explicit
+/// thread count only when partitioning cores across components.
+pub fn par_batch_query_auto(index: &SpcIndex, pairs: &[(VertexId, VertexId)]) -> Vec<QueryResult> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    par_batch_query(index, pairs, threads)
 }
 
 /// Evaluates `pairs` sequentially — the comparison baseline for
@@ -71,6 +82,26 @@ mod tests {
         for threads in [1, 2, 4, 7] {
             assert_eq!(par_batch_query(&index, &pairs, threads), seq);
         }
+    }
+
+    #[test]
+    fn auto_thread_count_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = barabasi_albert(200, 3, &mut rng);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let pairs: Vec<_> = (0..600)
+            .map(|_| {
+                (
+                    VertexId(rng.gen_range(0..200)),
+                    VertexId(rng.gen_range(0..200)),
+                )
+            })
+            .collect();
+        assert_eq!(
+            par_batch_query_auto(&index, &pairs),
+            batch_query(&index, &pairs)
+        );
+        assert!(par_batch_query_auto(&index, &[]).is_empty());
     }
 
     #[test]

@@ -107,11 +107,7 @@ fn dfs(
 
 /// Validates that `path` is a shortest `s`–`t` path in `g` according to
 /// `index` — used by tests and as a debugging aid.
-pub fn is_shortest_path(
-    g: &UndirectedGraph,
-    index: &SpcIndex,
-    path: &[VertexId],
-) -> bool {
+pub fn is_shortest_path(g: &UndirectedGraph, index: &SpcIndex, path: &[VertexId]) -> bool {
     if path.is_empty() {
         return false;
     }
@@ -155,7 +151,10 @@ mod tests {
         );
         let g2 = dspc_graph::UndirectedGraph::with_vertices(2);
         let idx2 = build_index(&g2, OrderingStrategy::Degree);
-        assert_eq!(one_shortest_path(&g2, &idx2, VertexId(0), VertexId(1)), None);
+        assert_eq!(
+            one_shortest_path(&g2, &idx2, VertexId(0), VertexId(1)),
+            None
+        );
         assert!(enumerate_shortest_paths(&g2, &idx2, VertexId(0), VertexId(1), 10).is_empty());
     }
 
@@ -223,6 +222,9 @@ mod tests {
         assert_eq!(p.len(), 3); // sd dropped 4 → 2
         assert!(is_shortest_path(&g, &index, &p));
         let all = enumerate_shortest_paths(&g, &index, VertexId(0), VertexId(9), 100);
-        assert_eq!(all.len() as u64, spc_query(&index, VertexId(0), VertexId(9)).count);
+        assert_eq!(
+            all.len() as u64,
+            spc_query(&index, VertexId(0), VertexId(9)).count
+        );
     }
 }

@@ -93,11 +93,7 @@ pub fn spc_query(index: &SpcIndex, s: VertexId, t: VertexId) -> QueryResult {
 /// `PreQUERY(s, t)` — `SpcQUERY` restricted to hubs strictly higher-ranked
 /// than `s` (§3.2.2: "the addition of the line *if h = s then break*").
 pub fn pre_query(index: &SpcIndex, s: VertexId, t: VertexId) -> QueryResult {
-    merge_labels(
-        index.label_set(s),
-        index.label_set(t),
-        Some(index.rank(s)),
-    )
+    merge_labels(index.label_set(s), index.label_set(t), Some(index.rank(s)))
 }
 
 /// Distance-only convenience wrapper over [`spc_query`].
@@ -199,8 +195,7 @@ impl HubProbe {
                 best = d;
                 count = self.count[e.hub.index()].saturating_mul(e.count);
             } else if d == best && d != INF_DIST {
-                count = count
-                    .saturating_add(self.count[e.hub.index()].saturating_mul(e.count));
+                count = count.saturating_add(self.count[e.hub.index()].saturating_mul(e.count));
             }
         }
         QueryResult { dist: best, count }
@@ -233,11 +228,25 @@ pub(crate) mod tests {
             (8, &[(0, 1, 1), (2, 2, 1), (3, 1, 1)]),
             (
                 9,
-                &[(0, 4, 4), (1, 3, 2), (2, 3, 1), (3, 3, 1), (4, 1, 1), (6, 2, 1)],
+                &[
+                    (0, 4, 4),
+                    (1, 3, 2),
+                    (2, 3, 1),
+                    (3, 3, 1),
+                    (4, 1, 1),
+                    (6, 2, 1),
+                ],
             ),
             (
                 10,
-                &[(0, 3, 1), (1, 2, 1), (3, 4, 1), (4, 2, 1), (6, 1, 1), (9, 1, 1)],
+                &[
+                    (0, 3, 1),
+                    (1, 2, 1),
+                    (3, 4, 1),
+                    (4, 2, 1),
+                    (6, 1, 1),
+                    (9, 1, 1),
+                ],
             ),
             (11, &[(0, 1, 1)]),
         ];

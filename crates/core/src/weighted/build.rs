@@ -112,9 +112,7 @@ impl WeightedBuilder {
                 continue;
             }
             self.settled[v as usize] = true;
-            let q = self
-                .probe
-                .query_limited(index.label_set(VertexId(v)), None);
+            let q = self.probe.query_limited(index.label_set(VertexId(v)), None);
             if q.dist < d {
                 continue;
             }

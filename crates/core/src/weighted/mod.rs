@@ -16,9 +16,11 @@ pub mod update;
 pub use build::{build_weighted_index, WeightedBuilder};
 pub use update::{WeightedDecSpc, WeightedIncSpc};
 
+use crate::dynamic::{UpdateKind, UpdateStats};
+use crate::engine::{ordered_key, EdgeCoalescer};
 use crate::label::{Count, Rank};
 use crate::order::OrderingStrategy;
-use dspc_graph::weighted::{WDist, WeightedGraph, WDIST_INF};
+use dspc_graph::weighted::{WDist, Weight, WeightedGraph, WDIST_INF};
 use dspc_graph::VertexId;
 use serde::{Deserialize, Serialize};
 
@@ -351,16 +353,18 @@ impl DynamicWeightedSpc {
         a: VertexId,
         b: VertexId,
         w: dspc_graph::Weight,
-    ) -> dspc_graph::Result<()> {
+    ) -> dspc_graph::Result<UpdateStats> {
         self.graph.insert_edge(a, b, w)?;
-        self.inc.apply(&self.graph, &mut self.index, a, b, w);
-        Ok(())
+        let c = self.inc.apply(&self.graph, &mut self.index, a, b, w);
+        Ok(UpdateStats::from_counters(UpdateKind::InsertEdge, c))
     }
 
     /// Deletes edge `(a, b)` (decremental update).
-    pub fn delete_edge(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<()> {
-        self.dec
-            .delete_edge(&mut self.graph, &mut self.index, a, b)
+    pub fn delete_edge(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<UpdateStats> {
+        let c = self
+            .dec
+            .delete_edge(&mut self.graph, &mut self.index, a, b)?;
+        Ok(UpdateStats::from_counters(UpdateKind::DeleteEdge, c))
     }
 
     /// Adds an isolated vertex at the lowest rank (O(1) on the index).
@@ -390,23 +394,78 @@ impl DynamicWeightedSpc {
         a: VertexId,
         b: VertexId,
         w: dspc_graph::Weight,
-    ) -> dspc_graph::Result<()> {
+    ) -> dspc_graph::Result<UpdateStats> {
         let old = self
             .graph
             .weight(a, b)
             .ok_or(dspc_graph::GraphError::MissingEdge(a, b))?;
         if w == old {
-            return Ok(());
+            return Ok(UpdateStats::empty(UpdateKind::WeightChange));
         }
         if w < old {
             self.graph.set_weight(a, b, w)?;
-            self.inc.apply(&self.graph, &mut self.index, a, b, w);
-            Ok(())
+            let c = self.inc.apply(&self.graph, &mut self.index, a, b, w);
+            Ok(UpdateStats::from_counters(UpdateKind::WeightChange, c))
         } else {
-            self.dec
-                .increase_weight(&mut self.graph, &mut self.index, a, b, w)
+            let c = self
+                .dec
+                .increase_weight(&mut self.graph, &mut self.index, a, b, w)?;
+            Ok(UpdateStats::from_counters(UpdateKind::WeightChange, c))
         }
     }
+
+    /// Applies `updates` as one epoch: per-edge operations fold into their
+    /// net effect (insert + delete cancels; consecutive weight changes
+    /// collapse to the last; delete + re-insert at the original weight is
+    /// a no-op, at a different weight a plain weight change), then the net
+    /// operations run in rank-friendly order — deletions, then weight
+    /// changes, then insertions, each ordered by the higher-ranked
+    /// endpoint. Returns the aggregated [`UpdateStats`]. Validation
+    /// mirrors applying the operations one by one.
+    pub fn apply_batch(&mut self, updates: &[WeightedUpdate]) -> dspc_graph::Result<UpdateStats> {
+        let mut co: EdgeCoalescer<Weight> = EdgeCoalescer::new();
+        for &u in updates {
+            match u {
+                WeightedUpdate::InsertEdge(a, b, w) => {
+                    let graph = &self.graph;
+                    crate::engine::check_endpoints(a, b, |v| graph.contains_vertex(v))?;
+                    co.fold_insert(ordered_key(a, b), w, || graph.weight(a, b))?;
+                }
+                WeightedUpdate::DeleteEdge(a, b) => {
+                    let graph = &self.graph;
+                    crate::engine::check_endpoints(a, b, |v| graph.contains_vertex(v))?;
+                    co.fold_remove(ordered_key(a, b), || graph.weight(a, b))?;
+                }
+                WeightedUpdate::SetWeight(a, b, w) => {
+                    let graph = &self.graph;
+                    crate::engine::check_endpoints(a, b, |v| graph.contains_vertex(v))?;
+                    co.fold_rewrite(ordered_key(a, b), w, || graph.weight(a, b))?;
+                }
+            }
+        }
+        let index = &self.index;
+        let plan = crate::engine::NetPlan::build(co.drain(), |v| index.rank(VertexId(v)));
+        let mut total = UpdateStats::empty(UpdateKind::Batch);
+        for op in plan.into_ops() {
+            total.absorb(&match op {
+                crate::engine::NetOp::Delete(a, b) => self.delete_edge(a, b)?,
+                crate::engine::NetOp::Rewrite(a, b, w) => self.set_weight(a, b, w)?,
+                crate::engine::NetOp::Insert(a, b, w) => self.insert_edge(a, b, w)?,
+            });
+        }
+        Ok(total)
+    }
+}
+
+/// A weighted topological update, for batch application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightedUpdate {
+    /// Insert edge `(a, b)` with the given weight.
+    InsertEdge(VertexId, VertexId, Weight),
+    /// Delete edge `(a, b)`.
+    DeleteEdge(VertexId, VertexId),
+    /// Change the weight of existing edge `(a, b)`.
+    SetWeight(VertexId, VertexId, Weight),
 }
 
 #[cfg(test)]

@@ -9,90 +9,21 @@
 //!   vertex condition becomes `sd_i(v, a) + w_ab = sd_i(v, b)` (weight, not
 //!   hops). `SrrSEARCH` runs Dijkstra on the old graph; `DecUPDATE` runs
 //!   rank-pruned Dijkstra from each `SR` hub on the new graph with
-//!   `PreQUERY` pruning and the common-hub removal pass.
+//!   `PreQUERY` pruning and the (unconditional — see [`crate::engine`])
+//!   removal pass.
 
-use super::{WHubProbe, WLabelEntry, WeightedSpcIndex};
-use crate::label::{Count, Rank};
-use dspc_graph::weighted::{WDist, Weight, WeightedGraph, WDIST_INF};
+use super::{WHubProbe, WeightedSpcIndex};
+use crate::engine::{merge_affected, OpCounters, UpdateEngine, WeightedTopo, MARK_A, MARK_B};
+use crate::label::Rank;
+use dspc_graph::weighted::{WDist, Weight, WeightedGraph};
 use dspc_graph::VertexId;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-const MARK_A: u8 = 1;
-const MARK_B: u8 = 2;
-
-/// Shared Dijkstra workspace.
-#[derive(Debug)]
-struct Workspace {
-    dist: Vec<WDist>,
-    count: Vec<Count>,
-    settled: Vec<bool>,
-    heap: BinaryHeap<Reverse<(WDist, u32)>>,
-    touched: Vec<u32>,
-}
-
-impl Workspace {
-    fn new(capacity: usize) -> Self {
-        Workspace {
-            dist: vec![WDIST_INF; capacity],
-            count: vec![0; capacity],
-            settled: vec![false; capacity],
-            heap: BinaryHeap::new(),
-            touched: Vec::new(),
-        }
-    }
-
-    fn ensure_capacity(&mut self, capacity: usize) {
-        if self.dist.len() < capacity {
-            self.dist.resize(capacity, WDIST_INF);
-            self.count.resize(capacity, 0);
-            self.settled.resize(capacity, false);
-        }
-    }
-
-    fn reset(&mut self) {
-        for &v in &self.touched {
-            self.dist[v as usize] = WDIST_INF;
-            self.count[v as usize] = 0;
-            self.settled[v as usize] = false;
-        }
-        self.touched.clear();
-        self.heap.clear();
-    }
-
-    fn seed(&mut self, v: VertexId, d: WDist, c: Count) {
-        self.dist[v.index()] = d;
-        self.count[v.index()] = c;
-        self.touched.push(v.0);
-        self.heap.push(Reverse((d, v.0)));
-    }
-
-    /// Relaxes `(w, weight)` from settled `v`; respects rank pruning via
-    /// the `allow` predicate.
-    fn relax<F: Fn(u32) -> bool>(&mut self, v: u32, w: u32, wt: Weight, allow: &F) {
-        if !allow(w) {
-            return;
-        }
-        let nd = self.dist[v as usize] + wt as WDist;
-        let dw = self.dist[w as usize];
-        if nd < dw {
-            if dw == WDIST_INF {
-                self.touched.push(w);
-            }
-            self.dist[w as usize] = nd;
-            self.count[w as usize] = self.count[v as usize];
-            self.heap.push(Reverse((nd, w)));
-        } else if nd == dw {
-            self.count[w as usize] =
-                self.count[w as usize].saturating_add(self.count[v as usize]);
-        }
-    }
-}
-
-/// Weighted incremental engine.
+/// Weighted incremental driver: the insertion/weight-decrease policy over
+/// the shared [`UpdateEngine`], running partial Dijkstras through
+/// [`WeightedTopo`] views.
 #[derive(Debug)]
 pub struct WeightedIncSpc {
-    ws: Workspace,
+    engine: UpdateEngine<WDist>,
     probe: WHubProbe,
 }
 
@@ -100,14 +31,14 @@ impl WeightedIncSpc {
     /// Creates an engine.
     pub fn new(capacity: usize) -> Self {
         WeightedIncSpc {
-            ws: Workspace::new(capacity),
+            engine: UpdateEngine::new(capacity),
             probe: WHubProbe::new(capacity),
         }
     }
 
     /// Repairs `index` after edge `(a, b)` was inserted with weight `w`, or
     /// after its weight *decreased* to `w`. `g` must already reflect the
-    /// change.
+    /// change. Returns the label-operation counters.
     pub fn apply(
         &mut self,
         g: &WeightedGraph,
@@ -115,144 +46,71 @@ impl WeightedIncSpc {
         a: VertexId,
         b: VertexId,
         w: Weight,
-    ) {
+    ) -> OpCounters {
         debug_assert_eq!(g.weight(a, b), Some(w));
-        self.ws.ensure_capacity(g.capacity());
-        self.probe.ensure_capacity(index.ranks().len());
-        let mut aff: Vec<(Rank, bool, bool)> = Vec::new();
-        {
-            let la = index.label_set(a).entries();
-            let lb = index.label_set(b).entries();
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < la.len() || j < lb.len() {
-                match (la.get(i), lb.get(j)) {
-                    (Some(x), Some(y)) if x.hub == y.hub => {
-                        aff.push((x.hub, true, true));
-                        i += 1;
-                        j += 1;
-                    }
-                    (Some(x), Some(y)) if x.hub < y.hub => {
-                        aff.push((x.hub, true, false));
-                        i += 1;
-                    }
-                    (Some(_), Some(y)) => {
-                        aff.push((y.hub, false, true));
-                        j += 1;
-                    }
-                    (Some(x), None) => {
-                        aff.push((x.hub, true, false));
-                        i += 1;
-                    }
-                    (None, Some(y)) => {
-                        aff.push((y.hub, false, true));
-                        j += 1;
-                    }
-                    (None, None) => unreachable!(),
-                }
-            }
-        }
+        self.engine.ensure_capacity(g.capacity());
+        let mut stats = OpCounters::default();
+        let aff = merge_affected(index.label_set(a).entries(), index.label_set(b).entries());
         let (rank_a, rank_b) = (index.rank(a), index.rank(b));
         for (h_rank, in_a, in_b) in aff {
             let h = index.vertex(h_rank);
+            stats.hubs_processed += 1;
             if in_a && h_rank <= rank_b {
-                self.inc_update(g, index, h, a, b, w);
+                if let Some(seed) = index.label_set(a).get(h_rank).copied() {
+                    let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+                    self.engine.inc_pass(
+                        &mut topo,
+                        h,
+                        b,
+                        seed.dist + w as WDist,
+                        seed.count,
+                        &mut stats,
+                    );
+                }
             }
             if in_b && h_rank <= rank_a {
-                self.inc_update(g, index, h, b, a, w);
-            }
-        }
-    }
-
-    fn inc_update(
-        &mut self,
-        g: &WeightedGraph,
-        index: &mut WeightedSpcIndex,
-        h: VertexId,
-        va: VertexId,
-        vb: VertexId,
-        w: Weight,
-    ) {
-        let h_rank = index.rank(h);
-        let Some(seed) = index.label_set(va).get(h_rank).copied() else {
-            return;
-        };
-        self.ws.reset();
-        self.probe.load(index, h);
-        self.ws.seed(vb, seed.dist + w as WDist, seed.count);
-        while let Some(Reverse((d, v))) = self.ws.heap.pop() {
-            if self.ws.settled[v as usize] {
-                continue;
-            }
-            self.ws.settled[v as usize] = true;
-            let q = self
-                .probe
-                .query_limited(index.label_set(VertexId(v)), None);
-            if q.dist < d {
-                continue;
-            }
-            let cv = self.ws.count[v as usize];
-            let ls = index.label_set_mut(VertexId(v));
-            match ls.get(h_rank).copied() {
-                Some(existing) if existing.dist == d => {
-                    ls.upsert(WLabelEntry::new(
-                        h_rank,
-                        d,
-                        cv.saturating_add(existing.count),
-                    ));
-                }
-                _ => {
-                    ls.upsert(WLabelEntry::new(h_rank, d, cv));
+                if let Some(seed) = index.label_set(b).get(h_rank).copied() {
+                    let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+                    self.engine.inc_pass(
+                        &mut topo,
+                        h,
+                        a,
+                        seed.dist + w as WDist,
+                        seed.count,
+                        &mut stats,
+                    );
                 }
             }
-            let ranks = index.ranks();
-            let allow = |w: u32| ranks.rank(VertexId(w)) > h_rank;
-            let neighbors: Vec<(u32, Weight)> = g.neighbors(VertexId(v)).to_vec();
-            for (nb, wt) in neighbors {
-                self.ws.relax(v, nb, wt, &allow);
-            }
         }
+        stats
     }
 }
 
-/// Weighted decremental engine.
+/// Weighted decremental driver: the deletion/weight-increase policy over
+/// the shared [`UpdateEngine`].
 #[derive(Debug)]
 pub struct WeightedDecSpc {
-    ws: Workspace,
+    engine: UpdateEngine<WDist>,
     probe: WHubProbe,
-    marks: Vec<u8>,
-    marked: Vec<u32>,
-    updated: Vec<bool>,
 }
 
 impl WeightedDecSpc {
     /// Creates an engine.
     pub fn new(capacity: usize) -> Self {
         WeightedDecSpc {
-            ws: Workspace::new(capacity),
+            engine: UpdateEngine::new(capacity),
             probe: WHubProbe::new(capacity),
-            marks: vec![0; capacity],
-            marked: Vec::new(),
-            updated: vec![false; capacity],
         }
     }
 
-    fn ensure_capacity(&mut self, capacity: usize) {
-        self.ws.ensure_capacity(capacity);
-        self.probe.ensure_capacity(capacity);
-        if self.marks.len() < capacity {
-            self.marks.resize(capacity, 0);
-            self.updated.resize(capacity, false);
-        }
-    }
-
-    /// Deletes edge `(a, b)` and repairs the index.
+    /// Deletes edge `(a, b)` and repairs the index. Returns the counters.
     pub fn delete_edge(
         &mut self,
         g: &mut WeightedGraph,
         index: &mut WeightedSpcIndex,
         a: VertexId,
         b: VertexId,
-    ) -> dspc_graph::Result<()> {
+    ) -> dspc_graph::Result<OpCounters> {
         let w = g
             .weight(a, b)
             .ok_or(dspc_graph::GraphError::MissingEdge(a, b))?;
@@ -260,6 +118,7 @@ impl WeightedDecSpc {
     }
 
     /// Increases the weight of `(a, b)` to `new_w` and repairs the index.
+    /// Returns the counters.
     pub fn increase_weight(
         &mut self,
         g: &mut WeightedGraph,
@@ -267,11 +126,14 @@ impl WeightedDecSpc {
         a: VertexId,
         b: VertexId,
         new_w: Weight,
-    ) -> dspc_graph::Result<()> {
+    ) -> dspc_graph::Result<OpCounters> {
         let w = g
             .weight(a, b)
             .ok_or(dspc_graph::GraphError::MissingEdge(a, b))?;
-        assert!(new_w > w, "increase_weight requires a strictly larger weight");
+        assert!(
+            new_w > w,
+            "increase_weight requires a strictly larger weight"
+        );
         self.decremental(g, index, a, b, w, Some(new_w))
     }
 
@@ -286,24 +148,21 @@ impl WeightedDecSpc {
         b: VertexId,
         old_w: Weight,
         new_w: Option<Weight>,
-    ) -> dspc_graph::Result<()> {
-        self.ensure_capacity(g.capacity());
+    ) -> dspc_graph::Result<OpCounters> {
+        self.engine.ensure_capacity(g.capacity());
+        let mut stats = OpCounters::default();
 
-        // Phase 1 — SrrSEARCH with the weighted affected condition.
-        let (sr_a, r_a) = self.srr_side(g, index, a, b, old_w);
-        let (sr_b, r_b) = self.srr_side(g, index, b, a, old_w);
-        for v in sr_a.iter().chain(&r_a) {
-            if self.marks[v.index()] == 0 {
-                self.marked.push(v.0);
-            }
-            self.marks[v.index()] |= MARK_A;
-        }
-        for v in sr_b.iter().chain(&r_b) {
-            if self.marks[v.index()] == 0 {
-                self.marked.push(v.0);
-            }
-            self.marks[v.index()] |= MARK_B;
-        }
+        // Phase 1 — SrrSEARCH with the weighted affected condition
+        // (`D[v] + old_w = sd_i(v, far)` replaces the hop condition).
+        let (sr_a, r_a) = {
+            let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+            self.engine.srr_pass(&mut topo, a, b, old_w as WDist)
+        };
+        let (sr_b, r_b) = {
+            let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+            self.engine.srr_pass(&mut topo, b, a, old_w as WDist)
+        };
+        self.engine.set_marks([&sr_a, &r_a], [&sr_b, &r_b]);
 
         match new_w {
             None => {
@@ -314,9 +173,6 @@ impl WeightedDecSpc {
             }
         }
 
-        let common_hub = |index: &WeightedSpcIndex, r: Rank| {
-            index.label_set(a).contains(r) && index.label_set(b).contains(r)
-        };
         let mut sr: Vec<(Rank, bool)> = sr_a
             .iter()
             .map(|&v| (index.rank(v), true))
@@ -325,122 +181,19 @@ impl WeightedDecSpc {
         sr.sort_unstable_by_key(|&(r, _)| r);
         for &(h_rank, from_a) in &sr {
             let h = index.vertex(h_rank);
-            let h_ab = common_hub(index, h_rank);
-            let (mask, removal): (u8, Vec<VertexId>) = if from_a {
-                (MARK_B, sr_b.iter().chain(&r_b).copied().collect())
+            stats.hubs_processed += 1;
+            let (mask, removal) = if from_a {
+                (MARK_B, [&sr_b[..], &r_b[..]])
             } else {
-                (MARK_A, sr_a.iter().chain(&r_a).copied().collect())
+                (MARK_A, [&sr_a[..], &r_a[..]])
             };
-            self.dec_update(g, index, h, mask, h_ab, removal);
+            let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+            self.engine
+                .dec_pass(&mut topo, h, mask, removal, &mut stats);
         }
 
-        for &v in &self.marked {
-            self.marks[v as usize] = 0;
-        }
-        self.marked.clear();
-        Ok(())
-    }
-
-    /// One side of the weighted `SrrSEARCH`: Dijkstra from `near` on the
-    /// old graph, pruning where `D[v] + old_w ≠ sd_i(v, far)`.
-    fn srr_side(
-        &mut self,
-        g: &WeightedGraph,
-        index: &WeightedSpcIndex,
-        near: VertexId,
-        far: VertexId,
-        old_w: Weight,
-    ) -> (Vec<VertexId>, Vec<VertexId>) {
-        let mut sr = Vec::new();
-        let mut r = Vec::new();
-        self.ws.reset();
-        self.probe.load(index, far);
-        self.ws.seed(near, 0, 1);
-        let (near_rank, far_rank) = (index.rank(near), index.rank(far));
-        while let Some(Reverse((d, v))) = self.ws.heap.pop() {
-            if self.ws.settled[v as usize] {
-                continue;
-            }
-            self.ws.settled[v as usize] = true;
-            let q = self
-                .probe
-                .query_limited(index.label_set(VertexId(v)), None);
-            if q.dist == WDIST_INF || d + old_w as WDist != q.dist {
-                continue;
-            }
-            let vr = index.rank(VertexId(v));
-            let cond_a = (vr <= near_rank && vr <= far_rank)
-                && index.label_set(near).contains(vr)
-                && index.label_set(far).contains(vr);
-            let cond_b = self.ws.count[v as usize] == q.count;
-            if cond_a || cond_b {
-                sr.push(VertexId(v));
-            } else {
-                r.push(VertexId(v));
-            }
-            let neighbors: Vec<(u32, Weight)> = g.neighbors(VertexId(v)).to_vec();
-            for (nb, wt) in neighbors {
-                self.ws.relax(v, nb, wt, &|_| true);
-            }
-        }
-        (sr, r)
-    }
-
-    /// Weighted `DecUPDATE` for hub `h` on the post-mutation graph.
-    fn dec_update(
-        &mut self,
-        g: &WeightedGraph,
-        index: &mut WeightedSpcIndex,
-        h: VertexId,
-        opposite_mark: u8,
-        h_ab: bool,
-        removal_candidates: Vec<VertexId>,
-    ) {
-        let h_rank = index.rank(h);
-        self.ws.reset();
-        self.probe.load(index, h);
-        self.ws.seed(h, 0, 1);
-        let mut visited_marked: Vec<u32> = Vec::new();
-        while let Some(Reverse((d, v))) = self.ws.heap.pop() {
-            if self.ws.settled[v as usize] {
-                continue;
-            }
-            self.ws.settled[v as usize] = true;
-            let q = self
-                .probe
-                .query_limited(index.label_set(VertexId(v)), Some(h_rank));
-            if q.dist < d {
-                continue;
-            }
-            if self.marks[v as usize] & opposite_mark != 0 {
-                let cv = self.ws.count[v as usize];
-                let ls = index.label_set_mut(VertexId(v));
-                match ls.get(h_rank).copied() {
-                    Some(existing) if existing.dist == d && existing.count == cv => {}
-                    _ => {
-                        ls.upsert(WLabelEntry::new(h_rank, d, cv));
-                    }
-                }
-                self.updated[v as usize] = true;
-                visited_marked.push(v);
-            }
-            let ranks = index.ranks();
-            let allow = |w: u32| ranks.rank(VertexId(w)) > h_rank;
-            let neighbors: Vec<(u32, Weight)> = g.neighbors(VertexId(v)).to_vec();
-            for (nb, wt) in neighbors {
-                self.ws.relax(v, nb, wt, &allow);
-            }
-        }
-        if h_ab {
-            for u in removal_candidates {
-                if !self.updated[u.index()] {
-                    index.label_set_mut(u).remove(h_rank);
-                }
-            }
-        }
-        for v in visited_marked {
-            self.updated[v as usize] = false;
-        }
+        self.engine.clear_marks();
+        Ok(stats)
     }
 }
 

@@ -42,7 +42,10 @@ impl DirectedGraph {
             if u == v {
                 continue;
             }
-            assert!((u as usize) < n && (v as usize) < n, "arc endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "arc endpoint out of range"
+            );
             out_adj[u as usize].push(v);
             in_adj[v as usize].push(u);
         }
@@ -240,7 +243,10 @@ impl DirectedGraph {
                 }
                 prev = Some(v);
                 if self.in_adj[v as usize].binary_search(&(u as u32)).is_err() {
-                    return Err(GraphError::MissingEdge(VertexId::from_index(u), VertexId(v)));
+                    return Err(GraphError::MissingEdge(
+                        VertexId::from_index(u),
+                        VertexId(v),
+                    ));
                 }
                 arcs += 1;
             }
@@ -249,7 +255,10 @@ impl DirectedGraph {
         if arcs != self.m || in_count != self.m {
             return Err(GraphError::Parse {
                 line: 0,
-                message: format!("arc count mismatch: out={arcs}, in={in_count}, m={}", self.m),
+                message: format!(
+                    "arc count mismatch: out={arcs}, in={in_count}, m={}",
+                    self.m
+                ),
             });
         }
         Ok(())
@@ -332,6 +341,9 @@ mod tests {
     fn arcs_iterator() {
         let g = DirectedGraph::from_arcs(3, &[(0, 1), (1, 2)]);
         let arcs: Vec<_> = g.arcs().collect();
-        assert_eq!(arcs, vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))]);
+        assert_eq!(
+            arcs,
+            vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))]
+        );
     }
 }

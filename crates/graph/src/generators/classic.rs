@@ -8,7 +8,9 @@ use crate::UndirectedGraph;
 
 /// Path graph `0 - 1 - … - (n-1)`.
 pub fn path_graph(n: usize) -> UndirectedGraph {
-    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect();
     UndirectedGraph::from_edges(n, &edges)
 }
 

@@ -79,10 +79,7 @@ pub fn figure4_toy() -> UndirectedGraph {
 /// `(v2, 3, 2) → (v2, 3, 1)` — both `v1` and `v2` are in `SR_a` by
 /// condition A.
 pub fn figure5_chain() -> UndirectedGraph {
-    UndirectedGraph::from_edges(
-        6,
-        &[(0, 3), (3, 4), (4, 5), (3, 1), (1, 2), (2, 4)],
-    )
+    UndirectedGraph::from_edges(6, &[(0, 3), (3, 4), (4, 5), (3, 1), (1, 2), (2, 4)])
 }
 
 #[cfg(test)]

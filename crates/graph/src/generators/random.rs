@@ -52,7 +52,9 @@ pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> UndirectedGra
         if u == v {
             continue;
         }
-        if g.insert_edge(crate::VertexId(u), crate::VertexId(v)).is_ok() {
+        if g.insert_edge(crate::VertexId(u), crate::VertexId(v))
+            .is_ok()
+        {
             inserted += 1;
         }
     }
@@ -220,11 +222,7 @@ pub fn random_orientation<R: Rng>(
 
 /// Assigns uniform random integer weights in `1..=max_w` to the edges of an
 /// unweighted graph, producing the weighted substrate for Appendix C.2.
-pub fn random_weights<R: Rng>(
-    g: &UndirectedGraph,
-    max_w: u32,
-    rng: &mut R,
-) -> WeightedGraph {
+pub fn random_weights<R: Rng>(g: &UndirectedGraph, max_w: u32, rng: &mut R) -> WeightedGraph {
     assert!(max_w >= 1);
     let triples: Vec<(u32, u32, u32)> = g
         .edges()

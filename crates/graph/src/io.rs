@@ -4,9 +4,9 @@
 //! with `#` or `%` are comments (SNAP uses `#`, Konect uses `%`). Vertex ids
 //! are arbitrary `u32`s; the reader sizes the graph by the maximum id seen.
 
-use crate::{GraphError, Result, UndirectedGraph};
 #[cfg(test)]
 use crate::VertexId;
+use crate::{GraphError, Result, UndirectedGraph};
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
@@ -57,7 +57,12 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<UndirectedGraph> {
 /// Writes a graph as edge-list text (one `u v` per line, `u < v`).
 pub fn write_edge_list<W: Write>(g: &UndirectedGraph, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# undirected simple graph: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# undirected simple graph: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{} {}", u.0, v.0)?;
     }

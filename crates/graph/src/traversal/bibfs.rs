@@ -158,9 +158,8 @@ impl BiBfsCounter {
         };
         for &w in &a.touched {
             if a.dist[w as usize] == la && b.dist[w as usize] == lb {
-                total = total.saturating_add(
-                    a.count[w as usize].saturating_mul(b.count[w as usize]),
-                );
+                total =
+                    total.saturating_add(a.count[w as usize].saturating_mul(b.count[w as usize]));
             }
         }
         Some((mu, total))

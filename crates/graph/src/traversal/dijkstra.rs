@@ -139,8 +139,7 @@ mod tests {
 
     #[test]
     fn weight_changes_alter_counts() {
-        let mut g =
-            WeightedGraph::from_weighted_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 2)]);
+        let mut g = WeightedGraph::from_weighted_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 2)]);
         let mut dj = DijkstraCounter::new(g.capacity());
         assert_eq!(dj.count(&g, VertexId(0), VertexId(2)), Some((2, 2)));
         g.set_weight(VertexId(0), VertexId(2), 1).unwrap();
@@ -166,10 +165,8 @@ mod tests {
 
     #[test]
     fn sssp_settles_all_reachable() {
-        let g = WeightedGraph::from_weighted_edges(
-            5,
-            &[(0, 1, 2), (1, 2, 2), (0, 2, 4), (2, 3, 1)],
-        );
+        let g =
+            WeightedGraph::from_weighted_edges(5, &[(0, 1, 2), (1, 2, 2), (0, 2, 4), (2, 3, 1)]);
         let mut dj = DijkstraCounter::new(g.capacity());
         let (dist, count) = dj.sssp(&g, VertexId(0));
         assert_eq!(dist[2], 4);

@@ -257,7 +257,10 @@ impl UndirectedGraph {
                 }
                 prev = Some(v);
                 if self.adj[v as usize].binary_search(&(u as u32)).is_err() {
-                    return Err(GraphError::MissingEdge(VertexId::from_index(u), VertexId(v)));
+                    return Err(GraphError::MissingEdge(
+                        VertexId::from_index(u),
+                        VertexId(v),
+                    ));
                 }
                 half_edges += 1;
             }
@@ -265,7 +268,10 @@ impl UndirectedGraph {
         if half_edges != 2 * self.m {
             return Err(GraphError::Parse {
                 line: 0,
-                message: format!("edge count mismatch: {} half-edges, m={}", half_edges, self.m),
+                message: format!(
+                    "edge count mismatch: {} half-edges, m={}",
+                    half_edges, self.m
+                ),
             });
         }
         Ok(())

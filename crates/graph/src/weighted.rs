@@ -249,7 +249,10 @@ impl WeightedGraph {
                 match self.adj[v as usize].binary_search_by_key(&(u as u32), |&(n, _)| n) {
                     Ok(i) if self.adj[v as usize][i].1 == w => {}
                     _ => {
-                        return Err(GraphError::MissingEdge(VertexId::from_index(u), VertexId(v)))
+                        return Err(GraphError::MissingEdge(
+                            VertexId::from_index(u),
+                            VertexId(v),
+                        ))
                     }
                 }
                 half += 1;
@@ -311,8 +314,7 @@ mod tests {
 
     #[test]
     fn delete_vertex_weighted() {
-        let mut g =
-            WeightedGraph::from_weighted_edges(4, &[(0, 1, 1), (1, 2, 2), (1, 3, 3)]);
+        let mut g = WeightedGraph::from_weighted_edges(4, &[(0, 1, 1), (1, 2, 2), (1, 3, 3)]);
         let removed = g.delete_vertex(VertexId(1)).unwrap();
         assert_eq!(
             removed,

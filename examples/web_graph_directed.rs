@@ -27,11 +27,9 @@ fn main() {
     let mut site = DynamicDirectedSpc::build(web, OrderingStrategy::Degree);
 
     let (home, deep) = (VertexId(0), VertexId(1234));
-    let report = |site: &DynamicDirectedSpc, label: &str| {
-        match site.query(home, deep) {
-            Some((d, c)) => println!("  {label}: {c} shortest click chain(s) of length {d}"),
-            None => println!("  {label}: unreachable"),
-        }
+    let report = |site: &DynamicDirectedSpc, label: &str| match site.query(home, deep) {
+        Some((d, c)) => println!("  {label}: {c} shortest click chain(s) of length {d}"),
+        None => println!("  {label}: unreachable"),
     };
     println!("\nNavigation home → page {}:", deep.0);
     report(&site, "initial");

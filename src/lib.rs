@@ -5,4 +5,3 @@
 pub use dspc;
 pub use dspc_apps;
 pub use dspc_graph;
-

@@ -1,0 +1,234 @@
+//! Property tests for the batch write path: for random graphs and random
+//! *valid* update batches, `apply_batch` must be query-equivalent to
+//! applying the same updates one by one, and to a from-scratch rebuild of
+//! the final graph — on all three variants (undirected, directed,
+//! weighted), ESPC-verified against the brute-force oracles in
+//! `dspc::verify`.
+
+use dspc::directed::{ArcUpdate, DynamicDirectedSpc};
+use dspc::dynamic::GraphUpdate;
+use dspc::verify::{verify_all_pairs, verify_directed_all_pairs, verify_weighted_all_pairs};
+use dspc::weighted::{DynamicWeightedSpc, WeightedUpdate};
+use dspc::{DynamicSpc, OrderingStrategy};
+use dspc_graph::{DirectedGraph, UndirectedGraph, VertexId, WeightedGraph};
+use proptest::prelude::*;
+
+/// A small random undirected graph as (n, edge list).
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
+    (3usize..max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(3 * n))
+            .prop_map(move |edges| UndirectedGraph::from_edges(n, &edges))
+    })
+}
+
+/// Raw op picks: `(is_insert, selector)` decoded against the evolving
+/// graph so every generated batch is sequentially valid.
+fn picks_strategy(len: usize) -> impl Strategy<Value = Vec<(bool, usize)>> {
+    proptest::collection::vec((proptest::bool::ANY, 0usize..1 << 16), 0..=len)
+}
+
+fn non_edges(g: &UndirectedGraph) -> Vec<(VertexId, VertexId)> {
+    let vs: Vec<VertexId> = g.vertices().collect();
+    let mut out = Vec::new();
+    for (i, &u) in vs.iter().enumerate() {
+        for &v in &vs[i + 1..] {
+            if !g.has_edge(u, v) {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Undirected: batch ≡ stream ≡ rebuild, oracle-exact.
+    #[test]
+    fn undirected_batch_equivalence(g in graph_strategy(14), picks in picks_strategy(10)) {
+        // Decode picks into a sequentially valid batch on a shadow graph.
+        let mut shadow = g.clone();
+        let mut ops: Vec<GraphUpdate> = Vec::new();
+        for (insert, sel) in picks {
+            if insert {
+                let pool = non_edges(&shadow);
+                if pool.is_empty() { continue; }
+                let (a, b) = pool[sel % pool.len()];
+                shadow.insert_edge(a, b).unwrap();
+                ops.push(GraphUpdate::InsertEdge(a, b));
+            } else {
+                let m = shadow.num_edges();
+                if m == 0 { continue; }
+                let (a, b) = shadow.nth_edge(sel % m).unwrap();
+                shadow.delete_edge(a, b).unwrap();
+                ops.push(GraphUpdate::DeleteEdge(a, b));
+            }
+        }
+
+        let mut batched = DynamicSpc::build(g.clone(), OrderingStrategy::Degree);
+        batched.apply_batch(&ops).unwrap();
+        let mut streamed = DynamicSpc::build(g, OrderingStrategy::Degree);
+        streamed.apply_stream(&ops).unwrap();
+
+        // Batch and stream land on the same graph…
+        prop_assert_eq!(batched.graph().num_edges(), streamed.graph().num_edges());
+        // …and both are ESPC-exact (hence query-equivalent to each other
+        // and to a fresh rebuild of the final graph).
+        verify_all_pairs(batched.graph(), batched.index()).unwrap();
+        verify_all_pairs(streamed.graph(), streamed.index()).unwrap();
+        let rebuilt = dspc::build_index(batched.graph(), OrderingStrategy::Degree);
+        for s in batched.graph().vertices() {
+            for t in batched.graph().vertices() {
+                prop_assert_eq!(
+                    batched.query(s, t),
+                    dspc::spc_query(&rebuilt, s, t).as_option(),
+                    "pair ({:?},{:?})", s, t
+                );
+            }
+        }
+        batched.index().check_invariants().unwrap();
+    }
+
+    /// Directed: batch ≡ stream ≡ rebuild, oracle-exact.
+    #[test]
+    fn directed_batch_equivalence(
+        n in 3usize..10,
+        arcs in proptest::collection::vec((0u32..10, 0u32..10), 0..30),
+        picks in picks_strategy(8),
+    ) {
+        let arcs: Vec<(u32, u32)> = arcs
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let g = DirectedGraph::from_arcs(n, &arcs);
+        let mut shadow = g.clone();
+        let mut ops: Vec<ArcUpdate> = Vec::new();
+        for (insert, sel) in picks {
+            if insert {
+                let mut pool = Vec::new();
+                for u in 0..n as u32 {
+                    for v in 0..n as u32 {
+                        if u != v && !shadow.has_arc(VertexId(u), VertexId(v)) {
+                            pool.push((u, v));
+                        }
+                    }
+                }
+                if pool.is_empty() { continue; }
+                let (a, b) = pool[sel % pool.len()];
+                shadow.insert_arc(VertexId(a), VertexId(b)).unwrap();
+                ops.push(ArcUpdate::InsertArc(VertexId(a), VertexId(b)));
+            } else {
+                let live: Vec<_> = shadow.arcs().collect();
+                if live.is_empty() { continue; }
+                let (a, b) = live[sel % live.len()];
+                shadow.delete_arc(a, b).unwrap();
+                ops.push(ArcUpdate::DeleteArc(a, b));
+            }
+        }
+
+        let mut batched = DynamicDirectedSpc::build(g.clone(), OrderingStrategy::Degree);
+        batched.apply_batch(&ops).unwrap();
+        let mut streamed = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+        for &op in &ops {
+            match op {
+                ArcUpdate::InsertArc(a, b) => { streamed.insert_arc(a, b).unwrap(); }
+                ArcUpdate::DeleteArc(a, b) => { streamed.delete_arc(a, b).unwrap(); }
+            }
+        }
+
+        prop_assert_eq!(batched.graph().num_arcs(), streamed.graph().num_arcs());
+        verify_directed_all_pairs(batched.graph(), batched.index()).unwrap();
+        verify_directed_all_pairs(streamed.graph(), streamed.index()).unwrap();
+        let rebuilt =
+            dspc::directed::build_directed_index(batched.graph(), OrderingStrategy::Degree);
+        for s in batched.graph().vertices() {
+            for t in batched.graph().vertices() {
+                prop_assert_eq!(
+                    batched.query(s, t),
+                    dspc::directed::directed_spc_query(&rebuilt, s, t).as_option(),
+                    "pair ({:?}→{:?})", s, t
+                );
+            }
+        }
+        batched.index().check_invariants().unwrap();
+    }
+
+    /// Weighted: batch ≡ stream ≡ rebuild, oracle-exact, including weight
+    /// rewrites folding to the last value.
+    #[test]
+    fn weighted_batch_equivalence(
+        g in graph_strategy(10),
+        weights in proptest::collection::vec(1u32..6, 32),
+        picks in proptest::collection::vec((0u32..3, 0usize..1 << 16, 1u32..7), 0..8),
+    ) {
+        let triples: Vec<(u32, u32, u32)> = g
+            .edges()
+            .enumerate()
+            .map(|(i, (u, v))| (u.0, v.0, weights[i % weights.len()]))
+            .collect();
+        let wg = WeightedGraph::from_weighted_edges(g.capacity(), &triples);
+        let mut shadow = wg.clone();
+        let mut ops: Vec<WeightedUpdate> = Vec::new();
+        for (kind, sel, w) in picks {
+            match kind {
+                0 => {
+                    let vs: Vec<VertexId> = shadow.vertices().collect();
+                    let mut pool = Vec::new();
+                    for (i, &u) in vs.iter().enumerate() {
+                        for &v in &vs[i + 1..] {
+                            if !shadow.has_edge(u, v) {
+                                pool.push((u, v));
+                            }
+                        }
+                    }
+                    if pool.is_empty() { continue; }
+                    let (a, b) = pool[sel % pool.len()];
+                    shadow.insert_edge(a, b, w).unwrap();
+                    ops.push(WeightedUpdate::InsertEdge(a, b, w));
+                }
+                1 => {
+                    let live: Vec<_> = shadow.edges().collect();
+                    if live.is_empty() { continue; }
+                    let (a, b, _) = live[sel % live.len()];
+                    shadow.delete_edge(a, b).unwrap();
+                    ops.push(WeightedUpdate::DeleteEdge(a, b));
+                }
+                _ => {
+                    let live: Vec<_> = shadow.edges().collect();
+                    if live.is_empty() { continue; }
+                    let (a, b, _) = live[sel % live.len()];
+                    shadow.set_weight(a, b, w).unwrap();
+                    ops.push(WeightedUpdate::SetWeight(a, b, w));
+                }
+            }
+        }
+
+        let mut batched = DynamicWeightedSpc::build(wg.clone(), OrderingStrategy::Degree);
+        batched.apply_batch(&ops).unwrap();
+        let mut streamed = DynamicWeightedSpc::build(wg, OrderingStrategy::Degree);
+        for &op in &ops {
+            match op {
+                WeightedUpdate::InsertEdge(a, b, w) => { streamed.insert_edge(a, b, w).unwrap(); }
+                WeightedUpdate::DeleteEdge(a, b) => { streamed.delete_edge(a, b).unwrap(); }
+                WeightedUpdate::SetWeight(a, b, w) => { streamed.set_weight(a, b, w).unwrap(); }
+            }
+        }
+
+        prop_assert_eq!(batched.graph().num_edges(), streamed.graph().num_edges());
+        verify_weighted_all_pairs(batched.graph(), batched.index()).unwrap();
+        verify_weighted_all_pairs(streamed.graph(), streamed.index()).unwrap();
+        let rebuilt =
+            dspc::weighted::build_weighted_index(batched.graph(), OrderingStrategy::Degree);
+        for s in batched.graph().vertices() {
+            for t in batched.graph().vertices() {
+                prop_assert_eq!(
+                    batched.query(s, t),
+                    dspc::weighted::weighted_spc_query(&rebuilt, s, t).as_option(),
+                    "pair ({:?},{:?})", s, t
+                );
+            }
+        }
+        batched.index().check_invariants().unwrap();
+    }
+}

@@ -64,7 +64,7 @@ fn weighted_road_network_full_lifecycle() {
             0 => {
                 let edges: Vec<_> = net.graph().edges().collect();
                 let (a, b, w) = edges[rng.gen_range(0..edges.len())];
-                net.set_weight(a, b, w + rng.gen_range(1..4)).unwrap();
+                net.set_weight(a, b, w + rng.gen_range(1..4u32)).unwrap();
             }
             1 => {
                 let edges: Vec<_> = net.graph().edges().collect();

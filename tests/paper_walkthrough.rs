@@ -24,16 +24,39 @@ const TABLE2: &[Table2Row] = &[
     (6, &[(0, 2, 1), (1, 1, 1), (4, 3, 1), (6, 0, 1)]),
     (
         7,
-        &[(0, 2, 1), (1, 3, 2), (2, 2, 1), (3, 1, 1), (4, 1, 1), (7, 0, 1)],
+        &[
+            (0, 2, 1),
+            (1, 3, 2),
+            (2, 2, 1),
+            (3, 1, 1),
+            (4, 1, 1),
+            (7, 0, 1),
+        ],
     ),
     (8, &[(0, 1, 1), (2, 2, 1), (3, 1, 1), (8, 0, 1)]),
     (
         9,
-        &[(0, 4, 4), (1, 3, 2), (2, 3, 1), (3, 3, 1), (4, 1, 1), (6, 2, 1), (9, 0, 1)],
+        &[
+            (0, 4, 4),
+            (1, 3, 2),
+            (2, 3, 1),
+            (3, 3, 1),
+            (4, 1, 1),
+            (6, 2, 1),
+            (9, 0, 1),
+        ],
     ),
     (
         10,
-        &[(0, 3, 1), (1, 2, 1), (3, 4, 1), (4, 2, 1), (6, 1, 1), (9, 1, 1), (10, 0, 1)],
+        &[
+            (0, 3, 1),
+            (1, 2, 1),
+            (3, 4, 1),
+            (4, 2, 1),
+            (6, 1, 1),
+            (9, 1, 1),
+            (10, 0, 1),
+        ],
     ),
     (11, &[(0, 1, 1), (11, 0, 1)]),
 ];

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `bytes` crate: the subset the DSPC index codec
+//! uses — [`BytesMut`] as an append-only builder, [`Bytes`] as a frozen
+//! buffer, [`BufMut`] little-endian writers, and [`Buf`] readers over
+//! `&[u8]` that advance the slice as they consume it.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (here: a plain owned `Vec<u8>` behind `Deref`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    inner: Vec<u8>,
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(inner: Vec<u8>) -> Self {
+        Bytes { inner }
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { inner: self.inner }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// Little-endian append operations.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u32` little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+/// Little-endian consuming reads. Implemented for `&[u8]`, advancing the
+/// slice binding itself (as upstream `bytes` does).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Copies exactly `dst.len()` bytes out, consuming them. Panics when
+    /// not enough bytes remain (mirrors upstream).
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_slice(b"HDR!");
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 16);
+
+        let mut rd: &[u8] = &frozen;
+        assert_eq!(rd.remaining(), 16);
+        let mut magic = [0u8; 4];
+        rd.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"HDR!");
+        assert_eq!(rd.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_u64_le(), u64::MAX - 1);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut rd: &[u8] = &[1, 2];
+        rd.get_u32_le();
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's bench targets (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `iter`/`iter_batched`) compiling and runnable without
+//! registry access. Measurement is deliberately simple: each benchmark runs
+//! a warmup pass then `sample_size` timed samples and prints mean/min wall
+//! time per iteration. No statistics, plots, or comparisons — use upstream
+//! criterion for those; numbers printed here are indicative only.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between timings (accepted, not acted on —
+/// every batch here is one input).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and minimum time per timed sample, filled by `iter*`.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup.
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size.min(self.criterion.max_samples), f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(name: &str, samples: usize, f: F) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, min)) => {
+            println!("bench {name:<48} mean {mean:>12.3?}  min {min:>12.3?}  ({samples} samples)")
+        }
+        None => println!("bench {name:<48} (no measurement taken)"),
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the offline harness quick: callers' sample_size() lowers
+        // further, never raises above this cap.
+        Criterion { max_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.max_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.id, self.max_samples, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (for `harness = false` bench
+/// targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(c: &mut Criterion) {
+        let mut group = c.benchmark_group("toy");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function(BenchmarkId::new("sum", 10), |b| {
+            b.iter(|| {
+                calls += 1;
+                (0..10u64).sum::<u64>()
+            })
+        });
+        assert!(calls >= 4, "warmup + samples should run: {calls}");
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter_batched(|| x, |x| x * x, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(toy_group, toy);
+
+    #[test]
+    fn harness_runs() {
+        toy_group();
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive macro, like
+//! the real crate with its `derive` feature) so existing `#[derive(...)]`
+//! decorations compile without registry access. The derives emit no impls —
+//! nothing in this workspace serializes through serde; the index uses the
+//! hand-rolled codec in `dspc::serialize`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

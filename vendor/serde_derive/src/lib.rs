@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace decorates types with `#[derive(Serialize, Deserialize)]`
+//! for future wire-format work but never invokes the traits (the index has
+//! its own binary codec in `dspc::serialize`). Emitting no impls keeps the
+//! derives compiling without the real proc-macro stack.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
