@@ -33,7 +33,7 @@
 //! anywhere uses as a hub (tracked exactly by the index's hub-entry
 //! counts).
 
-use crate::engine::{OpCounters, UndirectedTopo, UpdateEngine};
+use crate::engine::{OpCounters, RepairAgenda, UndirectedTopo, UpdateEngine, REPAIR_PRIMARY};
 use crate::index::SpcIndex;
 use crate::label::Rank;
 use crate::query::HubProbe;
@@ -51,8 +51,10 @@ pub struct DecStats {
     pub inserted: usize,
     /// Removed labels (Remove).
     pub removed: usize,
-    /// Affected hubs processed (|SR|).
+    /// Affected hubs processed (|SR|; one per `DecUPDATE` sweep).
     pub hubs_processed: usize,
+    /// `SrrSEARCH` classification sweeps performed.
+    pub classify_sweeps: usize,
     /// Total vertices dequeued across all update BFSs.
     pub vertices_visited: usize,
     /// Whether the isolated-vertex fast path handled the update.
@@ -65,6 +67,11 @@ impl DecStats {
         self.renew_count + self.renew_dist + self.inserted + self.removed
     }
 
+    /// Total engine sweeps (classification + repair).
+    pub fn total_sweeps(&self) -> usize {
+        self.classify_sweeps + self.hubs_processed
+    }
+
     /// Merges counters (for streams).
     pub fn absorb(&mut self, other: &DecStats) {
         self.renew_count += other.renew_count;
@@ -72,6 +79,7 @@ impl DecStats {
         self.inserted += other.inserted;
         self.removed += other.removed;
         self.hubs_processed += other.hubs_processed;
+        self.classify_sweeps += other.classify_sweeps;
         self.vertices_visited += other.vertices_visited;
     }
 }
@@ -84,6 +92,7 @@ impl From<OpCounters> for DecStats {
             inserted: c.inserted,
             removed: c.removed,
             hubs_processed: c.hubs_processed,
+            classify_sweeps: c.classify_sweeps,
             vertices_visited: c.vertices_visited,
             isolated_fast_path: false,
         }
@@ -129,6 +138,7 @@ pub enum DecMode {
 pub struct DecSpc {
     engine: UpdateEngine<u32>,
     probe: HubProbe,
+    agenda: RepairAgenda,
 }
 
 impl DecSpc {
@@ -137,6 +147,7 @@ impl DecSpc {
         DecSpc {
             engine: UpdateEngine::new(capacity),
             probe: HubProbe::new(capacity),
+            agenda: RepairAgenda::new(capacity),
         }
     }
 
@@ -198,8 +209,8 @@ impl DecSpc {
         let mut stats = OpCounters::default();
         let srr = {
             let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
-            let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1);
-            let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1);
+            let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1, &mut stats);
+            let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1, &mut stats);
             SrrOutcome {
                 sr_a,
                 sr_b,
@@ -244,6 +255,125 @@ impl DecSpc {
         Ok((DecStats::from(stats), srr))
     }
 
+    /// Multi-edge `SrrSEARCH` repair (the batch generalization of
+    /// Algorithm 4): deletes every edge of `edges` from `g` and repairs
+    /// `index` with **one** `DecUPDATE` sweep per distinct affected hub,
+    /// instead of one per edge per hub.
+    ///
+    /// Phase 1 classifies each edge on the *group-pre* graph (all of
+    /// `edges` still present); the mutation then removes the whole set;
+    /// phase 2 sweeps each hub of `⋃ SR` (descending rank, deduplicated)
+    /// against the residual graph, so every repaired label is RenewC/RenewD
+    /// relative to the graph with the *entire* deleted set absent. The
+    /// receiver/removal candidate list is the union of every classified
+    /// vertex — a superset of each edge's opposite side, safe under the
+    /// unconditional removal pass (see [`crate::engine`] module docs).
+    ///
+    /// Edges eligible for the §3.2.3 isolated-vertex fast path (a pendant
+    /// endpoint no label uses as a hub) are peeled off the group first and
+    /// deleted through [`DecSpc::delete_edge`] — they cost zero sweeps
+    /// there, so routing them through the group machinery would only *add*
+    /// classification work.
+    ///
+    /// All edges are validated present (and pairwise distinct) before the
+    /// first mutation; on error nothing is applied.
+    pub fn delete_edges(
+        &mut self,
+        g: &mut UndirectedGraph,
+        index: &mut SpcIndex,
+        edges: &[(VertexId, VertexId)],
+    ) -> dspc_graph::Result<DecStats> {
+        match edges {
+            [] => return Ok(DecStats::default()),
+            &[(a, b)] => return self.delete_edge(g, index, a, b).map(|(s, _)| s),
+            _ => {}
+        }
+        let mut keys: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            if !g.has_edge(a, b) {
+                return Err(dspc_graph::GraphError::MissingEdge(a, b));
+            }
+            keys.push(crate::engine::ordered_key(a, b));
+        }
+        if let Some((x, y)) = crate::engine::duplicate_edge_key(&mut keys) {
+            return Err(dspc_graph::GraphError::MissingEdge(
+                VertexId(x),
+                VertexId(y),
+            ));
+        }
+
+        // Peel fast-path-eligible edges off the group (checked against the
+        // evolving graph, since each peeled deletion can strand the next
+        // pendant).
+        let mut total = DecStats::default();
+        let mut group: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            let eligible = [a, b].into_iter().any(|x| {
+                let r = index.rank(x);
+                g.degree(x) == 1 && index.hub_entry_count(r) == 1
+            });
+            if eligible {
+                let (s, _) = self.delete_edge(g, index, a, b)?;
+                total.isolated_fast_path |= s.isolated_fast_path;
+                total.absorb(&s);
+            } else {
+                group.push((a, b));
+            }
+        }
+        match group[..] {
+            [] => return Ok(total),
+            [(a, b)] => {
+                let (s, _) = self.delete_edge(g, index, a, b)?;
+                total.isolated_fast_path |= s.isolated_fast_path;
+                total.absorb(&s);
+                return Ok(total);
+            }
+            _ => {}
+        }
+
+        self.engine.ensure_capacity(g.capacity());
+        self.agenda.ensure_capacity(g.capacity());
+        let mut stats = OpCounters::default();
+
+        // Phase 1 — per-edge SrrSEARCH on the group-pre graph, outcomes
+        // merged into the shared agenda.
+        for &(a, b) in &group {
+            let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+            let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1, &mut stats);
+            let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1, &mut stats);
+            self.agenda
+                .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
+            self.agenda
+                .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
+        }
+        self.engine
+            .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
+
+        // Phase boundary — G_{i+1} ← G_i ⊖ group (the whole set at once).
+        for &(a, b) in &group {
+            g.delete_edge(a, b)?;
+        }
+
+        // Phase 2 — one sweep per distinct hub on the residual graph.
+        for (h_rank, _) in self.agenda.take_hubs() {
+            let h = index.vertex(h_rank);
+            stats.hubs_processed += 1;
+            let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+            self.engine.dec_pass(
+                &mut topo,
+                h,
+                crate::engine::MARK_A,
+                [self.agenda.receivers(), &[]],
+                &mut stats,
+            );
+        }
+
+        self.engine.clear_marks();
+        self.agenda.clear();
+        total.absorb(&DecStats::from(stats));
+        Ok(total)
+    }
+
     /// Algorithm 5 — computes `SR_a, R_a` (BFS from `a`, classifying against
     /// queries to `b`) and symmetrically `SR_b, R_b`, on the pre-deletion
     /// graph. (Callers wanting the sets alongside a real deletion use
@@ -259,9 +389,10 @@ impl DecSpc {
         b: VertexId,
     ) -> SrrOutcome {
         self.engine.ensure_capacity(g.capacity());
+        let mut stats = OpCounters::default();
         let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
-        let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1);
-        let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1);
+        let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1, &mut stats);
+        let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1, &mut stats);
         SrrOutcome {
             sr_a,
             sr_b,

@@ -330,6 +330,21 @@ impl DynamicDirectedSpc {
         Ok(UpdateStats::from_counters(UpdateKind::DeleteEdge, c))
     }
 
+    /// Deletes a *set* of arcs as one epoch through the multi-arc
+    /// `SrrSEARCH` repair path ([`DirectedDecSpc::delete_arcs`]): one
+    /// repair sweep per distinct affected hub per label family, against the
+    /// residual graph with the whole set already absent. All arcs are
+    /// validated present before the first mutation.
+    pub fn delete_arcs(
+        &mut self,
+        arcs: &[(VertexId, VertexId)],
+    ) -> dspc_graph::Result<UpdateStats> {
+        let c = self
+            .dec
+            .delete_arcs(&mut self.graph, &mut self.index, arcs)?;
+        Ok(UpdateStats::from_counters(UpdateKind::Batch, c))
+    }
+
     /// Applies `updates` as one epoch: arc operations are deduplicated and
     /// coalesced (insert + delete of the same arc cancels, delete +
     /// re-insert is a topological no-op), the surviving net operations run
@@ -356,9 +371,11 @@ impl DynamicDirectedSpc {
         let index = &self.index;
         let plan = crate::engine::NetPlan::build(co.drain(), |v| index.rank(VertexId(v)));
         let mut total = UpdateStats::empty(UpdateKind::Batch);
-        for op in plan.into_ops() {
+        for group in plan.deletion_vertex_groups() {
+            total.absorb(&self.delete_arcs(&group)?);
+        }
+        for op in plan.into_post_deletion_ops() {
             total.absorb(&match op {
-                crate::engine::NetOp::Delete(a, b) => self.delete_arc(a, b)?,
                 crate::engine::NetOp::Insert(a, b, ()) => self.insert_arc(a, b)?,
                 crate::engine::NetOp::Rewrite(..) => {
                     unreachable!("unit payloads cannot rewrite")

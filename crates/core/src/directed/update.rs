@@ -18,7 +18,10 @@
 //!   removal pass as the undirected Algorithm 6.
 
 use super::{DirectedSpcIndex, Side};
-use crate::engine::{merge_affected, DirectedTopo, OpCounters, UpdateEngine, MARK_A, MARK_B};
+use crate::engine::{
+    merge_affected, DirectedTopo, OpCounters, RepairAgenda, UpdateEngine, MARK_A, MARK_B,
+    REPAIR_PRIMARY, REPAIR_SECONDARY,
+};
 use crate::label::Rank;
 use crate::query::HubProbe;
 use dspc_graph::{DirectedGraph, VertexId};
@@ -90,6 +93,7 @@ impl DirectedIncSpc {
 pub struct DirectedDecSpc {
     engine: UpdateEngine<u32>,
     probe: HubProbe,
+    agenda: RepairAgenda,
 }
 
 impl DirectedDecSpc {
@@ -98,6 +102,7 @@ impl DirectedDecSpc {
         DirectedDecSpc {
             engine: UpdateEngine::new(capacity),
             probe: HubProbe::new(capacity),
+            agenda: RepairAgenda::new(capacity),
         }
     }
 
@@ -123,11 +128,11 @@ impl DirectedDecSpc {
         // [`DirectedTopo`].
         let (sr_a, r_a) = {
             let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::Out);
-            self.engine.srr_pass(&mut topo, a, b, 1)
+            self.engine.srr_pass(&mut topo, a, b, 1, &mut stats)
         };
         let (sr_b, r_b) = {
             let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::In);
-            self.engine.srr_pass(&mut topo, b, a, 1)
+            self.engine.srr_pass(&mut topo, b, a, 1, &mut stats)
         };
         self.engine.set_marks([&sr_a, &r_a], [&sr_b, &r_b]);
 
@@ -155,6 +160,95 @@ impl DirectedDecSpc {
         }
 
         self.engine.clear_marks();
+        Ok(stats)
+    }
+
+    /// Multi-arc `SrrSEARCH` repair (the batch generalization of the
+    /// directed deletion): deletes every arc of `arcs` from `g` and repairs
+    /// `index` with at most one `DecUPDATE` sweep per distinct affected hub
+    /// *per label family*, instead of one per arc per hub.
+    ///
+    /// Classification runs per arc on the group-pre graph; hubs found
+    /// upstream (`SR_a`, backward sweep) are flagged to repair `L_in`,
+    /// downstream hubs (`SR_b`) to repair `L_out`, and a hub affected from
+    /// both directions across different arcs gets both flags merged into a
+    /// single agenda entry. The repair sweeps then run against the
+    /// residual graph with the union of all classified vertices as the
+    /// shared receiver/removal frontier.
+    ///
+    /// All arcs are validated present (and pairwise distinct) before the
+    /// first mutation; on error nothing is applied.
+    pub fn delete_arcs(
+        &mut self,
+        g: &mut DirectedGraph,
+        index: &mut DirectedSpcIndex,
+        arcs: &[(VertexId, VertexId)],
+    ) -> dspc_graph::Result<OpCounters> {
+        match arcs {
+            [] => return Ok(OpCounters::default()),
+            &[(a, b)] => return self.delete_arc(g, index, a, b),
+            _ => {}
+        }
+        let mut keys: Vec<(u32, u32)> = Vec::with_capacity(arcs.len());
+        for &(a, b) in arcs {
+            if !g.has_arc(a, b) {
+                return Err(dspc_graph::GraphError::MissingEdge(a, b));
+            }
+            keys.push((a.0, b.0));
+        }
+        if let Some((x, y)) = crate::engine::duplicate_edge_key(&mut keys) {
+            return Err(dspc_graph::GraphError::MissingEdge(
+                VertexId(x),
+                VertexId(y),
+            ));
+        }
+        self.engine.ensure_capacity(g.capacity());
+        self.agenda.ensure_capacity(g.capacity());
+        let mut stats = OpCounters::default();
+
+        for &(a, b) in arcs {
+            let (sr_a, r_a) = {
+                let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::Out);
+                self.engine.srr_pass(&mut topo, a, b, 1, &mut stats)
+            };
+            let (sr_b, r_b) = {
+                let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::In);
+                self.engine.srr_pass(&mut topo, b, a, 1, &mut stats)
+            };
+            // Upstream hubs top paths h → … → a → b and repair L_in;
+            // downstream hubs the mirror image.
+            self.agenda
+                .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
+            self.agenda
+                .note_side(&sr_b, &r_b, REPAIR_SECONDARY, |v| index.rank(v));
+        }
+        self.engine
+            .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
+
+        for &(a, b) in arcs {
+            g.delete_arc(a, b)?;
+        }
+
+        for (h_rank, families) in self.agenda.take_hubs() {
+            let h = index.vertex(h_rank);
+            for (flag, repair) in [(REPAIR_PRIMARY, Side::In), (REPAIR_SECONDARY, Side::Out)] {
+                if families & flag == 0 {
+                    continue;
+                }
+                stats.hubs_processed += 1;
+                let mut topo = DirectedTopo::new(g, index, &mut self.probe, repair);
+                self.engine.dec_pass(
+                    &mut topo,
+                    h,
+                    MARK_A,
+                    [self.agenda.receivers(), &[]],
+                    &mut stats,
+                );
+            }
+        }
+
+        self.engine.clear_marks();
+        self.agenda.clear();
         Ok(stats)
     }
 }

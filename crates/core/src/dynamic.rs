@@ -6,6 +6,50 @@
 //! while answering `spc` queries at index speed throughout. Every update
 //! returns an [`UpdateStats`] with the label-operation counters behind
 //! Figures 8–10.
+//!
+//! ## The epoch contract
+//!
+//! There are two write APIs with one consistency story:
+//!
+//! * **Streaming** ([`DynamicSpc::insert_edge`], [`DynamicSpc::delete_edge`],
+//!   [`DynamicSpc::apply_stream`]) repairs the index after every single
+//!   update — the index is exact after each call.
+//! * **Epochs** ([`DynamicSpc::apply_batch`], [`DynamicSpc::delete_edges`])
+//!   treat a whole update slice as one atomic step: ops fold to their net
+//!   effect (an insert and a delete of the same edge cancel, a delete
+//!   followed by a re-insert is a topological no-op), net deletions are
+//!   grouped by their higher-ranked endpoint and repaired through the
+//!   multi-edge `SrrSEARCH` path (one repair sweep per distinct affected
+//!   hub per group), and the index is exact again when the call returns.
+//!
+//! The index is never observed mid-epoch: readers query either the
+//! pre-batch or the post-batch state. That boundary is what makes query
+//! fan-out safe — [`crate::parallel::par_batch_query_auto`] may spread a
+//! read burst across threads against the immutable index *between*
+//! epochs, with no locking anywhere.
+//!
+//! ```
+//! use dspc::dynamic::GraphUpdate;
+//! use dspc::{DynamicSpc, OrderingStrategy};
+//! use dspc_graph::{UndirectedGraph, VertexId};
+//!
+//! let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+//! let mut d = DynamicSpc::build(g, OrderingStrategy::Degree);
+//! assert_eq!(d.query(VertexId(0), VertexId(3)), Some((3, 1)));
+//!
+//! // One epoch: the insert + delete of (0, 3) cancels out entirely; only
+//! // the shortcut (1, 3) survives coalescing and pays for index repair.
+//! let stats = d
+//!     .apply_batch(&[
+//!         GraphUpdate::InsertEdge(VertexId(0), VertexId(3)),
+//!         GraphUpdate::InsertEdge(VertexId(1), VertexId(3)),
+//!         GraphUpdate::DeleteEdge(VertexId(0), VertexId(3)),
+//!     ])
+//!     .unwrap();
+//! assert!(!d.graph().has_edge(VertexId(0), VertexId(3)));
+//! assert_eq!(d.query(VertexId(0), VertexId(3)), Some((2, 1))); // 0–1–3
+//! assert_eq!(stats.kind, dspc::dynamic::UpdateKind::Batch);
+//! ```
 
 use crate::build::HpSpcBuilder;
 use crate::dec::{DecSpc, DecStats, SrrOutcome};
@@ -49,8 +93,10 @@ pub struct UpdateStats {
     pub inserted: usize,
     /// Removed labels (Remove; always 0 for insertions).
     pub removed: usize,
-    /// Affected hubs processed.
+    /// Affected hubs processed (one per repair sweep).
     pub hubs_processed: usize,
+    /// `SrrSEARCH` classification sweeps performed (deletions only).
+    pub classify_sweeps: usize,
     /// Vertices dequeued across update BFSs.
     pub vertices_visited: usize,
     /// Whether the §3.2.3 fast path short-circuited a deletion.
@@ -68,6 +114,7 @@ impl UpdateStats {
             inserted: 0,
             removed: 0,
             hubs_processed: 0,
+            classify_sweeps: 0,
             vertices_visited: 0,
             isolated_fast_path: false,
         }
@@ -82,6 +129,7 @@ impl UpdateStats {
             inserted: c.inserted,
             removed: c.removed,
             hubs_processed: c.hubs_processed,
+            classify_sweeps: c.classify_sweeps,
             vertices_visited: c.vertices_visited,
             isolated_fast_path: false,
         }
@@ -95,6 +143,7 @@ impl UpdateStats {
             inserted: s.inserted,
             removed: 0,
             hubs_processed: s.hubs_processed,
+            classify_sweeps: 0,
             vertices_visited: s.vertices_visited,
             isolated_fast_path: false,
         }
@@ -108,6 +157,7 @@ impl UpdateStats {
             inserted: s.inserted,
             removed: s.removed,
             hubs_processed: s.hubs_processed,
+            classify_sweeps: s.classify_sweeps,
             vertices_visited: s.vertices_visited,
             isolated_fast_path: s.isolated_fast_path,
         }
@@ -121,6 +171,7 @@ impl UpdateStats {
         self.inserted += other.inserted;
         self.removed += other.removed;
         self.hubs_processed += other.hubs_processed;
+        self.classify_sweeps += other.classify_sweeps;
         self.vertices_visited += other.vertices_visited;
         self.isolated_fast_path |= other.isolated_fast_path;
     }
@@ -128,6 +179,14 @@ impl UpdateStats {
     /// Total label operations performed.
     pub fn total_ops(&self) -> usize {
         self.renew_count + self.renew_dist + self.inserted + self.removed
+    }
+
+    /// Total engine sweeps (classification + repair) — the amortization
+    /// metric the batch deletion path minimizes: a coalesced batch runs one
+    /// repair sweep per distinct affected hub per group, where the same
+    /// updates applied one by one re-sweep a shared hub once per edge.
+    pub fn total_sweeps(&self) -> usize {
+        self.classify_sweeps + self.hubs_processed
     }
 
     /// Signed change in index entry count (`inserted - removed`).
@@ -229,6 +288,27 @@ impl DynamicSpc {
             .delete_edge(&mut self.graph, &mut self.index, a, b)?;
         self.updates_since_build += 1;
         Ok((UpdateStats::from_dec(stats), srr))
+    }
+
+    /// Deletes a *set* of edges as one epoch through the multi-edge
+    /// `SrrSEARCH` repair path ([`crate::dec::DecSpc::delete_edges`]):
+    /// every edge is classified against the pre-mutation graph, the whole
+    /// set is removed at once, and each distinct affected hub is repaired
+    /// with a single sweep of the residual graph — strictly fewer engine
+    /// sweeps than deleting the edges one by one whenever their affected
+    /// hub sets overlap.
+    ///
+    /// All edges are validated present before the first mutation; on error
+    /// nothing is applied. Returns aggregated counters tagged
+    /// [`UpdateKind::Batch`].
+    pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> Result<UpdateStats> {
+        let stats = self
+            .dec
+            .delete_edges(&mut self.graph, &mut self.index, edges)?;
+        self.updates_since_build += edges.len();
+        let mut total = UpdateStats::from_dec(stats);
+        total.kind = UpdateKind::Batch;
+        Ok(total)
     }
 
     /// Adds an isolated vertex: O(1) on the index (§3 — only an empty label
@@ -338,10 +418,13 @@ impl DynamicSpc {
         Ok(total)
     }
 
-    /// Applies one coalesced segment: net deletions first, then net
-    /// insertions, each ordered by the higher-ranked endpoint (ascending
-    /// rank position) — a heuristic that settles the labels of top hubs
+    /// Applies one coalesced segment: net deletions first — grouped by
+    /// their higher-ranked endpoint and handed as whole sets to the
+    /// multi-edge `SrrSEARCH` repair path, groups ordered rank-friendly —
+    /// then net insertions ordered by the higher-ranked endpoint (ascending
+    /// rank position), a heuristic that settles the labels of top hubs
     /// before lower-ranked updates consult them, trimming repeat renewals.
+    /// Per-group [`UpdateStats`] are aggregated into `total`.
     fn flush_batch_segment(
         &mut self,
         co: &mut crate::engine::EdgeCoalescer<()>,
@@ -352,9 +435,11 @@ impl DynamicSpc {
         }
         let index = &self.index;
         let plan = crate::engine::NetPlan::build(co.drain(), |v| index.rank(VertexId(v)));
-        for op in plan.into_ops() {
+        for group in plan.deletion_vertex_groups() {
+            total.absorb(&self.delete_edges(&group)?);
+        }
+        for op in plan.into_post_deletion_ops() {
             total.absorb(&match op {
-                crate::engine::NetOp::Delete(a, b) => self.delete_edge(a, b)?,
                 crate::engine::NetOp::Insert(a, b, ()) => self.insert_edge(a, b)?,
                 crate::engine::NetOp::Rewrite(..) => {
                     unreachable!("unit payloads cannot rewrite")

@@ -52,7 +52,7 @@ use std::collections::BinaryHeap;
 mod batch;
 mod topology;
 
-pub(crate) use batch::{check_endpoints, ordered_key};
+pub(crate) use batch::{check_endpoints, duplicate_edge_key, ordered_key};
 pub use batch::{EdgeCoalescer, NetEdgeEffect, NetOp, NetPlan};
 pub use topology::{DirectedTopo, UndirectedTopo, WeightedTopo};
 
@@ -143,8 +143,11 @@ pub struct OpCounters {
     pub inserted: usize,
     /// Removed labels (Remove).
     pub removed: usize,
-    /// Affected hubs processed.
+    /// Affected hubs processed (one per repair sweep: `inc_pass` or
+    /// `dec_pass`).
     pub hubs_processed: usize,
+    /// Classification sweeps performed (`srr_pass` invocations).
+    pub classify_sweeps: usize,
     /// Vertices dequeued across update sweeps.
     pub vertices_visited: usize,
 }
@@ -155,6 +158,12 @@ impl OpCounters {
         self.renew_count + self.renew_dist + self.inserted + self.removed
     }
 
+    /// Total engine sweeps (classification + repair) — the amortization
+    /// metric batch deletion optimizes.
+    pub fn total_sweeps(&self) -> usize {
+        self.classify_sweeps + self.hubs_processed
+    }
+
     /// Merges counters (for streams and batches).
     pub fn absorb(&mut self, other: &OpCounters) {
         self.renew_count += other.renew_count;
@@ -162,6 +171,7 @@ impl OpCounters {
         self.inserted += other.inserted;
         self.removed += other.removed;
         self.hubs_processed += other.hubs_processed;
+        self.classify_sweeps += other.classify_sweeps;
         self.vertices_visited += other.vertices_visited;
     }
 }
@@ -228,6 +238,123 @@ pub fn merge_affected<E: HubBearing>(la: &[E], lb: &[E]) -> Vec<(Rank, bool, boo
 pub const MARK_A: u8 = 1;
 /// Second side marker.
 pub const MARK_B: u8 = 2;
+
+/// [`RepairAgenda`] hub flag: the hub must re-sweep the variant's primary
+/// label family (`L` for undirected/weighted, `L_in` for directed).
+pub const REPAIR_PRIMARY: u8 = 1;
+/// [`RepairAgenda`] hub flag: the hub must re-sweep the secondary family
+/// (`L_out`; unused by single-family variants).
+pub const REPAIR_SECONDARY: u8 = 2;
+
+/// The deduplicated repair agenda of one multi-edge `SrrSEARCH` group.
+///
+/// The single-edge deletion path (Algorithm 4) runs one `DecUPDATE` sweep
+/// per hub in `SR_a ∪ SR_b` *per edge*, so a hub affected by `k` deleted
+/// edges of a batch is swept `k` times. This accumulator merges the
+/// per-edge classification outcomes of a whole net-deletion group into
+///
+/// * one rank-keyed hub agenda (each affected hub appears once, carrying
+///   the union of label families it must repair), and
+/// * one shared receiver frontier (the union of every classified vertex
+///   across all edges and both sides), which doubles as the removal
+///   candidate list of every sweep.
+///
+/// [`UpdateEngine::dec_pass`] then runs **once per distinct hub** against
+/// the residual graph (all net deletions applied), which is what makes the
+/// classification invariant of the batch path "RenewC/RenewD relative to
+/// the residual graph": a single sweep observes the whole deleted set as
+/// absent. Marking the union (rather than each edge's opposite side) only
+/// widens the repair/removal candidate set, which is safe for the same
+/// reason the unconditional removal pass is (see module docs): reached
+/// candidates are rewritten with sweep-true values and unreached
+/// candidates hold no justifiable label for that hub.
+#[derive(Debug, Default)]
+pub struct RepairAgenda {
+    /// `(hub rank, REPAIR_* bits)`, unsorted until [`take_hubs`](Self::take_hubs).
+    hubs: Vec<(Rank, u8)>,
+    /// Union of classified vertices in first-noted order.
+    marked: Vec<VertexId>,
+    /// Dedup bitmap for `marked`, indexed by vertex id.
+    noted: Vec<bool>,
+}
+
+impl RepairAgenda {
+    /// An empty agenda for graphs up to `capacity` ids.
+    pub fn new(capacity: usize) -> Self {
+        RepairAgenda {
+            hubs: Vec::new(),
+            marked: Vec::new(),
+            noted: vec![false; capacity],
+        }
+    }
+
+    /// Grows the dedup bitmap when the id space expanded.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.noted.len() < capacity {
+            self.noted.resize(capacity, false);
+        }
+    }
+
+    /// Records that `hub` needs a repair sweep over `families`
+    /// ([`REPAIR_PRIMARY`] and/or [`REPAIR_SECONDARY`]).
+    pub fn note_hub(&mut self, hub: Rank, families: u8) {
+        self.hubs.push((hub, families));
+    }
+
+    /// Records `v` as a receiver (its labels may change); deduplicated.
+    pub fn note_receiver(&mut self, v: VertexId) {
+        if !self.noted[v.index()] {
+            self.noted[v.index()] = true;
+            self.marked.push(v);
+        }
+    }
+
+    /// Merges one `srr_pass` outcome (one edge side) into the agenda: the
+    /// `SR` hubs get `family` repair flags, and every classified vertex
+    /// (`SR ∪ R`) joins the receiver union.
+    pub fn note_side(
+        &mut self,
+        sr: &[VertexId],
+        r: &[VertexId],
+        family: u8,
+        mut rank_of: impl FnMut(VertexId) -> Rank,
+    ) {
+        for &h in sr {
+            self.note_hub(rank_of(h), family);
+        }
+        for &v in sr.iter().chain(r) {
+            self.note_receiver(v);
+        }
+    }
+
+    /// The receiver union so far.
+    pub fn receivers(&self) -> &[VertexId] {
+        &self.marked
+    }
+
+    /// Drains the hub agenda: descending rank order (ascending rank
+    /// position), one entry per hub with its family bits OR-merged.
+    pub fn take_hubs(&mut self) -> Vec<(Rank, u8)> {
+        self.hubs.sort_unstable_by_key(|&(r, _)| r);
+        let mut out: Vec<(Rank, u8)> = Vec::with_capacity(self.hubs.len());
+        for &(r, f) in &self.hubs {
+            match out.last_mut() {
+                Some((lr, lf)) if *lr == r => *lf |= f,
+                _ => out.push((r, f)),
+            }
+        }
+        self.hubs.clear();
+        out
+    }
+
+    /// Resets the receiver set for the next group.
+    pub fn clear(&mut self) {
+        for v in self.marked.drain(..) {
+            self.noted[v.index()] = false;
+        }
+        self.hubs.clear();
+    }
+}
 
 /// The generic maintenance engine: scratch state + the three traversal
 /// passes, parameterized over a [`LabelTopology`] view per call.
@@ -414,14 +541,17 @@ impl<D: EngineDist> UpdateEngine<D> {
         near: VertexId,
         far: VertexId,
         edge_len: D,
+        stats: &mut OpCounters,
     ) -> (Vec<VertexId>, Vec<VertexId>) {
         let mut sr = Vec::new();
         let mut r = Vec::new();
+        stats.classify_sweeps += 1;
         topo.load_probe(far);
         self.reset_sweep();
         self.seed(T::DIJKSTRA, near, D::ZERO, 1);
         let mut head = 0usize;
         while let Some(v) = self.pop_frontier(T::DIJKSTRA, &mut head) {
+            stats.vertices_visited += 1;
             let dv = self.dist[v as usize];
             let (qd, qc) = topo.probe_query(VertexId(v));
             // Prune: no shortest path from v to `far` crosses the edge.

@@ -11,6 +11,35 @@
 //! next (lowest) rank. The paper's §6 discusses why re-ranking in place is
 //! an open problem; [`crate::policy`] implements the lazy-rebuild mitigation
 //! it suggests.
+//!
+//! ## Measuring order decay
+//!
+//! Because ranks are frozen at build time, churn makes a degree order
+//! drift away from the degrees it was computed from, and a stale order
+//! inflates every later label set (low-degree "hubs" prune nothing).
+//! [`degree_order_staleness`] quantifies the drift as the fraction of
+//! *adjacent rank pairs* that are inverted with respect to current
+//! degrees — `0.0` for a fresh degree order, approaching the ~`0.5` of a
+//! random permutation as the order decays. [`crate::policy`] uses it to
+//! decide when a lazy rebuild pays for itself:
+//!
+//! ```
+//! use dspc::order::{degree_order_staleness, OrderingStrategy, RankMap};
+//! use dspc_graph::generators::classic::star_graph;
+//! use dspc_graph::VertexId;
+//!
+//! let mut g = star_graph(5); // vertex 0 is the hub
+//! let ranks = RankMap::build(&g, OrderingStrategy::Degree);
+//! assert_eq!(degree_order_staleness(&g, &ranks), 0.0);
+//!
+//! // Rewire until leaf 1 out-degrees the old hub: the frozen order decays.
+//! for v in 2..5 {
+//!     g.insert_edge(VertexId(1), VertexId(v)).unwrap();
+//! }
+//! g.delete_edge(VertexId(0), VertexId(2)).unwrap();
+//! g.delete_edge(VertexId(0), VertexId(3)).unwrap();
+//! assert!(degree_order_staleness(&g, &ranks) > 0.0);
+//! ```
 
 use crate::label::Rank;
 use dspc_graph::{UndirectedGraph, VertexId};

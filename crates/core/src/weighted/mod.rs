@@ -367,6 +367,21 @@ impl DynamicWeightedSpc {
         Ok(UpdateStats::from_counters(UpdateKind::DeleteEdge, c))
     }
 
+    /// Deletes a *set* of edges as one epoch through the multi-edge
+    /// `SrrSEARCH` repair path ([`WeightedDecSpc::delete_edges`]): one
+    /// rank-pruned Dijkstra per distinct affected hub against the residual
+    /// graph with the whole set already absent. All edges are validated
+    /// present before the first mutation.
+    pub fn delete_edges(
+        &mut self,
+        edges: &[(VertexId, VertexId)],
+    ) -> dspc_graph::Result<UpdateStats> {
+        let c = self
+            .dec
+            .delete_edges(&mut self.graph, &mut self.index, edges)?;
+        Ok(UpdateStats::from_counters(UpdateKind::Batch, c))
+    }
+
     /// Adds an isolated vertex at the lowest rank (O(1) on the index).
     pub fn add_vertex(&mut self) -> VertexId {
         let v = self.graph.add_vertex();
@@ -446,9 +461,11 @@ impl DynamicWeightedSpc {
         let index = &self.index;
         let plan = crate::engine::NetPlan::build(co.drain(), |v| index.rank(VertexId(v)));
         let mut total = UpdateStats::empty(UpdateKind::Batch);
-        for op in plan.into_ops() {
+        for group in plan.deletion_vertex_groups() {
+            total.absorb(&self.delete_edges(&group)?);
+        }
+        for op in plan.into_post_deletion_ops() {
             total.absorb(&match op {
-                crate::engine::NetOp::Delete(a, b) => self.delete_edge(a, b)?,
                 crate::engine::NetOp::Rewrite(a, b, w) => self.set_weight(a, b, w)?,
                 crate::engine::NetOp::Insert(a, b, w) => self.insert_edge(a, b, w)?,
             });

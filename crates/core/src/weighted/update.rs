@@ -13,7 +13,10 @@
 //!   removal pass.
 
 use super::{WHubProbe, WeightedSpcIndex};
-use crate::engine::{merge_affected, OpCounters, UpdateEngine, WeightedTopo, MARK_A, MARK_B};
+use crate::engine::{
+    merge_affected, OpCounters, RepairAgenda, UpdateEngine, WeightedTopo, MARK_A, MARK_B,
+    REPAIR_PRIMARY,
+};
 use crate::label::Rank;
 use dspc_graph::weighted::{WDist, Weight, WeightedGraph};
 use dspc_graph::VertexId;
@@ -92,6 +95,7 @@ impl WeightedIncSpc {
 pub struct WeightedDecSpc {
     engine: UpdateEngine<WDist>,
     probe: WHubProbe,
+    agenda: RepairAgenda,
 }
 
 impl WeightedDecSpc {
@@ -100,7 +104,87 @@ impl WeightedDecSpc {
         WeightedDecSpc {
             engine: UpdateEngine::new(capacity),
             probe: WHubProbe::new(capacity),
+            agenda: RepairAgenda::new(capacity),
         }
+    }
+
+    /// Multi-edge `SrrSEARCH` repair (the batch generalization of the
+    /// weighted deletion): deletes every edge of `edges` from `g` and
+    /// repairs `index` with one rank-pruned Dijkstra per distinct affected
+    /// hub, instead of one per edge per hub. Each edge is classified on
+    /// the group-pre graph with its own weight as the affected-condition
+    /// length; the repair sweeps then run against the residual graph with
+    /// the whole set absent. All edges are validated present (and pairwise
+    /// distinct) before the first mutation.
+    pub fn delete_edges(
+        &mut self,
+        g: &mut WeightedGraph,
+        index: &mut WeightedSpcIndex,
+        edges: &[(VertexId, VertexId)],
+    ) -> dspc_graph::Result<OpCounters> {
+        match edges {
+            [] => return Ok(OpCounters::default()),
+            &[(a, b)] => return self.delete_edge(g, index, a, b),
+            _ => {}
+        }
+        let mut weights: Vec<Weight> = Vec::with_capacity(edges.len());
+        let mut keys: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            let w = g
+                .weight(a, b)
+                .ok_or(dspc_graph::GraphError::MissingEdge(a, b))?;
+            weights.push(w);
+            keys.push(crate::engine::ordered_key(a, b));
+        }
+        if let Some((x, y)) = crate::engine::duplicate_edge_key(&mut keys) {
+            return Err(dspc_graph::GraphError::MissingEdge(
+                VertexId(x),
+                VertexId(y),
+            ));
+        }
+        self.engine.ensure_capacity(g.capacity());
+        self.agenda.ensure_capacity(g.capacity());
+        let mut stats = OpCounters::default();
+
+        for (&(a, b), &w) in edges.iter().zip(&weights) {
+            let (sr_a, r_a) = {
+                let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+                self.engine
+                    .srr_pass(&mut topo, a, b, w as WDist, &mut stats)
+            };
+            let (sr_b, r_b) = {
+                let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+                self.engine
+                    .srr_pass(&mut topo, b, a, w as WDist, &mut stats)
+            };
+            self.agenda
+                .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
+            self.agenda
+                .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
+        }
+        self.engine
+            .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
+
+        for &(a, b) in edges {
+            g.delete_edge(a, b)?;
+        }
+
+        for (h_rank, _) in self.agenda.take_hubs() {
+            let h = index.vertex(h_rank);
+            stats.hubs_processed += 1;
+            let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+            self.engine.dec_pass(
+                &mut topo,
+                h,
+                MARK_A,
+                [self.agenda.receivers(), &[]],
+                &mut stats,
+            );
+        }
+
+        self.engine.clear_marks();
+        self.agenda.clear();
+        Ok(stats)
     }
 
     /// Deletes edge `(a, b)` and repairs the index. Returns the counters.
@@ -156,11 +240,13 @@ impl WeightedDecSpc {
         // (`D[v] + old_w = sd_i(v, far)` replaces the hop condition).
         let (sr_a, r_a) = {
             let mut topo = WeightedTopo::new(g, index, &mut self.probe);
-            self.engine.srr_pass(&mut topo, a, b, old_w as WDist)
+            self.engine
+                .srr_pass(&mut topo, a, b, old_w as WDist, &mut stats)
         };
         let (sr_b, r_b) = {
             let mut topo = WeightedTopo::new(g, index, &mut self.probe);
-            self.engine.srr_pass(&mut topo, b, a, old_w as WDist)
+            self.engine
+                .srr_pass(&mut topo, b, a, old_w as WDist, &mut stats)
         };
         self.engine.set_marks([&sr_a, &r_a], [&sr_b, &r_b]);
 
