@@ -1,0 +1,268 @@
+//! The deterministic CI perf lane: a small, seeded update workload whose
+//! *engine counters* (sweeps, label operations, wave schedule) are
+//! machine-independent — unlike wall-clock numbers, they can gate a PR
+//! without flakiness.
+//!
+//! ```text
+//! bench_smoke [--out PATH] [--check BASELINE] [--threshold PCT]
+//! ```
+//!
+//! Writes a flat JSON report (`--out`, default `BENCH_pr.json`) and, when
+//! `--check` names a baseline report, fails (exit 1) if `total_sweeps`
+//! regressed by more than `--threshold` percent (default 5). The workload
+//! runs maintenance at `MaintenanceThreads::Fixed(2)` — the wave scheduler
+//! is deterministic, so every counter (including the schedule shape) is
+//! identical on any host and at any actual core count.
+
+use dspc::directed::{ArcUpdate, DynamicDirectedSpc};
+use dspc::dynamic::GraphUpdate;
+use dspc::weighted::{DynamicWeightedSpc, WeightedUpdate};
+use dspc::{DynamicSpc, MaintenanceThreads, OrderingStrategy, UpdateStats};
+use dspc_graph::generators::random::{
+    barabasi_albert, erdos_renyi_gnm, random_orientation, random_weights,
+};
+use dspc_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+const THREADS: MaintenanceThreads = MaintenanceThreads::Fixed(2);
+
+fn usage() -> ! {
+    eprintln!("usage: bench_smoke [--out PATH] [--check BASELINE] [--threshold PCT]");
+    std::process::exit(2)
+}
+
+/// Accumulates one scenario's counters into the flat report.
+fn absorb(report: &mut BTreeMap<String, u64>, stats: &UpdateStats) {
+    let add = |m: &mut BTreeMap<String, u64>, k: &str, v: usize| {
+        *m.entry(k.to_string()).or_insert(0) += v as u64;
+    };
+    add(report, "total_sweeps", stats.total_sweeps());
+    add(report, "classify_sweeps", stats.classify_sweeps);
+    add(report, "hubs_processed", stats.hubs_processed);
+    add(report, "total_ops", stats.total_ops());
+    add(report, "renew_count", stats.renew_count);
+    add(report, "renew_dist", stats.renew_dist);
+    add(report, "inserted", stats.inserted);
+    add(report, "removed", stats.removed);
+    add(report, "vertices_visited", stats.vertices_visited);
+    add(report, "waves", stats.waves);
+    let w = report.entry("max_wave_width".to_string()).or_insert(0);
+    *w = (*w).max(stats.max_wave_width as u64);
+}
+
+/// Undirected scenario: a scale-free graph under mixed deletion epochs —
+/// hub-incident batches (the amortization case) plus scattered edges.
+fn undirected(report: &mut BTreeMap<String, u64>) {
+    let mut rng = StdRng::seed_from_u64(0xD59C);
+    let g = barabasi_albert(420, 3, &mut rng);
+    let mut d = DynamicSpc::build(g, OrderingStrategy::Degree);
+    d.set_maintenance_threads(THREADS);
+    for epoch in 0..6 {
+        let mut ops = Vec::new();
+        let m = d.graph().num_edges();
+        for i in 0..8usize {
+            let (a, b) = d.graph().nth_edge((epoch * 53 + i * 17) % m).unwrap();
+            if !ops
+                .iter()
+                .any(|o| matches!(o, GraphUpdate::DeleteEdge(x, y) if (*x, *y) == (a, b)))
+            {
+                ops.push(GraphUpdate::DeleteEdge(a, b));
+            }
+        }
+        // A couple of inserts so epochs stay mixed.
+        for _ in 0..2 {
+            loop {
+                let a = VertexId(rng.gen_range(0..420));
+                let b = VertexId(rng.gen_range(0..420));
+                if a != b && !d.graph().has_edge(a, b) {
+                    ops.push(GraphUpdate::InsertEdge(a, b));
+                    break;
+                }
+            }
+        }
+        absorb(report, &d.apply_batch(&ops).expect("valid epoch"));
+    }
+    *report.entry("label_entries".to_string()).or_insert(0) += d.index().num_entries() as u64;
+}
+
+/// Directed scenario: pure arc-deletion epochs on a sparse digraph.
+fn directed(report: &mut BTreeMap<String, u64>) {
+    let mut rng = StdRng::seed_from_u64(0xD1AC);
+    let base = erdos_renyi_gnm(160, 480, &mut rng);
+    let g = random_orientation(&base, 0.25, &mut rng);
+    let mut d = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+    d.set_maintenance_threads(THREADS);
+    for epoch in 0..4 {
+        let arcs: Vec<_> = d.graph().arcs().collect();
+        let mut ops = Vec::new();
+        for i in 0..6usize {
+            let (a, b) = arcs[(epoch * 97 + i * 31) % arcs.len()];
+            if !ops
+                .iter()
+                .any(|o| matches!(o, ArcUpdate::DeleteArc(x, y) if (*x, *y) == (a, b)))
+            {
+                ops.push(ArcUpdate::DeleteArc(a, b));
+            }
+        }
+        absorb(report, &d.apply_batch(&ops).expect("valid epoch"));
+    }
+    *report.entry("label_entries".to_string()).or_insert(0) += d.index().num_entries() as u64;
+}
+
+/// Weighted scenario: deletion epochs on a weighted sparse graph.
+fn weighted(report: &mut BTreeMap<String, u64>) {
+    let mut rng = StdRng::seed_from_u64(0x3E1);
+    let base = erdos_renyi_gnm(140, 420, &mut rng);
+    let g = random_weights(&base, 5, &mut rng);
+    let mut d = DynamicWeightedSpc::build(g, OrderingStrategy::Degree);
+    d.set_maintenance_threads(THREADS);
+    for epoch in 0..4 {
+        let edges: Vec<_> = d.graph().edges().collect();
+        let mut ops = Vec::new();
+        for i in 0..6usize {
+            let (a, b, _) = edges[(epoch * 89 + i * 23) % edges.len()];
+            if !ops
+                .iter()
+                .any(|o| matches!(o, WeightedUpdate::DeleteEdge(x, y) if (*x, *y) == (a, b)))
+            {
+                ops.push(WeightedUpdate::DeleteEdge(a, b));
+            }
+        }
+        absorb(report, &d.apply_batch(&ops).expect("valid epoch"));
+    }
+    *report.entry("label_entries".to_string()).or_insert(0) += d.index().num_entries() as u64;
+}
+
+/// Bridged scenario: a cut vertex joins four wheels; severing every
+/// bridge in one epoch leaves the wheels in disjoint residual components,
+/// so the wave scheduler must find genuine width (the report's
+/// `max_wave_width` guards that the interference test stays sharp enough
+/// to parallelize disjoint components).
+fn bridged(report: &mut BTreeMap<String, u64>) {
+    let rim = 10u32;
+    let wheels = 4u32;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut ops = Vec::new();
+    for w in 0..wheels {
+        let center = 1 + w * (rim + 1);
+        edges.push((0, center));
+        ops.push(GraphUpdate::DeleteEdge(VertexId(0), VertexId(center)));
+        for i in 0..rim {
+            let v = center + 1 + i;
+            edges.push((center, v));
+            edges.push((v, center + 1 + (i + 1) % rim));
+        }
+    }
+    let n = 1 + wheels * (rim + 1);
+    let g = dspc_graph::UndirectedGraph::from_edges(n as usize, &edges);
+    // Identity order ranks the cut vertex 0 highest: all four bridge
+    // deletions share it as their group key and repair as one agenda.
+    let mut d = DynamicSpc::build(g, OrderingStrategy::Identity);
+    d.set_maintenance_threads(THREADS);
+    absorb(report, &d.apply_batch(&ops).expect("valid epoch"));
+    *report.entry("label_entries".to_string()).or_insert(0) += d.index().num_entries() as u64;
+}
+
+fn render_json(report: &BTreeMap<String, u64>) -> String {
+    let body: Vec<String> = report
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n}}\n", body.join(",\n"))
+}
+
+/// Minimal parser for the flat `{"key": number, ...}` reports this tool
+/// itself writes.
+fn parse_json(text: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for part in text
+        .trim()
+        .trim_matches(|c| c == '{' || c == '}')
+        .split(',')
+    {
+        let Some((k, v)) = part.split_once(':') else {
+            continue;
+        };
+        let key = k.trim().trim_matches('"').to_string();
+        if let Ok(value) = v.trim().parse::<u64>() {
+            out.insert(key, value);
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_pr.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut threshold = 5.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--check" => {
+                i += 1;
+                baseline_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut report = BTreeMap::new();
+    undirected(&mut report);
+    directed(&mut report);
+    weighted(&mut report);
+    bridged(&mut report);
+
+    let json = render_json(&report);
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("[bench_smoke] wrote {out_path}");
+    print!("{json}");
+
+    if let Some(path) = baseline_path {
+        let baseline = parse_json(&std::fs::read_to_string(&path).expect("read baseline"));
+        let mut failed = false;
+        for (key, &base) in &baseline {
+            let now = report.get(key).copied().unwrap_or(0);
+            let delta = if base == 0 {
+                0.0
+            } else {
+                (now as f64 - base as f64) / base as f64 * 100.0
+            };
+            let gate = key == "total_sweeps";
+            let verdict = if gate && delta > threshold {
+                failed = true;
+                "FAIL"
+            } else if gate && delta < -threshold {
+                // An improvement beyond the threshold silently widens the
+                // slack future regressions hide in — demand a refresh.
+                "IMPROVED — refresh BENCH_baseline.json to lock it in"
+            } else if gate {
+                "gate"
+            } else {
+                "info"
+            };
+            eprintln!("[bench_smoke] {key}: baseline {base}, now {now} ({delta:+.2}%) [{verdict}]");
+        }
+        if failed {
+            eprintln!(
+                "[bench_smoke] total_sweeps regressed more than {threshold}% vs {path} — failing"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[bench_smoke] within {threshold}% of {path}");
+    }
+}

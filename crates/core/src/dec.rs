@@ -57,6 +57,12 @@ pub struct DecStats {
     pub classify_sweeps: usize,
     /// Total vertices dequeued across all update BFSs.
     pub vertices_visited: usize,
+    /// Repair waves executed by the parallel scheduler (0 when the
+    /// sequential path ran).
+    pub waves: usize,
+    /// Width of the widest scheduled wave (0 when the sequential path
+    /// ran).
+    pub max_wave_width: usize,
     /// Whether the isolated-vertex fast path handled the update.
     pub isolated_fast_path: bool,
 }
@@ -81,6 +87,8 @@ impl DecStats {
         self.hubs_processed += other.hubs_processed;
         self.classify_sweeps += other.classify_sweeps;
         self.vertices_visited += other.vertices_visited;
+        self.waves += other.waves;
+        self.max_wave_width = self.max_wave_width.max(other.max_wave_width);
     }
 }
 
@@ -94,6 +102,8 @@ impl From<OpCounters> for DecStats {
             hubs_processed: c.hubs_processed,
             classify_sweeps: c.classify_sweeps,
             vertices_visited: c.vertices_visited,
+            waves: c.waves,
+            max_wave_width: c.max_wave_width,
             isolated_fast_path: false,
         }
     }
@@ -283,6 +293,24 @@ impl DecSpc {
         index: &mut SpcIndex,
         edges: &[(VertexId, VertexId)],
     ) -> dspc_graph::Result<DecStats> {
+        self.delete_edges_with_threads(g, index, edges, 1)
+    }
+
+    /// [`DecSpc::delete_edges`] with an explicit maintenance thread
+    /// budget. `threads <= 1` is the sequential path exactly; larger
+    /// budgets classify the group's edges in parallel (read-only on the
+    /// pre-mutation graph) and run the repair sweeps as rank-independent
+    /// waves ([`crate::engine::parallel`]). Results are deterministic: the
+    /// repaired index, query answers, and label-operation counters are
+    /// identical at every thread count — only the `waves` /
+    /// `max_wave_width` schedule counters distinguish the parallel path.
+    pub fn delete_edges_with_threads(
+        &mut self,
+        g: &mut UndirectedGraph,
+        index: &mut SpcIndex,
+        edges: &[(VertexId, VertexId)],
+        threads: usize,
+    ) -> dspc_graph::Result<DecStats> {
         match edges {
             [] => return Ok(DecStats::default()),
             &[(a, b)] => return self.delete_edge(g, index, a, b).map(|(s, _)| s),
@@ -335,43 +363,168 @@ impl DecSpc {
         self.agenda.ensure_capacity(g.capacity());
         let mut stats = OpCounters::default();
 
-        // Phase 1 — per-edge SrrSEARCH on the group-pre graph, outcomes
-        // merged into the shared agenda.
-        for &(a, b) in &group {
-            let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
-            let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1, &mut stats);
-            let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1, &mut stats);
-            self.agenda
-                .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
-            self.agenda
-                .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
-        }
-        self.engine
-            .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
+        if threads <= 1 {
+            // Phase 1 — per-edge SrrSEARCH on the group-pre graph, outcomes
+            // merged into the shared agenda.
+            for &(a, b) in &group {
+                let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+                let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1, &mut stats);
+                let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1, &mut stats);
+                self.agenda
+                    .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
+                self.agenda
+                    .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
+            }
+            self.engine
+                .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
 
-        // Phase boundary — G_{i+1} ← G_i ⊖ group (the whole set at once).
-        for &(a, b) in &group {
-            g.delete_edge(a, b)?;
-        }
+            // Phase boundary — G_{i+1} ← G_i ⊖ group (the whole set at once).
+            for &(a, b) in &group {
+                g.delete_edge(a, b)?;
+            }
 
-        // Phase 2 — one sweep per distinct hub on the residual graph.
-        for (h_rank, _) in self.agenda.take_hubs() {
-            let h = index.vertex(h_rank);
-            stats.hubs_processed += 1;
-            let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
-            self.engine.dec_pass(
-                &mut topo,
-                h,
-                crate::engine::MARK_A,
-                [self.agenda.receivers(), &[]],
-                &mut stats,
-            );
-        }
+            // Phase 2 — one sweep per distinct hub on the residual graph.
+            for (h_rank, _) in self.agenda.take_hubs() {
+                let h = index.vertex(h_rank);
+                stats.hubs_processed += 1;
+                let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+                self.engine.dec_pass(
+                    &mut topo,
+                    h,
+                    crate::engine::MARK_A,
+                    [self.agenda.receivers(), &[]],
+                    &mut stats,
+                );
+            }
 
-        self.engine.clear_marks();
+            self.engine.clear_marks();
+        } else {
+            self.delete_group_parallel(g, index, &group, threads, &mut stats)?;
+        }
         self.agenda.clear();
         total.absorb(&DecStats::from(stats));
         Ok(total)
+    }
+
+    /// The wave-parallel twin of the sequential group body: classification
+    /// fans out over the group's edges (read-only on the pre-mutation
+    /// graph and index), the whole set is deleted, and the deduplicated
+    /// hub agenda runs as rank-independent waves of frozen sweeps whose
+    /// buffered label writes commit at each wave boundary.
+    fn delete_group_parallel(
+        &mut self,
+        g: &mut UndirectedGraph,
+        index: &mut SpcIndex,
+        group: &[(VertexId, VertexId)],
+        threads: usize,
+        stats: &mut OpCounters,
+    ) -> dspc_graph::Result<()> {
+        use crate::engine::parallel::{
+            components_from_edges, frozen_dec_sweep, note_schedule, plan_waves, Buffered,
+            Interference, LabelWriteLog, WorkerScratch,
+        };
+        use crate::engine::FrozenUndirected;
+
+        let cap = g.capacity();
+
+        // Phase 1 — parallel per-edge SrrSEARCH on the group-pre graph.
+        let outcomes = {
+            let (g_ref, index_ref): (&UndirectedGraph, &SpcIndex) = (g, index);
+            crate::parallel::fan_out(
+                group,
+                threads,
+                || {
+                    (
+                        UpdateEngine::<u32>::new(cap),
+                        HubProbe::new(cap),
+                        LabelWriteLog::<u32>::new(),
+                    )
+                },
+                |(engine, probe, log), &(a, b)| {
+                    let mut c = OpCounters::default();
+                    let mut topo =
+                        Buffered::new(FrozenUndirected::new(g_ref, index_ref, probe), log);
+                    let (sr_a, r_a) = engine.srr_pass(&mut topo, a, b, 1, &mut c);
+                    let (sr_b, r_b) = engine.srr_pass(&mut topo, b, a, 1, &mut c);
+                    debug_assert!(log.is_empty(), "classification never writes");
+                    (sr_a, r_a, sr_b, r_b, c)
+                },
+            )
+        };
+        // Merge in edge order — the agenda and counters end up exactly as
+        // the sequential classification loop would have left them.
+        for (sr_a, r_a, sr_b, r_b, c) in &outcomes {
+            stats.absorb(c);
+            self.agenda
+                .note_side(sr_a, r_a, REPAIR_PRIMARY, |v| index.rank(v));
+            self.agenda
+                .note_side(sr_b, r_b, REPAIR_PRIMARY, |v| index.rank(v));
+        }
+
+        // Phase boundary — G_{i+1} ← G_i ⊖ group (the whole set at once).
+        for &(a, b) in group {
+            g.delete_edge(a, b)?;
+        }
+
+        // Phase 2 — wave-scheduled repair on the residual graph. The
+        // interference model (a full-graph union-find) is only worth
+        // building when the agenda could actually share a wave.
+        let hubs = self.agenda.take_hubs();
+        let receivers = self.agenda.receivers();
+        let schedule = if hubs.len() < 2 {
+            plan_waves(hubs.len(), |_, _| false)
+        } else {
+            let comp = components_from_edges(cap, g.edges().map(|(a, b)| (a.0, b.0)));
+            let inter = Interference::build(
+                &comp,
+                &hubs,
+                receivers,
+                |r| index.vertex(r),
+                |v, f| {
+                    for e in index.label_set(v).entries() {
+                        f(e.hub);
+                    }
+                },
+            );
+            plan_waves(hubs.len(), |i, j| inter.conflicts(i, j))
+        };
+        note_schedule(stats, &schedule);
+        for wave in schedule.iter() {
+            let items: Vec<Rank> = wave.iter().map(|&i| hubs[i].0).collect();
+            let results = {
+                let (g_ref, index_ref): (&UndirectedGraph, &SpcIndex) = (g, index);
+                crate::parallel::fan_out(
+                    &items,
+                    threads,
+                    || WorkerScratch::for_group(cap, receivers, HubProbe::new(cap)),
+                    |scratch, &h_rank| {
+                        frozen_dec_sweep(
+                            &mut scratch.engine,
+                            FrozenUndirected::new(g_ref, index_ref, &mut scratch.probe),
+                            index_ref.vertex(h_rank),
+                            receivers,
+                        )
+                    },
+                )
+            };
+            // Commit in rank order. Distinct hubs write distinct label
+            // rows, so the order only matters for matching the sequential
+            // counter accumulation.
+            for (mut log, c) in results {
+                stats.absorb(&c);
+                for (v, hub, op) in log.drain() {
+                    match op {
+                        Some((d, cnt)) => {
+                            index.upsert_entry(v, crate::label::LabelEntry::new(hub, d, cnt));
+                        }
+                        None => {
+                            index.remove_entry(v, hub);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Algorithm 5 — computes `SR_a, R_a` (BFS from `a`, classifying against

@@ -21,6 +21,7 @@ use crate::dynamic::{UpdateKind, UpdateStats};
 use crate::engine::EdgeCoalescer;
 use crate::label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
 use crate::order::OrderingStrategy;
+use crate::parallel::MaintenanceThreads;
 use crate::query::QueryResult;
 use dspc_graph::{DirectedGraph, VertexId};
 use serde::{Deserialize, Serialize};
@@ -285,6 +286,7 @@ pub struct DynamicDirectedSpc {
     index: DirectedSpcIndex,
     inc: DirectedIncSpc,
     dec: DirectedDecSpc,
+    maintenance_threads: MaintenanceThreads,
 }
 
 impl DynamicDirectedSpc {
@@ -297,7 +299,21 @@ impl DynamicDirectedSpc {
             index,
             inc: DirectedIncSpc::new(cap),
             dec: DirectedDecSpc::new(cap),
+            maintenance_threads: MaintenanceThreads::default(),
         }
+    }
+
+    /// Sets the worker-thread budget for intra-batch repair
+    /// ([`DynamicDirectedSpc::delete_arcs`] and the deletion groups of
+    /// [`DynamicDirectedSpc::apply_batch`]). Every thread count produces
+    /// the same index, queries, and counters.
+    pub fn set_maintenance_threads(&mut self, threads: MaintenanceThreads) {
+        self.maintenance_threads = threads;
+    }
+
+    /// The configured maintenance thread budget.
+    pub fn maintenance_threads(&self) -> MaintenanceThreads {
+        self.maintenance_threads
     }
 
     /// The underlying graph.
@@ -339,9 +355,12 @@ impl DynamicDirectedSpc {
         &mut self,
         arcs: &[(VertexId, VertexId)],
     ) -> dspc_graph::Result<UpdateStats> {
-        let c = self
-            .dec
-            .delete_arcs(&mut self.graph, &mut self.index, arcs)?;
+        let c = self.dec.delete_arcs_with_threads(
+            &mut self.graph,
+            &mut self.index,
+            arcs,
+            self.maintenance_threads.resolve(),
+        )?;
         Ok(UpdateStats::from_counters(UpdateKind::Batch, c))
     }
 

@@ -184,6 +184,22 @@ impl DirectedDecSpc {
         index: &mut DirectedSpcIndex,
         arcs: &[(VertexId, VertexId)],
     ) -> dspc_graph::Result<OpCounters> {
+        self.delete_arcs_with_threads(g, index, arcs, 1)
+    }
+
+    /// [`DirectedDecSpc::delete_arcs`] with an explicit maintenance thread
+    /// budget. `threads <= 1` is the sequential path exactly; larger
+    /// budgets classify arcs in parallel and run the per-family repair
+    /// sweeps as rank-independent waves over *weak* residual components
+    /// (conservative for both sweep directions). Deterministic at every
+    /// thread count.
+    pub fn delete_arcs_with_threads(
+        &mut self,
+        g: &mut DirectedGraph,
+        index: &mut DirectedSpcIndex,
+        arcs: &[(VertexId, VertexId)],
+        threads: usize,
+    ) -> dspc_graph::Result<OpCounters> {
         match arcs {
             [] => return Ok(OpCounters::default()),
             &[(a, b)] => return self.delete_arc(g, index, a, b),
@@ -206,50 +222,195 @@ impl DirectedDecSpc {
         self.agenda.ensure_capacity(g.capacity());
         let mut stats = OpCounters::default();
 
-        for &(a, b) in arcs {
-            let (sr_a, r_a) = {
-                let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::Out);
-                self.engine.srr_pass(&mut topo, a, b, 1, &mut stats)
-            };
-            let (sr_b, r_b) = {
-                let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::In);
-                self.engine.srr_pass(&mut topo, b, a, 1, &mut stats)
-            };
-            // Upstream hubs top paths h → … → a → b and repair L_in;
-            // downstream hubs the mirror image.
-            self.agenda
-                .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
-            self.agenda
-                .note_side(&sr_b, &r_b, REPAIR_SECONDARY, |v| index.rank(v));
+        if threads <= 1 {
+            for &(a, b) in arcs {
+                let (sr_a, r_a) = {
+                    let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::Out);
+                    self.engine.srr_pass(&mut topo, a, b, 1, &mut stats)
+                };
+                let (sr_b, r_b) = {
+                    let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::In);
+                    self.engine.srr_pass(&mut topo, b, a, 1, &mut stats)
+                };
+                // Upstream hubs top paths h → … → a → b and repair L_in;
+                // downstream hubs the mirror image.
+                self.agenda
+                    .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
+                self.agenda
+                    .note_side(&sr_b, &r_b, REPAIR_SECONDARY, |v| index.rank(v));
+            }
+            self.engine
+                .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
+
+            for &(a, b) in arcs {
+                g.delete_arc(a, b)?;
+            }
+
+            for (h_rank, families) in self.agenda.take_hubs() {
+                let h = index.vertex(h_rank);
+                for (flag, repair) in [(REPAIR_PRIMARY, Side::In), (REPAIR_SECONDARY, Side::Out)] {
+                    if families & flag == 0 {
+                        continue;
+                    }
+                    stats.hubs_processed += 1;
+                    let mut topo = DirectedTopo::new(g, index, &mut self.probe, repair);
+                    self.engine.dec_pass(
+                        &mut topo,
+                        h,
+                        MARK_A,
+                        [self.agenda.receivers(), &[]],
+                        &mut stats,
+                    );
+                }
+            }
+
+            self.engine.clear_marks();
+        } else {
+            self.delete_group_parallel(g, index, arcs, threads, &mut stats)?;
         }
-        self.engine
-            .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
+        self.agenda.clear();
+        Ok(stats)
+    }
+
+    /// Wave-parallel twin of the sequential multi-arc body: classification
+    /// fans out over the arcs, the set is deleted, and each agenda hub's
+    /// family sweeps run as frozen sweeps inside rank-independent waves.
+    /// Both sweeps of one hub (`L_in` then `L_out`) stay on one worker in
+    /// the sequential order — they touch disjoint label families, so the
+    /// frozen reads match the sequential interleaving exactly.
+    fn delete_group_parallel(
+        &mut self,
+        g: &mut DirectedGraph,
+        index: &mut DirectedSpcIndex,
+        arcs: &[(VertexId, VertexId)],
+        threads: usize,
+        stats: &mut OpCounters,
+    ) -> dspc_graph::Result<()> {
+        use crate::engine::parallel::{
+            components_from_edges, family_sweeps, frozen_dec_sweep, note_schedule, plan_waves,
+            Buffered, Interference, LabelWriteLog, WorkerScratch,
+        };
+        use crate::engine::FrozenDirected;
+        use crate::label::LabelEntry;
+
+        let cap = g.capacity();
+
+        let outcomes = {
+            let (g_ref, index_ref): (&DirectedGraph, &DirectedSpcIndex) = (g, index);
+            crate::parallel::fan_out(
+                arcs,
+                threads,
+                || {
+                    (
+                        UpdateEngine::<u32>::new(cap),
+                        HubProbe::new(cap),
+                        LabelWriteLog::<u32>::new(),
+                    )
+                },
+                |(engine, probe, log), &(a, b)| {
+                    let mut c = OpCounters::default();
+                    let (sr_a, r_a) = {
+                        let base = FrozenDirected::new(g_ref, index_ref, probe, Side::Out);
+                        let mut topo = Buffered::new(base, log);
+                        engine.srr_pass(&mut topo, a, b, 1, &mut c)
+                    };
+                    let (sr_b, r_b) = {
+                        let base = FrozenDirected::new(g_ref, index_ref, probe, Side::In);
+                        let mut topo = Buffered::new(base, log);
+                        engine.srr_pass(&mut topo, b, a, 1, &mut c)
+                    };
+                    debug_assert!(log.is_empty(), "classification never writes");
+                    (sr_a, r_a, sr_b, r_b, c)
+                },
+            )
+        };
+        for (sr_a, r_a, sr_b, r_b, c) in &outcomes {
+            stats.absorb(c);
+            self.agenda
+                .note_side(sr_a, r_a, REPAIR_PRIMARY, |v| index.rank(v));
+            self.agenda
+                .note_side(sr_b, r_b, REPAIR_SECONDARY, |v| index.rank(v));
+        }
 
         for &(a, b) in arcs {
             g.delete_arc(a, b)?;
         }
 
-        for (h_rank, families) in self.agenda.take_hubs() {
-            let h = index.vertex(h_rank);
-            for (flag, repair) in [(REPAIR_PRIMARY, Side::In), (REPAIR_SECONDARY, Side::Out)] {
-                if families & flag == 0 {
-                    continue;
+        let hubs = self.agenda.take_hubs();
+        let receivers = self.agenda.receivers();
+        let schedule = if hubs.len() < 2 {
+            plan_waves(hubs.len(), |_, _| false)
+        } else {
+            // Weak components of the residual digraph.
+            let comp = components_from_edges(cap, g.arcs().map(|(a, b)| (a.0, b.0)));
+            let inter = Interference::build(
+                &comp,
+                &hubs,
+                receivers,
+                |r| index.vertex(r),
+                |v, f| {
+                    for e in index.label_in(v).entries() {
+                        f(e.hub);
+                    }
+                    for e in index.label_out(v).entries() {
+                        f(e.hub);
+                    }
+                },
+            );
+            plan_waves(hubs.len(), |i, j| inter.conflicts(i, j))
+        };
+        note_schedule(stats, &schedule);
+        type SweepResult = (Side, LabelWriteLog<u32>, OpCounters);
+        for wave in schedule.iter() {
+            let items: Vec<(crate::label::Rank, u8)> = wave.iter().map(|&i| hubs[i]).collect();
+            let results: Vec<Vec<SweepResult>> = {
+                let (g_ref, index_ref): (&DirectedGraph, &DirectedSpcIndex) = (g, index);
+                crate::parallel::fan_out(
+                    &items,
+                    threads,
+                    || WorkerScratch::for_group(cap, receivers, HubProbe::new(cap)),
+                    |scratch, &(h_rank, families)| {
+                        let h = index_ref.vertex(h_rank);
+                        family_sweeps(families)
+                            .map(|flag| {
+                                let repair = if flag == REPAIR_PRIMARY {
+                                    Side::In
+                                } else {
+                                    Side::Out
+                                };
+                                let base = FrozenDirected::new(
+                                    g_ref,
+                                    index_ref,
+                                    &mut scratch.probe,
+                                    repair,
+                                );
+                                let (log, c) =
+                                    frozen_dec_sweep(&mut scratch.engine, base, h, receivers);
+                                (repair, log, c)
+                            })
+                            .collect()
+                    },
+                )
+            };
+            for sweeps in results {
+                for (repair, mut log, c) in sweeps {
+                    stats.absorb(&c);
+                    for (v, hub, op) in log.drain() {
+                        match op {
+                            Some((d, cnt)) => {
+                                index
+                                    .label_mut(repair, v)
+                                    .upsert(LabelEntry::new(hub, d, cnt));
+                            }
+                            None => {
+                                index.label_mut(repair, v).remove(hub);
+                            }
+                        }
+                    }
                 }
-                stats.hubs_processed += 1;
-                let mut topo = DirectedTopo::new(g, index, &mut self.probe, repair);
-                self.engine.dec_pass(
-                    &mut topo,
-                    h,
-                    MARK_A,
-                    [self.agenda.receivers(), &[]],
-                    &mut stats,
-                );
             }
         }
-
-        self.engine.clear_marks();
-        self.agenda.clear();
-        Ok(stats)
+        Ok(())
     }
 }
 

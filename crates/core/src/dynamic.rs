@@ -58,6 +58,7 @@ use crate::inc::{IncSpc, IncStats};
 use crate::index::{IndexStats, SpcIndex};
 use crate::label::Count;
 use crate::order::OrderingStrategy;
+use crate::parallel::MaintenanceThreads;
 use crate::query::spc_query;
 use dspc_graph::{Result, UndirectedGraph, VertexId};
 
@@ -99,6 +100,12 @@ pub struct UpdateStats {
     pub classify_sweeps: usize,
     /// Vertices dequeued across update BFSs.
     pub vertices_visited: usize,
+    /// Repair waves executed by the parallel maintenance scheduler
+    /// ([`crate::engine::parallel`]); 0 when the sequential path ran.
+    pub waves: usize,
+    /// Width of the widest scheduled wave — ≥ 2 means at least two hub
+    /// repair sweeps ran concurrently; 0 when the sequential path ran.
+    pub max_wave_width: usize,
     /// Whether the §3.2.3 fast path short-circuited a deletion.
     pub isolated_fast_path: bool,
 }
@@ -116,6 +123,8 @@ impl UpdateStats {
             hubs_processed: 0,
             classify_sweeps: 0,
             vertices_visited: 0,
+            waves: 0,
+            max_wave_width: 0,
             isolated_fast_path: false,
         }
     }
@@ -131,6 +140,8 @@ impl UpdateStats {
             hubs_processed: c.hubs_processed,
             classify_sweeps: c.classify_sweeps,
             vertices_visited: c.vertices_visited,
+            waves: c.waves,
+            max_wave_width: c.max_wave_width,
             isolated_fast_path: false,
         }
     }
@@ -145,6 +156,8 @@ impl UpdateStats {
             hubs_processed: s.hubs_processed,
             classify_sweeps: 0,
             vertices_visited: s.vertices_visited,
+            waves: 0,
+            max_wave_width: 0,
             isolated_fast_path: false,
         }
     }
@@ -159,12 +172,15 @@ impl UpdateStats {
             hubs_processed: s.hubs_processed,
             classify_sweeps: s.classify_sweeps,
             vertices_visited: s.vertices_visited,
+            waves: s.waves,
+            max_wave_width: s.max_wave_width,
             isolated_fast_path: s.isolated_fast_path,
         }
     }
 
     /// Accumulates another update's counters (kind and the fast-path flag
-    /// keep the receiver's values except that the flag ORs).
+    /// keep the receiver's values except that the flag ORs; wave counts
+    /// sum, the wave width maxes).
     pub fn absorb(&mut self, other: &UpdateStats) {
         self.renew_count += other.renew_count;
         self.renew_dist += other.renew_dist;
@@ -173,6 +189,8 @@ impl UpdateStats {
         self.hubs_processed += other.hubs_processed;
         self.classify_sweeps += other.classify_sweeps;
         self.vertices_visited += other.vertices_visited;
+        self.waves += other.waves;
+        self.max_wave_width = self.max_wave_width.max(other.max_wave_width);
         self.isolated_fast_path |= other.isolated_fast_path;
     }
 
@@ -218,6 +236,7 @@ pub struct DynamicSpc {
     builder: HpSpcBuilder,
     strategy: OrderingStrategy,
     updates_since_build: usize,
+    maintenance_threads: MaintenanceThreads,
 }
 
 impl DynamicSpc {
@@ -234,7 +253,22 @@ impl DynamicSpc {
             builder,
             strategy,
             updates_since_build: 0,
+            maintenance_threads: MaintenanceThreads::default(),
         }
+    }
+
+    /// Sets the worker-thread budget for intra-batch repair
+    /// ([`DynamicSpc::delete_edges`] and the deletion groups of
+    /// [`DynamicSpc::apply_batch`]). [`MaintenanceThreads::Fixed`]`(1)`
+    /// degenerates to the sequential repair path exactly; every thread
+    /// count produces the same index, queries, and counters.
+    pub fn set_maintenance_threads(&mut self, threads: MaintenanceThreads) {
+        self.maintenance_threads = threads;
+    }
+
+    /// The configured maintenance thread budget.
+    pub fn maintenance_threads(&self) -> MaintenanceThreads {
+        self.maintenance_threads
     }
 
     /// The underlying graph (read-only; mutations must flow through this
@@ -302,9 +336,12 @@ impl DynamicSpc {
     /// nothing is applied. Returns aggregated counters tagged
     /// [`UpdateKind::Batch`].
     pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> Result<UpdateStats> {
-        let stats = self
-            .dec
-            .delete_edges(&mut self.graph, &mut self.index, edges)?;
+        let stats = self.dec.delete_edges_with_threads(
+            &mut self.graph,
+            &mut self.index,
+            edges,
+            self.maintenance_threads.resolve(),
+        )?;
         self.updates_since_build += edges.len();
         let mut total = UpdateStats::from_dec(stats);
         total.kind = UpdateKind::Batch;

@@ -50,11 +50,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 mod batch;
+pub mod parallel;
 mod topology;
 
 pub(crate) use batch::{check_endpoints, duplicate_edge_key, ordered_key};
 pub use batch::{EdgeCoalescer, NetEdgeEffect, NetOp, NetPlan};
-pub use topology::{DirectedTopo, UndirectedTopo, WeightedTopo};
+pub use topology::{
+    DirectedTopo, FrozenDirected, FrozenUndirected, FrozenWeighted, UndirectedTopo, WeightedTopo,
+};
 
 /// Distance domain of one index variant.
 pub trait EngineDist: Copy + Ord + std::fmt::Debug {
@@ -150,6 +153,12 @@ pub struct OpCounters {
     pub classify_sweeps: usize,
     /// Vertices dequeued across update sweeps.
     pub vertices_visited: usize,
+    /// Repair waves executed by the parallel scheduler
+    /// ([`parallel::plan_waves`]); 0 on the sequential path.
+    pub waves: usize,
+    /// Width of the widest wave scheduled (≥ 2 means at least two hub
+    /// sweeps were found rank-independent); 0 on the sequential path.
+    pub max_wave_width: usize,
 }
 
 impl OpCounters {
@@ -173,6 +182,8 @@ impl OpCounters {
         self.hubs_processed += other.hubs_processed;
         self.classify_sweeps += other.classify_sweeps;
         self.vertices_visited += other.vertices_visited;
+        self.waves += other.waves;
+        self.max_wave_width = self.max_wave_width.max(other.max_wave_width);
     }
 }
 

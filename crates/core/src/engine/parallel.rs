@@ -1,0 +1,477 @@
+//! Wave-scheduled parallel intra-batch maintenance.
+//!
+//! §6 of the paper leaves parallel *updates* as future work because hub
+//! repair sweeps have strict rank-order dependencies: `DecUPDATE` for hub
+//! `h` prunes with `PreQUERY`, which trusts the labels of every hub ranked
+//! strictly above `h` to be repaired already. This module recovers
+//! intra-batch parallelism anyway, without giving up exactness or
+//! determinism, by exploiting what the batch path already computes: the
+//! deduplicated hub agenda and shared receiver frontier of a whole
+//! net-deletion group ([`super::RepairAgenda`]).
+//!
+//! ## The scheme
+//!
+//! 1. **Frozen sweeps.** A worker runs a hub's repair sweep against an
+//!    *immutable* borrow of the index, recording its label mutations in a
+//!    [`LabelWriteLog`] instead of applying them ([`Buffered`] wraps a
+//!    read-only [`FrozenTopology`] view into the engine's mutable
+//!    [`LabelTopology`]). Logs are committed on the coordinating thread at
+//!    wave boundaries, so no two threads ever alias index memory.
+//! 2. **Rank-independent waves.** Hubs are partitioned greedily, in
+//!    descending rank order, into waves such that no two hubs in one wave
+//!    *interfere* ([`plan_waves`]). A sweep for hub `h` only ever writes
+//!    `(h, ·, ·)` rows — two sweeps never write the same label — so the
+//!    only hazard is a lower-ranked hub **reading** (via `PreQUERY` or its
+//!    pinned probe) a label a higher-ranked same-wave hub would have
+//!    rewritten. The conservative interference test over-approximates that
+//!    read/write intersection (see [`Interference`]); whenever it reports
+//!    independence, the frozen sweep observes exactly the state the
+//!    sequential schedule would have shown it.
+//! 3. **Deterministic merge.** Logs and [`super::OpCounters`] are merged
+//!    in rank order. Because every sweep is bit-identical to its
+//!    sequential counterpart, the committed index, query answers, and
+//!    merged counters are independent of the thread count — which is what
+//!    lets CI gate on sweep counters instead of flaky wall-clock numbers.
+//!
+//! ## The interference test
+//!
+//! Let `comp(v)` be `v`'s connected component in the *residual* graph (the
+//! graph with the whole net-deletion group removed; weak components for
+//! the directed variant). A sweep for hub `h`:
+//!
+//! * **writes** row `h` at vertices it visits (all inside `comp(h)`, by
+//!   connectivity) and *removes* row `h` at unreached receivers — which
+//!   can lie in other components, but only where the index already holds
+//!   an `(h, ·, ·)` entry;
+//! * **reads** labels only at visited vertices (all inside `comp(h)`) and
+//!   at its own pinned label set (`h` itself).
+//!
+//! Hence hubs `x` and `y` can only interfere when `comp(x) = comp(y)`, or
+//! when one hub's *removal reach* — the set of components holding a
+//! receiver labeled with that hub's row — includes the other's component.
+//! Everything else is independent; in particular, repair work in disjoint
+//! residual components always parallelizes. A hub's own upserts only ever
+//! shrink nothing and stay in `comp(h)`, so the model built once per group
+//! stays conservative for every later wave.
+
+use super::{
+    EngineDist, LabelTopology, OpCounters, UpdateEngine, MARK_A, REPAIR_PRIMARY, REPAIR_SECONDARY,
+};
+use crate::label::{Count, Rank};
+use dspc_graph::VertexId;
+
+/// A recorded label mutation: `Some((d, c))` upserts `(hub, d, c)` at the
+/// vertex, `None` removes the `(hub, ·, ·)` entry.
+pub type LabelWriteOp<D> = (VertexId, Rank, Option<(D, Count)>);
+
+/// The buffered label mutations of one frozen repair sweep, in the order
+/// the sequential sweep would have applied them.
+#[derive(Debug, Default)]
+pub struct LabelWriteLog<D> {
+    ops: Vec<LabelWriteOp<D>>,
+}
+
+impl<D> LabelWriteLog<D> {
+    /// An empty log.
+    pub fn new() -> Self {
+        LabelWriteLog { ops: Vec::new() }
+    }
+
+    /// Drains the recorded operations for committing.
+    pub fn drain(&mut self) -> impl Iterator<Item = LabelWriteOp<D>> + '_ {
+        self.ops.drain(..)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The read-only half of [`LabelTopology`]: what a frozen worker view must
+/// provide. [`Buffered`] lifts any implementor into a full
+/// [`LabelTopology`] by logging the write half.
+pub trait FrozenTopology {
+    /// Distance domain.
+    type Dist: EngineDist;
+
+    /// Whether sweeps settle in distance order (Dijkstra) or FIFO order.
+    const DIJKSTRA: bool;
+
+    /// Rank of vertex `v`.
+    fn rank(&self, v: u32) -> Rank;
+
+    /// Pins the hub-side label set of `x` for subsequent probe queries.
+    fn load_probe(&mut self, x: VertexId);
+
+    /// `SpcQUERY(pinned, v)`.
+    fn probe_query(&self, v: VertexId) -> (Self::Dist, Count);
+
+    /// `PreQUERY(pinned, v)`: hubs ranked strictly above `limit` only.
+    fn probe_pre_query(&self, v: VertexId, limit: Rank) -> (Self::Dist, Count);
+
+    /// Visits each traversal neighbor of `v` with its edge length.
+    fn for_each_neighbor<F: FnMut(u32, Self::Dist)>(&self, v: u32, f: F);
+
+    /// Entry `(hub, ·, ·)` of the repaired family at `v`, if present.
+    fn label_get(&self, v: VertexId, hub: Rank) -> Option<(Self::Dist, Count)>;
+
+    /// Condition **A** membership test.
+    fn is_common_hub(&self, hub: Rank, near: VertexId, far: VertexId) -> bool;
+}
+
+/// Adapter: a frozen read-only view plus a write log, presented to the
+/// engine as a plain [`LabelTopology`].
+///
+/// Sound for the engine's sweeps because neither `srr_pass` nor `dec_pass`
+/// ever reads a label its own pass previously wrote: every vertex is
+/// settled once, the row-`h` read at a vertex precedes the row-`h` write
+/// there, and removal candidates are exactly the *unvisited* receivers —
+/// so reading the frozen index reproduces the sequential values verbatim.
+pub struct Buffered<'a, T: FrozenTopology> {
+    base: T,
+    log: &'a mut LabelWriteLog<T::Dist>,
+}
+
+impl<'a, T: FrozenTopology> Buffered<'a, T> {
+    /// Wraps `base`, recording writes into `log`.
+    pub fn new(base: T, log: &'a mut LabelWriteLog<T::Dist>) -> Self {
+        Buffered { base, log }
+    }
+}
+
+impl<T: FrozenTopology> LabelTopology for Buffered<'_, T> {
+    type Dist = T::Dist;
+
+    const DIJKSTRA: bool = T::DIJKSTRA;
+
+    #[inline]
+    fn rank(&self, v: u32) -> Rank {
+        self.base.rank(v)
+    }
+
+    fn load_probe(&mut self, x: VertexId) {
+        self.base.load_probe(x);
+    }
+
+    #[inline]
+    fn probe_query(&self, v: VertexId) -> (Self::Dist, Count) {
+        self.base.probe_query(v)
+    }
+
+    #[inline]
+    fn probe_pre_query(&self, v: VertexId, limit: Rank) -> (Self::Dist, Count) {
+        self.base.probe_pre_query(v, limit)
+    }
+
+    #[inline]
+    fn for_each_neighbor<F: FnMut(u32, Self::Dist)>(&self, v: u32, f: F) {
+        self.base.for_each_neighbor(v, f);
+    }
+
+    #[inline]
+    fn label_get(&self, v: VertexId, hub: Rank) -> Option<(Self::Dist, Count)> {
+        self.base.label_get(v, hub)
+    }
+
+    #[inline]
+    fn label_upsert(&mut self, v: VertexId, hub: Rank, d: Self::Dist, c: Count) {
+        self.log.ops.push((v, hub, Some((d, c))));
+    }
+
+    #[inline]
+    fn label_remove(&mut self, v: VertexId, hub: Rank) -> bool {
+        let existed = self.base.label_get(v, hub).is_some();
+        if existed {
+            self.log.ops.push((v, hub, None));
+        }
+        existed
+    }
+
+    fn is_common_hub(&self, hub: Rank, near: VertexId, far: VertexId) -> bool {
+        self.base.is_common_hub(hub, near, far)
+    }
+}
+
+/// Connected components by union-find over an edge stream: `comp[v]` is a
+/// canonical component id (the DSU root). Directed callers pass arcs as
+/// undirected pairs, yielding weak components — a conservative
+/// over-approximation of both sweep directions' reach.
+pub fn components_from_edges(capacity: usize, edges: impl Iterator<Item = (u32, u32)>) -> Vec<u32> {
+    let mut parent: Vec<u32> = (0..capacity as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            let g = parent[parent[v as usize] as usize];
+            parent[v as usize] = g;
+            v = g;
+        }
+        v
+    }
+    for (a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra.max(rb) as usize] = ra.min(rb);
+        }
+    }
+    (0..capacity as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// The conservative pairwise interference model over one group's hub
+/// agenda (see the module docs for the safety argument).
+#[derive(Debug)]
+pub struct Interference {
+    /// Residual-graph component of each agenda hub's vertex.
+    hub_comp: Vec<u32>,
+    /// Per hub: sorted component ids of receivers carrying that hub's row
+    /// — the components its removal pass can write into.
+    removal_comps: Vec<Vec<u32>>,
+}
+
+impl Interference {
+    /// Builds the model. `comp` maps vertex id → residual component,
+    /// `hubs` is the rank-ordered agenda, `receivers` the shared
+    /// receiver/removal frontier, `hub_vertex` resolves a rank to its
+    /// vertex, and `rows_at` enumerates the hub rows present at a receiver
+    /// (across every label family the group repairs).
+    pub fn build(
+        comp: &[u32],
+        hubs: &[(Rank, u8)],
+        receivers: &[VertexId],
+        mut hub_vertex: impl FnMut(Rank) -> VertexId,
+        mut rows_at: impl FnMut(VertexId, &mut dyn FnMut(Rank)),
+    ) -> Interference {
+        // rank → agenda slot (rank spaces are dense and small).
+        let mut slot: Vec<u32> = vec![u32::MAX; comp.len()];
+        for (i, &(r, _)) in hubs.iter().enumerate() {
+            slot[r.index()] = i as u32;
+        }
+        let hub_comp: Vec<u32> = hubs
+            .iter()
+            .map(|&(r, _)| comp[hub_vertex(r).index()])
+            .collect();
+        let mut removal_comps: Vec<Vec<u32>> = vec![Vec::new(); hubs.len()];
+        for &v in receivers {
+            let cv = comp[v.index()];
+            rows_at(v, &mut |r| {
+                if let Some(&s) = slot.get(r.index()) {
+                    if s != u32::MAX {
+                        let rc = &mut removal_comps[s as usize];
+                        if !rc.contains(&cv) {
+                            rc.push(cv);
+                        }
+                    }
+                }
+            });
+        }
+        for rc in &mut removal_comps {
+            rc.sort_unstable();
+        }
+        Interference {
+            hub_comp,
+            removal_comps,
+        }
+    }
+
+    /// Whether agenda hubs `i` and `j` may interfere: same residual
+    /// component, or either hub's removal reach covers the other's
+    /// component.
+    pub fn conflicts(&self, i: usize, j: usize) -> bool {
+        self.hub_comp[i] == self.hub_comp[j]
+            || self.removal_comps[i]
+                .binary_search(&self.hub_comp[j])
+                .is_ok()
+            || self.removal_comps[j]
+                .binary_search(&self.hub_comp[i])
+                .is_ok()
+    }
+}
+
+/// The wave partition of one group's hub agenda: each wave holds agenda
+/// indices that are pairwise independent and may run concurrently; waves
+/// execute in order, with every log committed before the next wave starts.
+#[derive(Debug)]
+pub struct WaveSchedule {
+    waves: Vec<Vec<usize>>,
+}
+
+impl WaveSchedule {
+    /// Number of waves.
+    pub fn waves(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Width of the widest wave (≥ 2 means real parallelism was found).
+    pub fn max_wave_width(&self) -> usize {
+        self.waves.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The waves, in execution order, as slices of agenda indices (each
+    /// slice ascending, i.e. descending hub rank).
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.waves.iter().map(Vec::as_slice)
+    }
+}
+
+/// Greedy earliest-wave partition of `n` rank-ordered agenda entries:
+/// entry `i` lands in the first wave after every earlier conflicting
+/// entry's wave. Conflicting pairs therefore always execute in rank order
+/// with a commit barrier between them, while independent hubs share a
+/// wave. Deterministic: depends only on the agenda order and the
+/// (deterministic) interference test, never on thread scheduling.
+pub fn plan_waves(n: usize, mut conflicts: impl FnMut(usize, usize) -> bool) -> WaveSchedule {
+    let mut wave_of = vec![0usize; n];
+    let mut waves: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let mut w = 0usize;
+        for (j, &wave_j) in wave_of.iter().enumerate().take(i) {
+            if wave_j >= w && conflicts(j, i) {
+                w = wave_j + 1;
+            }
+        }
+        wave_of[i] = w;
+        if waves.len() <= w {
+            waves.resize_with(w + 1, Vec::new);
+        }
+        waves[w].push(i);
+    }
+    WaveSchedule { waves }
+}
+
+/// Records a schedule's shape into the group's counters (sequential
+/// repair leaves both fields at zero).
+pub fn note_schedule(stats: &mut OpCounters, schedule: &WaveSchedule) {
+    stats.waves += schedule.waves();
+    stats.max_wave_width = stats.max_wave_width.max(schedule.max_wave_width());
+}
+
+/// One worker's reusable scratch: an engine arena (with the group's
+/// receiver marks pre-set) and the variant's probe.
+pub struct WorkerScratch<D: EngineDist, P> {
+    /// The engine arena.
+    pub engine: UpdateEngine<D>,
+    /// The variant's pinned-hub probe.
+    pub probe: P,
+}
+
+impl<D: EngineDist, P> WorkerScratch<D, P> {
+    /// Scratch for graphs up to `capacity` ids with the group receiver
+    /// union pre-marked (the batch path marks every receiver `MARK_A`).
+    pub fn for_group(capacity: usize, receivers: &[VertexId], probe: P) -> Self {
+        let mut engine = UpdateEngine::new(capacity);
+        engine.set_marks([receivers, &[]], [&[], &[]]);
+        WorkerScratch { engine, probe }
+    }
+}
+
+/// Shared shape of one parallel repair sweep: runs `dec_pass` for
+/// `h` against a frozen view, returning the write log and the sweep's own
+/// counters (with `hubs_processed = 1`, mirroring the sequential driver).
+pub fn frozen_dec_sweep<T: FrozenTopology>(
+    engine: &mut UpdateEngine<T::Dist>,
+    base: T,
+    h: VertexId,
+    receivers: &[VertexId],
+) -> (LabelWriteLog<T::Dist>, OpCounters) {
+    let mut counters = OpCounters {
+        hubs_processed: 1,
+        ..OpCounters::default()
+    };
+    let mut log = LabelWriteLog::new();
+    {
+        let mut topo = Buffered::new(base, &mut log);
+        engine.dec_pass(&mut topo, h, MARK_A, [receivers, &[]], &mut counters);
+    }
+    (log, counters)
+}
+
+/// Splits agenda family bits into the directed variant's sweep order
+/// (`L_in` first, then `L_out`), matching the sequential driver.
+pub fn family_sweeps(families: u8) -> impl Iterator<Item = u8> {
+    [REPAIR_PRIMARY, REPAIR_SECONDARY]
+        .into_iter()
+        .filter(move |&f| families & f != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsu_components() {
+        let comp = components_from_edges(6, [(0, 1), (1, 2), (4, 5)].into_iter());
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[4], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+        assert_ne!(comp[3], comp[4]);
+    }
+
+    #[test]
+    fn greedy_waves_respect_conflicts() {
+        // 0 conflicts both 1 and 2; 1 and 2 are independent of each other:
+        // waves [0], [1, 2].
+        let schedule = plan_waves(3, |j, i| j == 0 && (i == 1 || i == 2));
+        let waves: Vec<&[usize]> = schedule.iter().collect();
+        assert_eq!(waves, vec![&[0][..], &[1, 2][..]]);
+        assert_eq!(schedule.waves(), 2);
+        assert_eq!(schedule.max_wave_width(), 2);
+
+        // A conflict chain serializes transitively: 1 waits on 0, 2 on 1.
+        let chain = plan_waves(3, |j, i| i == j + 1);
+        let waves: Vec<&[usize]> = chain.iter().collect();
+        assert_eq!(waves, vec![&[0][..], &[1][..], &[2][..]]);
+    }
+
+    #[test]
+    fn fully_conflicting_agenda_serializes() {
+        let schedule = plan_waves(4, |_, _| true);
+        assert_eq!(schedule.waves(), 4);
+        assert_eq!(schedule.max_wave_width(), 1);
+        // Execution order is rank order.
+        let order: Vec<usize> = schedule.iter().flatten().copied().collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn interference_separates_disjoint_components() {
+        // comp layout: {0,1} and {2,3}; hubs at 0 (rank 0) and 2 (rank 2);
+        // receivers 1 and 3 carry only their own side's rows.
+        let comp = vec![0u32, 0, 2, 2];
+        let hubs = vec![(Rank(0), 1u8), (Rank(2), 1u8)];
+        let receivers = vec![VertexId(1), VertexId(3)];
+        let inter = Interference::build(
+            &comp,
+            &hubs,
+            &receivers,
+            |r| VertexId(r.0),
+            |v, f| f(Rank(if v.0 < 2 { 0 } else { 2 })),
+        );
+        assert!(!inter.conflicts(0, 1));
+        let schedule = plan_waves(2, |i, j| inter.conflicts(i, j));
+        assert_eq!(schedule.max_wave_width(), 2);
+    }
+
+    #[test]
+    fn interference_detects_cross_component_removals() {
+        // Hub 0 sits in component 0 but a receiver in component 2 still
+        // carries its row (a pre-deletion path crossed the cut): its
+        // removal pass reaches into the other hub's component.
+        let comp = vec![0u32, 0, 2, 2];
+        let hubs = vec![(Rank(0), 1u8), (Rank(2), 1u8)];
+        let receivers = vec![VertexId(1), VertexId(3)];
+        let inter = Interference::build(
+            &comp,
+            &hubs,
+            &receivers,
+            |r| VertexId(r.0),
+            |v, f| {
+                f(Rank(0)); // hub 0's row is everywhere
+                if v.0 >= 2 {
+                    f(Rank(2));
+                }
+            },
+        );
+        assert!(inter.conflicts(0, 1));
+    }
+}

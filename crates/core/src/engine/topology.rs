@@ -8,6 +8,7 @@
 //! and pins `L_in` — which makes the same view type serve the forward and
 //! backward halves of every directed update.
 
+use super::parallel::FrozenTopology;
 use super::LabelTopology;
 use crate::directed::{DirectedSpcIndex, Side};
 use crate::index::SpcIndex;
@@ -257,6 +258,228 @@ impl LabelTopology for WeightedTopo<'_> {
     #[inline]
     fn label_remove(&mut self, v: VertexId, hub: Rank) -> bool {
         self.index.label_set_mut(v).remove(hub).is_some()
+    }
+
+    fn is_common_hub(&self, hub: Rank, near: VertexId, far: VertexId) -> bool {
+        hub <= self.index.rank(near)
+            && hub <= self.index.rank(far)
+            && self.index.label_set(near).contains(hub)
+            && self.index.label_set(far).contains(hub)
+    }
+}
+
+/// Read-only undirected view for parallel workers: borrows the index
+/// *immutably* (shareable across threads) and implements only the read
+/// half of the engine contract ([`FrozenTopology`]); writes are buffered
+/// by [`super::parallel::Buffered`].
+///
+/// INVARIANT (all three `Frozen*` views): the read methods must stay
+/// byte-equivalent to the corresponding `*Topo` implementations above —
+/// the parallel ≡ sequential determinism contract depends on it, and
+/// `tests/parallel_maintenance.rs` enforces it. Any change to a `*Topo`
+/// read method must be mirrored here.
+pub struct FrozenUndirected<'a> {
+    g: &'a UndirectedGraph,
+    index: &'a SpcIndex,
+    probe: &'a mut HubProbe,
+}
+
+impl<'a> FrozenUndirected<'a> {
+    /// Borrows graph and index immutably, the worker's probe mutably.
+    pub fn new(g: &'a UndirectedGraph, index: &'a SpcIndex, probe: &'a mut HubProbe) -> Self {
+        FrozenUndirected { g, index, probe }
+    }
+}
+
+impl FrozenTopology for FrozenUndirected<'_> {
+    type Dist = u32;
+
+    const DIJKSTRA: bool = false;
+
+    #[inline]
+    fn rank(&self, v: u32) -> Rank {
+        self.index.rank(VertexId(v))
+    }
+
+    fn load_probe(&mut self, x: VertexId) {
+        self.probe.load(self.index, x);
+    }
+
+    #[inline]
+    fn probe_query(&self, v: VertexId) -> (u32, Count) {
+        let q = self.probe.query(self.index.label_set(v));
+        (q.dist, q.count)
+    }
+
+    #[inline]
+    fn probe_pre_query(&self, v: VertexId, limit: Rank) -> (u32, Count) {
+        let q = self.probe.pre_query(self.index.label_set(v), limit);
+        (q.dist, q.count)
+    }
+
+    #[inline]
+    fn for_each_neighbor<F: FnMut(u32, u32)>(&self, v: u32, mut f: F) {
+        for &w in self.g.neighbors(VertexId(v)) {
+            f(w, 1);
+        }
+    }
+
+    #[inline]
+    fn label_get(&self, v: VertexId, hub: Rank) -> Option<(u32, Count)> {
+        self.index.label_set(v).get(hub).map(|e| (e.dist, e.count))
+    }
+
+    fn is_common_hub(&self, hub: Rank, near: VertexId, far: VertexId) -> bool {
+        hub <= self.index.rank(near)
+            && hub <= self.index.rank(far)
+            && self.index.label_set(near).contains(hub)
+            && self.index.label_set(far).contains(hub)
+    }
+}
+
+/// Read-only directed view for parallel workers; `repair` selects the
+/// family being swept exactly as in [`DirectedTopo`].
+pub struct FrozenDirected<'a> {
+    g: &'a DirectedGraph,
+    index: &'a DirectedSpcIndex,
+    probe: &'a mut HubProbe,
+    repair: Side,
+}
+
+impl<'a> FrozenDirected<'a> {
+    /// Borrows graph and index immutably, the worker's probe mutably.
+    pub fn new(
+        g: &'a DirectedGraph,
+        index: &'a DirectedSpcIndex,
+        probe: &'a mut HubProbe,
+        repair: Side,
+    ) -> Self {
+        FrozenDirected {
+            g,
+            index,
+            probe,
+            repair,
+        }
+    }
+
+    #[inline]
+    fn pin_side(&self) -> Side {
+        self.repair.opposite()
+    }
+}
+
+impl FrozenTopology for FrozenDirected<'_> {
+    type Dist = u32;
+
+    const DIJKSTRA: bool = false;
+
+    #[inline]
+    fn rank(&self, v: u32) -> Rank {
+        self.index.rank(VertexId(v))
+    }
+
+    fn load_probe(&mut self, x: VertexId) {
+        self.probe.load_labels(
+            self.index.label(self.pin_side(), x),
+            self.index.ranks().len(),
+        );
+    }
+
+    #[inline]
+    fn probe_query(&self, v: VertexId) -> (u32, Count) {
+        let q = self.probe.query(self.index.label(self.repair, v));
+        (q.dist, q.count)
+    }
+
+    #[inline]
+    fn probe_pre_query(&self, v: VertexId, limit: Rank) -> (u32, Count) {
+        let q = self
+            .probe
+            .pre_query(self.index.label(self.repair, v), limit);
+        (q.dist, q.count)
+    }
+
+    #[inline]
+    fn for_each_neighbor<F: FnMut(u32, u32)>(&self, v: u32, mut f: F) {
+        let neighbors = match self.repair {
+            Side::In => self.g.out_neighbors(VertexId(v)),
+            Side::Out => self.g.in_neighbors(VertexId(v)),
+        };
+        for &w in neighbors {
+            f(w, 1);
+        }
+    }
+
+    #[inline]
+    fn label_get(&self, v: VertexId, hub: Rank) -> Option<(u32, Count)> {
+        self.index
+            .label(self.repair, v)
+            .get(hub)
+            .map(|e| (e.dist, e.count))
+    }
+
+    fn is_common_hub(&self, hub: Rank, near: VertexId, far: VertexId) -> bool {
+        let side = self.pin_side();
+        self.index.label(side, near).contains(hub) && self.index.label(side, far).contains(hub)
+    }
+}
+
+/// Read-only weighted view for parallel workers.
+pub struct FrozenWeighted<'a> {
+    g: &'a WeightedGraph,
+    index: &'a WeightedSpcIndex,
+    probe: &'a mut WHubProbe,
+}
+
+impl<'a> FrozenWeighted<'a> {
+    /// Borrows graph and index immutably, the worker's probe mutably.
+    pub fn new(
+        g: &'a WeightedGraph,
+        index: &'a WeightedSpcIndex,
+        probe: &'a mut WHubProbe,
+    ) -> Self {
+        FrozenWeighted { g, index, probe }
+    }
+}
+
+impl FrozenTopology for FrozenWeighted<'_> {
+    type Dist = WDist;
+
+    const DIJKSTRA: bool = true;
+
+    #[inline]
+    fn rank(&self, v: u32) -> Rank {
+        self.index.rank(VertexId(v))
+    }
+
+    fn load_probe(&mut self, x: VertexId) {
+        self.probe.load(self.index, x);
+    }
+
+    #[inline]
+    fn probe_query(&self, v: VertexId) -> (WDist, Count) {
+        let q = self.probe.query_limited(self.index.label_set(v), None);
+        (q.dist, q.count)
+    }
+
+    #[inline]
+    fn probe_pre_query(&self, v: VertexId, limit: Rank) -> (WDist, Count) {
+        let q = self
+            .probe
+            .query_limited(self.index.label_set(v), Some(limit));
+        (q.dist, q.count)
+    }
+
+    #[inline]
+    fn for_each_neighbor<F: FnMut(u32, WDist)>(&self, v: u32, mut f: F) {
+        for &(w, wt) in self.g.neighbors(VertexId(v)) {
+            f(w, wt as WDist);
+        }
+    }
+
+    #[inline]
+    fn label_get(&self, v: VertexId, hub: Rank) -> Option<(WDist, Count)> {
+        self.index.label_set(v).get(hub).map(|e| (e.dist, e.count))
     }
 
     fn is_common_hub(&self, hub: Rank, near: VertexId, far: VertexId) -> bool {

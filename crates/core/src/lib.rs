@@ -79,4 +79,5 @@ pub use dynamic::{DynamicSpc, GraphUpdate, UpdateStats};
 pub use index::{IndexStats, SpcIndex};
 pub use label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
 pub use order::{OrderingStrategy, RankMap};
+pub use parallel::MaintenanceThreads;
 pub use query::{pre_query, spc_query, QueryResult};

@@ -1,4 +1,4 @@
-//! Parallel batch query evaluation.
+//! Parallel batch query evaluation and shared thread-pool plumbing.
 //!
 //! §6 of the paper explains why parallel *updates* are hard (strict rank
 //! order dependencies between hubs) and leaves them as future work. Query
@@ -7,35 +7,117 @@
 //! sets. This module fans a query batch across scoped threads — the shape a
 //! serving deployment of the paper's system would use between update
 //! epochs.
+//!
+//! The same scoped-thread fan-out now also backs the *maintenance* side:
+//! [`crate::engine::parallel`] partitions a repair agenda into
+//! rank-independent waves and runs each wave through the crate-internal
+//! `fan_out` helper below, governed by the [`MaintenanceThreads`] knob on
+//! the dynamic facades.
 
 use crate::index::SpcIndex;
 use crate::query::{spc_query, QueryResult};
 use dspc_graph::VertexId;
 
+/// Thread budget for intra-batch index maintenance (the knob behind
+/// `DynamicSpc::set_maintenance_threads` and the directed/weighted
+/// equivalents).
+///
+/// * [`MaintenanceThreads::Auto`] (the default) resolves to
+///   `std::thread::available_parallelism()`.
+/// * [`MaintenanceThreads::Fixed(1)`](MaintenanceThreads::Fixed)
+///   degenerates to the sequential repair path exactly — same sweeps, same
+///   counters, same code.
+///
+/// Any resolved count is only a *budget*: the wave scheduler never runs
+/// two rank-dependent hub sweeps concurrently, so results (index contents,
+/// query answers, and label-operation counters) are identical at every
+/// thread count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MaintenanceThreads {
+    /// Use `std::thread::available_parallelism()` (fallback 1).
+    #[default]
+    Auto,
+    /// Use exactly this many worker threads (clamped to at least 1).
+    Fixed(usize),
+}
+
+impl MaintenanceThreads {
+    /// The concrete thread count this knob stands for.
+    pub fn resolve(self) -> usize {
+        match self {
+            MaintenanceThreads::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            MaintenanceThreads::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+/// Splits `len` items into exactly `min(parts, len)` contiguous chunk
+/// lengths differing by at most one — so every spawned thread has work
+/// (a naive `len.div_ceil(parts)` chunk size can leave trailing threads
+/// without a chunk when `len % parts` is small).
+pub(crate) fn chunk_lengths(len: usize, parts: usize) -> impl Iterator<Item = usize> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    (0..parts).map(move |i| base + usize::from(i < extra))
+}
+
+/// Runs `work` over `items` on up to `threads` scoped worker threads, each
+/// with its own scratch from `make_scratch`, returning results in input
+/// order. `threads <= 1` (or a single item) runs inline on the caller's
+/// thread with one scratch — the degenerate sequential path.
+pub(crate) fn fan_out<T, S, R, FS, FW>(
+    items: &[T],
+    threads: usize,
+    make_scratch: FS,
+    work: FW,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    FW: Fn(&mut S, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        let mut scratch = make_scratch();
+        return items.iter().map(|t| work(&mut scratch, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let (make_scratch, work) = (&make_scratch, &work);
+    std::thread::scope(|scope| {
+        let mut rest_items = items;
+        let mut rest_out = &mut out[..];
+        for chunk in chunk_lengths(items.len(), threads) {
+            let (item_chunk, next_items) = rest_items.split_at(chunk);
+            let (out_chunk, next_out) = rest_out.split_at_mut(chunk);
+            rest_items = next_items;
+            rest_out = next_out;
+            scope.spawn(move || {
+                let mut scratch = make_scratch();
+                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(work(&mut scratch, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
+}
+
 /// Evaluates `pairs` in parallel on `threads` OS threads (clamped to the
 /// batch size; `threads == 1` degenerates to the sequential path). Results
-/// are in input order.
+/// are in input order. Chunks are sized so that every spawned thread has
+/// at least one pair to evaluate.
 pub fn par_batch_query(
     index: &SpcIndex,
     pairs: &[(VertexId, VertexId)],
     threads: usize,
 ) -> Vec<QueryResult> {
     let threads = threads.clamp(1, pairs.len().max(1));
-    if threads == 1 || pairs.len() < 2 {
-        return pairs.iter().map(|&(s, t)| spc_query(index, s, t)).collect();
-    }
-    let mut results = vec![QueryResult::DISCONNECTED; pairs.len()];
-    let chunk = pairs.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (&(s, t), out) in pair_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *out = spc_query(index, s, t);
-                }
-            });
-        }
-    });
-    results
+    fan_out(pairs, threads, || (), |(), &(s, t)| spc_query(index, s, t))
 }
 
 /// [`par_batch_query`] with the thread count taken from the machine:
@@ -44,10 +126,7 @@ pub fn par_batch_query(
 /// point a serving deployment should reach for — callers pick an explicit
 /// thread count only when partitioning cores across components.
 pub fn par_batch_query_auto(index: &SpcIndex, pairs: &[(VertexId, VertexId)]) -> Vec<QueryResult> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    par_batch_query(index, pairs, threads)
+    par_batch_query(index, pairs, MaintenanceThreads::Auto.resolve())
 }
 
 /// Evaluates `pairs` sequentially — the comparison baseline for
@@ -111,5 +190,67 @@ mod tests {
         assert!(par_batch_query(&index, &[], 4).is_empty());
         let one = par_batch_query(&index, &[(VertexId(0), VertexId(2))], 4);
         assert_eq!(one[0].as_option(), Some((2, 1)));
+    }
+
+    #[test]
+    fn awkward_remainders_still_match_sequential() {
+        // The old div_ceil chunking collapsed 9 pairs / 8 threads into 5
+        // uneven chunks; the balanced split must keep results identical
+        // while giving every spawned thread work.
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = barabasi_albert(60, 2, &mut rng);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        for (len, threads) in [(9usize, 8usize), (3, 16), (17, 4), (8, 8), (5, 2)] {
+            let pairs: Vec<_> = (0..len)
+                .map(|_| {
+                    (
+                        VertexId(rng.gen_range(0..60)),
+                        VertexId(rng.gen_range(0..60)),
+                    )
+                })
+                .collect();
+            assert_eq!(
+                par_batch_query(&index, &pairs, threads),
+                batch_query(&index, &pairs),
+                "len={len} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_lengths_cover_everything_without_empty_chunks() {
+        for (len, parts) in [(9usize, 8usize), (3, 16), (16, 4), (1, 1), (7, 7), (10, 3)] {
+            let chunks: Vec<usize> = chunk_lengths(len, parts).collect();
+            assert_eq!(chunks.iter().sum::<usize>(), len, "len={len} parts={parts}");
+            assert_eq!(chunks.len(), parts.min(len).max(1));
+            assert!(chunks.iter().all(|&c| c >= 1) || len == 0);
+            let (min, max) = (chunks.iter().min(), chunks.iter().max());
+            assert!(max.unwrap() - min.unwrap() <= 1, "balanced split");
+        }
+    }
+
+    #[test]
+    fn maintenance_threads_resolution() {
+        assert!(MaintenanceThreads::Auto.resolve() >= 1);
+        assert_eq!(MaintenanceThreads::Fixed(0).resolve(), 1);
+        assert_eq!(MaintenanceThreads::Fixed(6).resolve(), 6);
+        assert_eq!(MaintenanceThreads::default(), MaintenanceThreads::Auto);
+    }
+
+    #[test]
+    fn fan_out_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1usize, 2, 5, 64] {
+            let out = fan_out(
+                &items,
+                threads,
+                || 0usize,
+                |scratch, &i| {
+                    *scratch += 1;
+                    i * 3
+                },
+            );
+            assert_eq!(out, items.iter().map(|&i| i * 3).collect::<Vec<_>>());
+        }
     }
 }

@@ -20,6 +20,7 @@ use crate::dynamic::{UpdateKind, UpdateStats};
 use crate::engine::{ordered_key, EdgeCoalescer};
 use crate::label::{Count, Rank};
 use crate::order::OrderingStrategy;
+use crate::parallel::MaintenanceThreads;
 use dspc_graph::weighted::{WDist, Weight, WeightedGraph, WDIST_INF};
 use dspc_graph::VertexId;
 use serde::{Deserialize, Serialize};
@@ -317,6 +318,7 @@ pub struct DynamicWeightedSpc {
     index: WeightedSpcIndex,
     inc: WeightedIncSpc,
     dec: WeightedDecSpc,
+    maintenance_threads: MaintenanceThreads,
 }
 
 impl DynamicWeightedSpc {
@@ -329,7 +331,21 @@ impl DynamicWeightedSpc {
             index,
             inc: WeightedIncSpc::new(cap),
             dec: WeightedDecSpc::new(cap),
+            maintenance_threads: MaintenanceThreads::default(),
         }
+    }
+
+    /// Sets the worker-thread budget for intra-batch repair
+    /// ([`DynamicWeightedSpc::delete_edges`] and the deletion groups of
+    /// [`DynamicWeightedSpc::apply_batch`]). Every thread count produces
+    /// the same index, queries, and counters.
+    pub fn set_maintenance_threads(&mut self, threads: MaintenanceThreads) {
+        self.maintenance_threads = threads;
+    }
+
+    /// The configured maintenance thread budget.
+    pub fn maintenance_threads(&self) -> MaintenanceThreads {
+        self.maintenance_threads
     }
 
     /// The underlying graph.
@@ -376,9 +392,12 @@ impl DynamicWeightedSpc {
         &mut self,
         edges: &[(VertexId, VertexId)],
     ) -> dspc_graph::Result<UpdateStats> {
-        let c = self
-            .dec
-            .delete_edges(&mut self.graph, &mut self.index, edges)?;
+        let c = self.dec.delete_edges_with_threads(
+            &mut self.graph,
+            &mut self.index,
+            edges,
+            self.maintenance_threads.resolve(),
+        )?;
         Ok(UpdateStats::from_counters(UpdateKind::Batch, c))
     }
 

@@ -122,6 +122,21 @@ impl WeightedDecSpc {
         index: &mut WeightedSpcIndex,
         edges: &[(VertexId, VertexId)],
     ) -> dspc_graph::Result<OpCounters> {
+        self.delete_edges_with_threads(g, index, edges, 1)
+    }
+
+    /// [`WeightedDecSpc::delete_edges`] with an explicit maintenance
+    /// thread budget. `threads <= 1` is the sequential path exactly;
+    /// larger budgets classify edges in parallel and run the rank-pruned
+    /// repair Dijkstras as rank-independent waves. Deterministic at every
+    /// thread count.
+    pub fn delete_edges_with_threads(
+        &mut self,
+        g: &mut WeightedGraph,
+        index: &mut WeightedSpcIndex,
+        edges: &[(VertexId, VertexId)],
+        threads: usize,
+    ) -> dspc_graph::Result<OpCounters> {
         match edges {
             [] => return Ok(OpCounters::default()),
             &[(a, b)] => return self.delete_edge(g, index, a, b),
@@ -146,45 +161,172 @@ impl WeightedDecSpc {
         self.agenda.ensure_capacity(g.capacity());
         let mut stats = OpCounters::default();
 
-        for (&(a, b), &w) in edges.iter().zip(&weights) {
-            let (sr_a, r_a) = {
+        if threads <= 1 {
+            for (&(a, b), &w) in edges.iter().zip(&weights) {
+                let (sr_a, r_a) = {
+                    let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+                    self.engine
+                        .srr_pass(&mut topo, a, b, w as WDist, &mut stats)
+                };
+                let (sr_b, r_b) = {
+                    let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+                    self.engine
+                        .srr_pass(&mut topo, b, a, w as WDist, &mut stats)
+                };
+                self.agenda
+                    .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
+                self.agenda
+                    .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
+            }
+            self.engine
+                .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
+
+            for &(a, b) in edges {
+                g.delete_edge(a, b)?;
+            }
+
+            for (h_rank, _) in self.agenda.take_hubs() {
+                let h = index.vertex(h_rank);
+                stats.hubs_processed += 1;
                 let mut topo = WeightedTopo::new(g, index, &mut self.probe);
-                self.engine
-                    .srr_pass(&mut topo, a, b, w as WDist, &mut stats)
-            };
-            let (sr_b, r_b) = {
-                let mut topo = WeightedTopo::new(g, index, &mut self.probe);
-                self.engine
-                    .srr_pass(&mut topo, b, a, w as WDist, &mut stats)
-            };
-            self.agenda
-                .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
-            self.agenda
-                .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
+                self.engine.dec_pass(
+                    &mut topo,
+                    h,
+                    MARK_A,
+                    [self.agenda.receivers(), &[]],
+                    &mut stats,
+                );
+            }
+
+            self.engine.clear_marks();
+        } else {
+            self.delete_group_parallel(g, index, edges, &weights, threads, &mut stats)?;
         }
-        self.engine
-            .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
+        self.agenda.clear();
+        Ok(stats)
+    }
+
+    /// Wave-parallel twin of the sequential multi-edge body: per-edge
+    /// classification Dijkstras fan out (read-only on the pre-mutation
+    /// graph), then the deduplicated hub agenda runs as rank-independent
+    /// waves of frozen repair Dijkstras on the residual graph.
+    fn delete_group_parallel(
+        &mut self,
+        g: &mut WeightedGraph,
+        index: &mut WeightedSpcIndex,
+        edges: &[(VertexId, VertexId)],
+        weights: &[Weight],
+        threads: usize,
+        stats: &mut OpCounters,
+    ) -> dspc_graph::Result<()> {
+        use crate::engine::parallel::{
+            components_from_edges, frozen_dec_sweep, note_schedule, plan_waves, Buffered,
+            Interference, LabelWriteLog, WorkerScratch,
+        };
+        use crate::engine::FrozenWeighted;
+        use crate::weighted::WLabelEntry;
+
+        let cap = g.capacity();
+        let items: Vec<(VertexId, VertexId, Weight)> = edges
+            .iter()
+            .zip(weights)
+            .map(|(&(a, b), &w)| (a, b, w))
+            .collect();
+
+        let outcomes = {
+            let (g_ref, index_ref): (&WeightedGraph, &WeightedSpcIndex) = (g, index);
+            crate::parallel::fan_out(
+                &items,
+                threads,
+                || {
+                    (
+                        UpdateEngine::<WDist>::new(cap),
+                        WHubProbe::new(cap),
+                        LabelWriteLog::<WDist>::new(),
+                    )
+                },
+                |(engine, probe, log), &(a, b, w)| {
+                    let mut c = OpCounters::default();
+                    let (sr_a, r_a) = {
+                        let mut topo =
+                            Buffered::new(FrozenWeighted::new(g_ref, index_ref, probe), log);
+                        engine.srr_pass(&mut topo, a, b, w as WDist, &mut c)
+                    };
+                    let (sr_b, r_b) = {
+                        let mut topo =
+                            Buffered::new(FrozenWeighted::new(g_ref, index_ref, probe), log);
+                        engine.srr_pass(&mut topo, b, a, w as WDist, &mut c)
+                    };
+                    debug_assert!(log.is_empty(), "classification never writes");
+                    (sr_a, r_a, sr_b, r_b, c)
+                },
+            )
+        };
+        for (sr_a, r_a, sr_b, r_b, c) in &outcomes {
+            stats.absorb(c);
+            self.agenda
+                .note_side(sr_a, r_a, REPAIR_PRIMARY, |v| index.rank(v));
+            self.agenda
+                .note_side(sr_b, r_b, REPAIR_PRIMARY, |v| index.rank(v));
+        }
 
         for &(a, b) in edges {
             g.delete_edge(a, b)?;
         }
 
-        for (h_rank, _) in self.agenda.take_hubs() {
-            let h = index.vertex(h_rank);
-            stats.hubs_processed += 1;
-            let mut topo = WeightedTopo::new(g, index, &mut self.probe);
-            self.engine.dec_pass(
-                &mut topo,
-                h,
-                MARK_A,
-                [self.agenda.receivers(), &[]],
-                &mut stats,
+        let hubs = self.agenda.take_hubs();
+        let receivers = self.agenda.receivers();
+        let schedule = if hubs.len() < 2 {
+            plan_waves(hubs.len(), |_, _| false)
+        } else {
+            let comp = components_from_edges(cap, g.edges().map(|(a, b, _)| (a.0, b.0)));
+            let inter = Interference::build(
+                &comp,
+                &hubs,
+                receivers,
+                |r| index.vertex(r),
+                |v, f| {
+                    for e in index.label_set(v).entries() {
+                        f(e.hub);
+                    }
+                },
             );
+            plan_waves(hubs.len(), |i, j| inter.conflicts(i, j))
+        };
+        note_schedule(stats, &schedule);
+        for wave in schedule.iter() {
+            let wave_hubs: Vec<crate::label::Rank> = wave.iter().map(|&i| hubs[i].0).collect();
+            let results = {
+                let (g_ref, index_ref): (&WeightedGraph, &WeightedSpcIndex) = (g, index);
+                crate::parallel::fan_out(
+                    &wave_hubs,
+                    threads,
+                    || WorkerScratch::for_group(cap, receivers, WHubProbe::new(cap)),
+                    |scratch, &h_rank| {
+                        frozen_dec_sweep(
+                            &mut scratch.engine,
+                            FrozenWeighted::new(g_ref, index_ref, &mut scratch.probe),
+                            index_ref.vertex(h_rank),
+                            receivers,
+                        )
+                    },
+                )
+            };
+            for (mut log, c) in results {
+                stats.absorb(&c);
+                for (v, hub, op) in log.drain() {
+                    match op {
+                        Some((d, cnt)) => {
+                            index.label_set_mut(v).upsert(WLabelEntry::new(hub, d, cnt));
+                        }
+                        None => {
+                            index.label_set_mut(v).remove(hub);
+                        }
+                    }
+                }
+            }
         }
-
-        self.engine.clear_marks();
-        self.agenda.clear();
-        Ok(stats)
+        Ok(())
     }
 
     /// Deletes edge `(a, b)` and repairs the index. Returns the counters.

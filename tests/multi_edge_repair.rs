@@ -69,6 +69,23 @@ fn pure_deletion_batch_uses_strictly_fewer_sweeps_than_sequential() {
     }
     verify_all_pairs(batched.graph(), batched.index()).unwrap();
     batched.index().check_invariants().unwrap();
+
+    // Wave-parallel repair is a scheduling change, not an algorithmic one:
+    // every sweep-count assertion above holds verbatim at any thread count.
+    for threads in [2usize, 4, 8] {
+        let mut par = DynamicSpc::build(wheel(8), OrderingStrategy::Degree);
+        par.set_maintenance_threads(dspc::MaintenanceThreads::Fixed(threads));
+        let par_stats = par.apply_batch(&ops).unwrap();
+        assert_eq!(
+            par_stats.total_sweeps(),
+            batch_stats.total_sweeps(),
+            "threads={threads}"
+        );
+        assert_eq!(par_stats.classify_sweeps, batch_stats.classify_sweeps);
+        assert_eq!(par_stats.hubs_processed, batch_stats.hubs_processed);
+        assert_eq!(par_stats.total_ops(), batch_stats.total_ops());
+        verify_all_pairs(par.graph(), par.index()).unwrap();
+    }
 }
 
 #[test]
