@@ -8,16 +8,27 @@
 //! ```
 //!
 //! Writes a flat JSON report (`--out`, default `BENCH_pr.json`) and, when
-//! `--check` names a baseline report, fails (exit 1) if `total_sweeps`
+//! `--check` names a baseline report, fails (exit 1) if a gated counter
+//! (`total_sweeps` for maintenance, `merge_steps` for the query kernel)
 //! regressed by more than `--threshold` percent (default 5). The workload
 //! runs maintenance at `MaintenanceThreads::Fixed(2)` — the wave scheduler
 //! is deterministic, so every counter (including the schedule shape) is
 //! identical on any host and at any actual core count.
+//!
+//! After the maintenance epochs each scenario runs a query phase: a seeded
+//! pair workload evaluated through both the live label sets and the frozen
+//! [`dspc::FlatIndex`] columns. The phase panics on any result divergence
+//! (the flat kernel must be bit-identical) and reports the kernel's
+//! deterministic work units — `merge_steps`, `common_hubs`, and the flat
+//! layout's `label_bytes_per_entry`.
 
-use dspc::directed::{ArcUpdate, DynamicDirectedSpc};
+use dspc::directed::{directed_spc_query, ArcUpdate, DynamicDirectedSpc};
 use dspc::dynamic::GraphUpdate;
-use dspc::weighted::{DynamicWeightedSpc, WeightedUpdate};
-use dspc::{DynamicSpc, MaintenanceThreads, OrderingStrategy, UpdateStats};
+use dspc::query::spc_query_counted;
+use dspc::weighted::{weighted_spc_query, DynamicWeightedSpc, WeightedUpdate};
+use dspc::{
+    DynamicSpc, FlatScratch, KernelCounters, MaintenanceThreads, OrderingStrategy, UpdateStats,
+};
 use dspc_graph::generators::random::{
     barabasi_albert, erdos_renyi_gnm, random_orientation, random_weights,
 };
@@ -50,6 +61,21 @@ fn absorb(report: &mut BTreeMap<String, u64>, stats: &UpdateStats) {
     add(report, "waves", stats.waves);
     let w = report.entry("max_wave_width".to_string()).or_insert(0);
     *w = (*w).max(stats.max_wave_width as u64);
+}
+
+/// Seeded query pairs over an `n`-vertex id space.
+fn query_pairs(n: u32, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n))))
+        .collect()
+}
+
+/// Folds one scenario's kernel counters into the report.
+fn absorb_queries(report: &mut BTreeMap<String, u64>, counters: &KernelCounters) {
+    *report.entry("query_pairs".to_string()).or_insert(0) += counters.queries;
+    *report.entry("merge_steps".to_string()).or_insert(0) += counters.merge_steps;
+    *report.entry("common_hubs".to_string()).or_insert(0) += counters.common_hubs;
 }
 
 /// Undirected scenario: a scale-free graph under mixed deletion epochs —
@@ -85,6 +111,32 @@ fn undirected(report: &mut BTreeMap<String, u64>) {
         absorb(report, &d.apply_batch(&ops).expect("valid epoch"));
     }
     *report.entry("label_entries".to_string()).or_insert(0) += d.index().num_entries() as u64;
+
+    // Query phase: the live counted kernel and the frozen flat snapshot
+    // must produce identical results AND identical deterministic work
+    // counters (merge steps, common hubs) on a seeded pair workload.
+    let pairs = query_pairs(420, 512, 0xF1A7);
+    let mut live_c = KernelCounters::new();
+    let live: Vec<_> = pairs
+        .iter()
+        .map(|&(s, t)| spc_query_counted(d.index(), &mut live_c, s, t))
+        .collect();
+    let flat = d.frozen_queries();
+    let mut flat_c = KernelCounters::new();
+    let mut scratch = FlatScratch::new();
+    for (k, &(s, t)) in pairs.iter().enumerate() {
+        assert_eq!(
+            flat.query_counted(&mut scratch, &mut flat_c, s, t),
+            live[k],
+            "flat/live query divergence at {s:?}->{t:?}"
+        );
+    }
+    assert_eq!(live_c, flat_c, "flat/live kernel counter divergence");
+    absorb_queries(report, &flat_c);
+    // Columnar bytes per entry (hub + dist + count columns): the flat
+    // layout's storage density, pinned at 16 for unweighted labels.
+    let bpe = flat.entry_column_bytes() / flat.num_entries().max(1);
+    report.insert("label_bytes_per_entry".to_string(), bpe as u64);
 }
 
 /// Directed scenario: pure arc-deletion epochs on a sparse digraph.
@@ -109,6 +161,24 @@ fn directed(report: &mut BTreeMap<String, u64>) {
         absorb(report, &d.apply_batch(&ops).expect("valid epoch"));
     }
     *report.entry("label_entries".to_string()).or_insert(0) += d.index().num_entries() as u64;
+
+    // Query phase against the frozen `L_out(s) × L_in(t)` snapshot.
+    let pairs = query_pairs(160, 384, 0xDA7A);
+    let live: Vec<_> = pairs
+        .iter()
+        .map(|&(s, t)| directed_spc_query(d.index(), s, t))
+        .collect();
+    let flat = d.frozen_queries();
+    let mut flat_c = KernelCounters::new();
+    let mut scratch = FlatScratch::new();
+    for (k, &(s, t)) in pairs.iter().enumerate() {
+        assert_eq!(
+            flat.query_counted(&mut scratch, &mut flat_c, s, t),
+            live[k],
+            "flat/live directed query divergence at {s:?}->{t:?}"
+        );
+    }
+    absorb_queries(report, &flat_c);
 }
 
 /// Weighted scenario: deletion epochs on a weighted sparse graph.
@@ -133,6 +203,24 @@ fn weighted(report: &mut BTreeMap<String, u64>) {
         absorb(report, &d.apply_batch(&ops).expect("valid epoch"));
     }
     *report.entry("label_entries".to_string()).or_insert(0) += d.index().num_entries() as u64;
+
+    // Query phase against the frozen weighted (u64-distance) snapshot.
+    let pairs = query_pairs(140, 384, 0x5EED);
+    let live: Vec<_> = pairs
+        .iter()
+        .map(|&(s, t)| weighted_spc_query(d.index(), s, t))
+        .collect();
+    let flat = d.frozen_queries();
+    let mut flat_c = KernelCounters::new();
+    let mut scratch = FlatScratch::new();
+    for (k, &(s, t)) in pairs.iter().enumerate() {
+        assert_eq!(
+            flat.query_counted(&mut scratch, &mut flat_c, s, t),
+            live[k],
+            "flat/live weighted query divergence at {s:?}->{t:?}"
+        );
+    }
+    absorb_queries(report, &flat_c);
 }
 
 /// Bridged scenario: a cut vertex joins four wheels; severing every
@@ -242,7 +330,9 @@ fn main() {
             } else {
                 (now as f64 - base as f64) / base as f64 * 100.0
             };
-            let gate = key == "total_sweeps";
+            // Gated counters: maintenance work (total_sweeps) and query
+            // kernel work (merge_steps). Everything else is informational.
+            let gate = key == "total_sweeps" || key == "merge_steps";
             let verdict = if gate && delta > threshold {
                 failed = true;
                 "FAIL"
@@ -259,7 +349,7 @@ fn main() {
         }
         if failed {
             eprintln!(
-                "[bench_smoke] total_sweeps regressed more than {threshold}% vs {path} — failing"
+                "[bench_smoke] a gated counter regressed more than {threshold}% vs {path} — failing"
             );
             std::process::exit(1);
         }

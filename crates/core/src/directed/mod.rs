@@ -238,6 +238,13 @@ pub fn directed_spc_query(index: &DirectedSpcIndex, s: VertexId, t: VertexId) ->
     merge_directed(index.label_out(s), index.label_in(t), None)
 }
 
+/// `PreQUERY(s → t)`: [`directed_spc_query`] restricted to hubs ranked
+/// strictly above `s` — the directed analogue of
+/// [`crate::query::pre_query`].
+pub fn directed_pre_query(index: &DirectedSpcIndex, s: VertexId, t: VertexId) -> QueryResult {
+    merge_directed(index.label_out(s), index.label_in(t), Some(index.rank(s)))
+}
+
 fn merge_directed(ls: &LabelSet, lt: &LabelSet, limit: Option<Rank>) -> QueryResult {
     let a = ls.entries();
     let b = lt.entries();
@@ -287,6 +294,8 @@ pub struct DynamicDirectedSpc {
     inc: DirectedIncSpc,
     dec: DirectedDecSpc,
     maintenance_threads: MaintenanceThreads,
+    /// Flat snapshot of the current epoch; dropped on any mutation.
+    flat: Option<crate::flat::DirectedFlatIndex>,
 }
 
 impl DynamicDirectedSpc {
@@ -300,7 +309,21 @@ impl DynamicDirectedSpc {
             inc: DirectedIncSpc::new(cap),
             dec: DirectedDecSpc::new(cap),
             maintenance_threads: MaintenanceThreads::default(),
+            flat: None,
         }
+    }
+
+    /// The read-optimized flat snapshot of the current epoch (frozen on
+    /// first use, reused until the next mutation drops it — same contract
+    /// as [`crate::dynamic::DynamicSpc::frozen_queries`]).
+    pub fn frozen_queries(&mut self) -> &crate::flat::DirectedFlatIndex {
+        self.flat
+            .get_or_insert_with(|| crate::flat::DirectedFlatIndex::freeze(&self.index))
+    }
+
+    /// Whether a flat snapshot is currently cached.
+    pub fn has_frozen_snapshot(&self) -> bool {
+        self.flat.is_some()
     }
 
     /// Sets the worker-thread budget for intra-batch repair
@@ -334,6 +357,7 @@ impl DynamicDirectedSpc {
     /// Inserts arc `a → b` and repairs the index.
     pub fn insert_arc(&mut self, a: VertexId, b: VertexId) -> dspc_graph::Result<UpdateStats> {
         self.graph.insert_arc(a, b)?;
+        self.flat = None;
         let c = self.inc.insert_arc(&self.graph, &mut self.index, a, b);
         Ok(UpdateStats::from_counters(UpdateKind::InsertEdge, c))
     }
@@ -343,6 +367,7 @@ impl DynamicDirectedSpc {
         let c = self
             .dec
             .delete_arc(&mut self.graph, &mut self.index, a, b)?;
+        self.flat = None;
         Ok(UpdateStats::from_counters(UpdateKind::DeleteEdge, c))
     }
 
@@ -361,6 +386,7 @@ impl DynamicDirectedSpc {
             arcs,
             self.maintenance_threads.resolve(),
         )?;
+        self.flat = None;
         Ok(UpdateStats::from_counters(UpdateKind::Batch, c))
     }
 
@@ -408,6 +434,7 @@ impl DynamicDirectedSpc {
     /// the undirected case §3).
     pub fn add_vertex(&mut self) -> VertexId {
         let v = self.graph.add_vertex();
+        self.flat = None;
         let r = self.index.append_vertex(v);
         debug_assert_eq!(self.index.vertex(r), v);
         v
@@ -428,6 +455,7 @@ impl DynamicDirectedSpc {
             self.delete_arc(VertexId(w), v)?;
         }
         self.graph.delete_vertex(v)?;
+        self.flat = None;
         Ok(())
     }
 }

@@ -54,6 +54,7 @@
 use crate::build::HpSpcBuilder;
 use crate::dec::{DecSpc, DecStats, SrrOutcome};
 use crate::engine::{ordered_key, OpCounters};
+use crate::flat::FlatIndex;
 use crate::inc::{IncSpc, IncStats};
 use crate::index::{IndexStats, SpcIndex};
 use crate::label::Count;
@@ -237,6 +238,10 @@ pub struct DynamicSpc {
     strategy: OrderingStrategy,
     updates_since_build: usize,
     maintenance_threads: MaintenanceThreads,
+    /// Cached flat snapshot of `index` for the current epoch; `None` until
+    /// [`DynamicSpc::frozen_queries`] is called and again after any
+    /// mutation.
+    flat: Option<FlatIndex>,
 }
 
 impl DynamicSpc {
@@ -254,7 +259,28 @@ impl DynamicSpc {
             strategy,
             updates_since_build: 0,
             maintenance_threads: MaintenanceThreads::default(),
+            flat: None,
         }
+    }
+
+    /// The read-optimized flat snapshot of the current epoch, freezing one
+    /// on first use and reusing it until the next mutation. Between epochs
+    /// the index is immutable (see the module docs), so handing the
+    /// snapshot to [`crate::parallel::par_batch_query`] — or querying it
+    /// directly — always answers exactly like [`DynamicSpc::query`].
+    ///
+    /// Any mutation through this facade (single updates, batches,
+    /// rebuilds) drops the cached snapshot; the next call re-freezes
+    /// against the repaired index.
+    pub fn frozen_queries(&mut self) -> &FlatIndex {
+        self.flat
+            .get_or_insert_with(|| FlatIndex::freeze(&self.index))
+    }
+
+    /// Whether a flat snapshot is currently cached (it is dropped by every
+    /// mutation — the invalidation tests key off this).
+    pub fn has_frozen_snapshot(&self) -> bool {
+        self.flat.is_some()
     }
 
     /// Sets the worker-thread budget for intra-batch repair
@@ -300,6 +326,7 @@ impl DynamicSpc {
     /// Inserts edge `(a, b)` and repairs the index with IncSPC.
     pub fn insert_edge(&mut self, a: VertexId, b: VertexId) -> Result<UpdateStats> {
         self.graph.insert_edge(a, b)?;
+        self.flat = None;
         let stats = self.inc.insert_edge(&self.graph, &mut self.index, a, b);
         self.updates_since_build += 1;
         Ok(UpdateStats::from_inc(stats))
@@ -320,6 +347,7 @@ impl DynamicSpc {
         let (stats, srr) = self
             .dec
             .delete_edge(&mut self.graph, &mut self.index, a, b)?;
+        self.flat = None;
         self.updates_since_build += 1;
         Ok((UpdateStats::from_dec(stats), srr))
     }
@@ -342,6 +370,7 @@ impl DynamicSpc {
             edges,
             self.maintenance_threads.resolve(),
         )?;
+        self.flat = None;
         self.updates_since_build += edges.len();
         let mut total = UpdateStats::from_dec(stats);
         total.kind = UpdateKind::Batch;
@@ -352,6 +381,7 @@ impl DynamicSpc {
     /// set joins).
     pub fn add_vertex(&mut self) -> VertexId {
         let v = self.graph.add_vertex();
+        self.flat = None;
         self.index.add_isolated_vertex(v);
         self.updates_since_build += 1;
         v
@@ -389,6 +419,7 @@ impl DynamicSpc {
         // Retire the now-isolated vertex; its self label stays (harmless)
         // so that the id space and rank map remain aligned.
         self.graph.delete_vertex(v)?;
+        self.flat = None;
         self.updates_since_build += 1;
         Ok(total)
     }
@@ -496,6 +527,7 @@ impl DynamicSpc {
     /// answer to ordering staleness (§6).
     pub fn rebuild(&mut self) {
         self.index = self.builder.build(&self.graph, self.strategy);
+        self.flat = None;
         self.updates_since_build = 0;
     }
 
@@ -505,6 +537,7 @@ impl DynamicSpc {
         self.index = self
             .builder
             .build_with_ranks(&self.graph, self.index.ranks().clone());
+        self.flat = None;
         self.updates_since_build = 0;
     }
 
@@ -735,6 +768,44 @@ mod tests {
         verify_all_pairs(d.graph(), d.index()).unwrap();
         d.rebuild_same_order();
         verify_all_pairs(d.graph(), d.index()).unwrap();
+    }
+
+    #[test]
+    fn frozen_snapshot_caches_and_invalidates() {
+        let mut d = DynamicSpc::build(figure2_g(), OrderingStrategy::Degree);
+        assert!(!d.has_frozen_snapshot());
+        let r = d.frozen_queries().query(VertexId(4), VertexId(6));
+        assert_eq!(r.as_option(), d.query(VertexId(4), VertexId(6)));
+        assert!(d.has_frozen_snapshot());
+        // Repeated access reuses the cached snapshot.
+        d.frozen_queries();
+        assert!(d.has_frozen_snapshot());
+
+        // Every mutation path drops the cache…
+        d.insert_edge(VertexId(3), VertexId(9)).unwrap();
+        assert!(!d.has_frozen_snapshot());
+        d.frozen_queries();
+        d.delete_edge(VertexId(3), VertexId(9)).unwrap();
+        assert!(!d.has_frozen_snapshot());
+        d.frozen_queries();
+        d.apply_batch(&[GraphUpdate::InsertEdge(VertexId(3), VertexId(9))])
+            .unwrap();
+        assert!(!d.has_frozen_snapshot());
+        d.frozen_queries();
+        d.add_vertex();
+        assert!(!d.has_frozen_snapshot());
+        d.frozen_queries();
+        d.rebuild();
+        assert!(!d.has_frozen_snapshot());
+
+        // …and the re-frozen snapshot answers like the repaired index.
+        let vs: Vec<VertexId> = d.graph().vertices().collect();
+        for &s in &vs {
+            for &t in &vs {
+                let live = d.query(s, t);
+                assert_eq!(d.frozen_queries().query(s, t).as_option(), live);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,786 @@
+//! Read-optimized flat index snapshots: structure-of-arrays CSR label
+//! storage plus a vectorization-friendly merge-join query kernel.
+//!
+//! The live [`SpcIndex`] stores one `Vec<LabelEntry>` per vertex — ideal
+//! for the update engine's point mutations, but a query then walks
+//! `Vec<LabelSet>` → `Vec<LabelEntry>`, a pointer-chasing merge over
+//! 16-byte array-of-structs entries. A [`FlatIndex`] is a frozen snapshot
+//! of the same labels in CSR form: one `offsets` array per vertex plus
+//! three contiguous columns (`hubs`, `dists`, `counts`) shared by the whole
+//! index. A query touches exactly two column slices, scanned sequentially.
+//!
+//! The merge kernel is split into two phases so the compiler can keep the
+//! hot loop branch-light:
+//!
+//! 1. **Compare phase** — a two-pointer scan over the *hub columns only*
+//!    (no dist/count loads, no multiplications), recording the positions of
+//!    common hubs. Pointer advances are computed arithmetically
+//!    (`i += (x <= y)`), which autovectorizes/predicates well.
+//! 2. **Accumulate phase** — a short pass over just the common-hub
+//!    positions, computing `min(d_s + d_t)` and `Σ σ·σ` exactly as the live
+//!    kernel does.
+//!
+//! Results are **bit-identical** to [`crate::query::spc_query`] /
+//! [`crate::query::pre_query`] on the index the snapshot was frozen from —
+//! the test suite and the `bench_smoke` CI lane both enforce this.
+//!
+//! A scan (not a galloping search) is used deliberately: label sets are
+//! short and cache-resident, so the predictable sequential scan beats
+//! branchy exponential probing and keeps `merge_steps` deterministic.
+//!
+//! ## Freshness contract
+//!
+//! A snapshot is immutable and does **not** follow later updates to the
+//! index it was frozen from. The dynamic facades own that lifecycle:
+//! [`crate::dynamic::DynamicSpc::frozen_queries`] (and the directed /
+//! weighted equivalents) cache a snapshot per epoch and invalidate it on
+//! any mutation, so a facade-obtained snapshot is always exact.
+
+use crate::directed::DirectedSpcIndex;
+use crate::index::SpcIndex;
+use crate::label::{Count, LabelEntry, Rank, INF_DIST};
+use crate::order::RankMap;
+use crate::query::QueryResult;
+use crate::weighted::{WQueryResult, WeightedSpcIndex};
+use dspc_graph::weighted::{WDist, WDIST_INF};
+use dspc_graph::VertexId;
+
+/// Distance field of a flat column set: `u32` hop counts for the
+/// unweighted variants, `u64` accumulated weights for the weighted one.
+/// Implemented for exactly those two types; not intended for user impls.
+pub trait FlatDist: Copy + Ord {
+    /// The "unreachable" sentinel ([`INF_DIST`] / [`WDIST_INF`]).
+    const INF: Self;
+    /// Saturating addition, matching the live kernels' overflow behavior.
+    fn sat_add(self, other: Self) -> Self;
+}
+
+impl FlatDist for u32 {
+    const INF: Self = INF_DIST;
+    #[inline]
+    fn sat_add(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+}
+
+impl FlatDist for u64 {
+    const INF: Self = WDIST_INF;
+    #[inline]
+    fn sat_add(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+}
+
+/// Deterministic work counters of the flat (and counted live) query
+/// kernels. Machine-independent, so the `bench-smoke` CI lane can gate on
+/// them exactly — no wall-clock flakiness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Queries evaluated through a counted kernel.
+    pub queries: u64,
+    /// Compare-phase loop iterations across all counted queries — the
+    /// wall-clock-independent unit of merge work.
+    pub merge_steps: u64,
+    /// Common hubs found (accumulate-phase work items).
+    pub common_hubs: u64,
+}
+
+impl KernelCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable scratch for the two-phase kernel: the common-hub position
+/// pairs found by the compare phase. One per querying thread; the batch
+/// entry points in [`crate::parallel`] allocate one per worker and reuse it
+/// across the whole chunk.
+#[derive(Clone, Debug, Default)]
+pub struct FlatScratch {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl FlatScratch {
+    /// Fresh empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Compare phase: scan the two hub columns, record positions of common
+/// hubs. `LIMITED` monomorphizes the `PreQUERY` rank cut-off away from the
+/// common no-limit kernel; `COUNTED` likewise compiles the counters out of
+/// the production path.
+#[inline]
+fn compare_phase<const LIMITED: bool, const COUNTED: bool>(
+    ha: &[u32],
+    hb: &[u32],
+    limit: u32,
+    pairs: &mut Vec<(u32, u32)>,
+    counters: &mut KernelCounters,
+) {
+    pairs.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut steps = 0u64;
+    while i < ha.len() && j < hb.len() {
+        let (x, y) = (ha[i], hb[j]);
+        if LIMITED && (x >= limit || y >= limit) {
+            // Columns are sorted ascending by hub rank: once either head
+            // reaches the limit, no common hub strictly above it remains.
+            break;
+        }
+        if COUNTED {
+            steps += 1;
+        }
+        if x == y {
+            pairs.push((i as u32, j as u32));
+        }
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    if COUNTED {
+        counters.queries += 1;
+        counters.merge_steps += steps;
+        counters.common_hubs += pairs.len() as u64;
+    }
+}
+
+/// Accumulate phase: fold the recorded common hubs into `(sd, spc)`,
+/// identically to the live merge kernel (Equations (1)–(2)).
+#[inline]
+fn accumulate_phase<D: FlatDist>(
+    da: &[D],
+    ca: &[Count],
+    db: &[D],
+    cb: &[Count],
+    pairs: &[(u32, u32)],
+) -> (D, Count) {
+    let mut best = D::INF;
+    let mut count: Count = 0;
+    for &(i, j) in pairs {
+        let (i, j) = (i as usize, j as usize);
+        let d = da[i].sat_add(db[j]);
+        if d < best {
+            best = d;
+            count = ca[i].saturating_mul(cb[j]);
+        } else if d == best && d != D::INF {
+            count = count.saturating_add(ca[i].saturating_mul(cb[j]));
+        }
+    }
+    (best, count)
+}
+
+/// One CSR column set: per-vertex label slices over three contiguous
+/// columns. `offsets[v]..offsets[v + 1]` is vertex `v`'s slice in each
+/// column; entries within a slice are sorted ascending by hub rank, exactly
+/// like the live label sets they were frozen from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatColumns<D> {
+    offsets: Vec<u32>,
+    hubs: Vec<u32>,
+    dists: Vec<D>,
+    counts: Vec<Count>,
+}
+
+impl<D: FlatDist> FlatColumns<D> {
+    /// Packs `rows` (one sorted entry iterator per vertex, in id order)
+    /// into columns. `entry_hint` pre-sizes the columns.
+    fn build<I, J>(n: usize, entry_hint: usize, rows: I) -> Self
+    where
+        I: Iterator<Item = J>,
+        J: Iterator<Item = (u32, D, Count)>,
+    {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut hubs = Vec::with_capacity(entry_hint);
+        let mut dists = Vec::with_capacity(entry_hint);
+        let mut counts = Vec::with_capacity(entry_hint);
+        offsets.push(0);
+        for row in rows {
+            for (h, d, c) in row {
+                hubs.push(h);
+                dists.push(d);
+                counts.push(c);
+            }
+            assert!(
+                hubs.len() <= u32::MAX as usize,
+                "flat index exceeds u32 offset space"
+            );
+            offsets.push(hubs.len() as u32);
+        }
+        assert_eq!(offsets.len(), n + 1, "one offset row per vertex");
+        FlatColumns {
+            offsets,
+            hubs,
+            dists,
+            counts,
+        }
+    }
+
+    /// Reassembles columns decoded from storage, validating CSR shape.
+    pub(crate) fn from_raw(
+        offsets: Vec<u32>,
+        hubs: Vec<u32>,
+        dists: Vec<D>,
+        counts: Vec<Count>,
+    ) -> Result<Self, &'static str> {
+        if offsets.first() != Some(&0) {
+            return Err("offsets must start at 0");
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be non-decreasing");
+        }
+        if offsets.last().copied().unwrap_or(0) as usize != hubs.len() {
+            return Err("last offset must equal the entry count");
+        }
+        if hubs.len() != dists.len() || hubs.len() != counts.len() {
+            return Err("column lengths disagree");
+        }
+        Ok(FlatColumns {
+            offsets,
+            hubs,
+            dists,
+            counts,
+        })
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total entries across all vertices.
+    #[inline]
+    fn num_entries(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// The three column slices of vertex `v`.
+    #[inline]
+    fn slice(&self, v: usize) -> (&[u32], &[D], &[Count]) {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        (
+            &self.hubs[lo..hi],
+            &self.dists[lo..hi],
+            &self.counts[lo..hi],
+        )
+    }
+
+    /// Bytes occupied by the entry columns alone (`hubs` + `dists` +
+    /// `counts`), excluding the per-vertex offsets.
+    fn entry_column_bytes(&self) -> usize {
+        self.hubs.len() * 4 + self.dists.len() * std::mem::size_of::<D>() + self.counts.len() * 8
+    }
+
+    /// Total bytes of the snapshot (entry columns + offsets).
+    fn column_bytes(&self) -> usize {
+        self.entry_column_bytes() + self.offsets.len() * 4
+    }
+
+    /// Full merge-join query between the slices of `s` and `t`, optionally
+    /// limited to hubs ranked strictly above `limit`.
+    #[inline]
+    fn merge<const LIMITED: bool, const COUNTED: bool>(
+        &self,
+        s: usize,
+        t: usize,
+        limit: u32,
+        scratch: &mut FlatScratch,
+        counters: &mut KernelCounters,
+    ) -> (D, Count) {
+        let (ha, da, ca) = self.slice(s);
+        let (hb, db, cb) = self.slice(t);
+        compare_phase::<LIMITED, COUNTED>(ha, hb, limit, &mut scratch.pairs, counters);
+        accumulate_phase(da, ca, db, cb, &scratch.pairs)
+    }
+
+    pub(crate) fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    pub(crate) fn hubs(&self) -> &[u32] {
+        &self.hubs
+    }
+
+    pub(crate) fn dists(&self) -> &[D] {
+        &self.dists
+    }
+
+    pub(crate) fn counts(&self) -> &[Count] {
+        &self.counts
+    }
+}
+
+/// A read-only flat snapshot of an undirected [`SpcIndex`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatIndex {
+    cols: FlatColumns<u32>,
+    ranks: RankMap,
+}
+
+impl FlatIndex {
+    /// Freezes `index` into a flat snapshot in one pass over its labels.
+    pub fn freeze(index: &SpcIndex) -> Self {
+        let n = index.num_vertices();
+        let cols = FlatColumns::build(
+            n,
+            index.num_entries(),
+            (0..n).map(|v| {
+                index
+                    .label_set(VertexId(v as u32))
+                    .entries()
+                    .iter()
+                    .map(|e| (e.hub.0, e.dist, e.count))
+            }),
+        );
+        FlatIndex {
+            cols,
+            ranks: index.ranks().clone(),
+        }
+    }
+
+    /// Reassembles a snapshot from decoded parts (the serialization codec).
+    pub(crate) fn from_parts(cols: FlatColumns<u32>, ranks: RankMap) -> Self {
+        assert_eq!(cols.num_vertices(), ranks.len(), "rank space mismatch");
+        FlatIndex { cols, ranks }
+    }
+
+    pub(crate) fn columns(&self) -> &FlatColumns<u32> {
+        &self.cols
+    }
+
+    /// The vertex total order.
+    #[inline]
+    pub fn ranks(&self) -> &RankMap {
+        &self.ranks
+    }
+
+    /// Rank of `v`.
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> Rank {
+        self.ranks.rank(v)
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.cols.num_vertices()
+    }
+
+    /// Total label entries.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.cols.num_entries()
+    }
+
+    /// Bytes of the entry columns alone — `16 × entries` (4-byte hub +
+    /// 4-byte dist + 8-byte count), the `label_bytes_per_entry` numerator.
+    pub fn entry_column_bytes(&self) -> usize {
+        self.cols.entry_column_bytes()
+    }
+
+    /// Total snapshot bytes (entry columns + per-vertex offsets).
+    pub fn column_bytes(&self) -> usize {
+        self.cols.column_bytes()
+    }
+
+    /// `SpcQUERY(s, t)` against the snapshot. Allocates a transient
+    /// scratch; batch callers should prefer [`FlatIndex::query_with`].
+    pub fn query(&self, s: VertexId, t: VertexId) -> QueryResult {
+        self.query_with(&mut FlatScratch::new(), s, t)
+    }
+
+    /// `SpcQUERY(s, t)` reusing `scratch` across calls.
+    #[inline]
+    pub fn query_with(&self, scratch: &mut FlatScratch, s: VertexId, t: VertexId) -> QueryResult {
+        let mut sink = KernelCounters::new();
+        let (dist, count) =
+            self.cols
+                .merge::<false, false>(s.index(), t.index(), 0, scratch, &mut sink);
+        QueryResult { dist, count }
+    }
+
+    /// `PreQUERY(s, t)`: only hubs ranked strictly above `rank(s)`
+    /// participate, matching [`crate::query::pre_query`].
+    pub fn pre_query(&self, s: VertexId, t: VertexId) -> QueryResult {
+        self.pre_query_with(&mut FlatScratch::new(), s, t)
+    }
+
+    /// [`FlatIndex::pre_query`] reusing `scratch`.
+    #[inline]
+    pub fn pre_query_with(
+        &self,
+        scratch: &mut FlatScratch,
+        s: VertexId,
+        t: VertexId,
+    ) -> QueryResult {
+        let mut sink = KernelCounters::new();
+        let limit = self.ranks.rank(s).0;
+        let (dist, count) =
+            self.cols
+                .merge::<true, false>(s.index(), t.index(), limit, scratch, &mut sink);
+        QueryResult { dist, count }
+    }
+
+    /// Counted [`FlatIndex::query_with`]: same result, and the kernel's
+    /// deterministic work units are accumulated into `counters`.
+    pub fn query_counted(
+        &self,
+        scratch: &mut FlatScratch,
+        counters: &mut KernelCounters,
+        s: VertexId,
+        t: VertexId,
+    ) -> QueryResult {
+        let (dist, count) =
+            self.cols
+                .merge::<false, true>(s.index(), t.index(), 0, scratch, counters);
+        QueryResult { dist, count }
+    }
+
+    /// Counted [`FlatIndex::pre_query_with`].
+    pub fn pre_query_counted(
+        &self,
+        scratch: &mut FlatScratch,
+        counters: &mut KernelCounters,
+        s: VertexId,
+        t: VertexId,
+    ) -> QueryResult {
+        let limit = self.ranks.rank(s).0;
+        let (dist, count) =
+            self.cols
+                .merge::<true, true>(s.index(), t.index(), limit, scratch, counters);
+        QueryResult { dist, count }
+    }
+
+    /// Reconstructs a live [`SpcIndex`] with identical labels — the
+    /// deserialization path for v2 snapshots. O(entries), no per-entry
+    /// searches: slices are already sorted, so labels append in order.
+    pub fn thaw(&self) -> SpcIndex {
+        let mut index = SpcIndex::self_labeled(self.ranks.clone());
+        for v in 0..self.num_vertices() {
+            let (hubs, dists, counts) = self.cols.slice(v);
+            let ls = index.label_set_mut(VertexId(v as u32));
+            ls.clear_all();
+            for k in 0..hubs.len() {
+                ls.push_descending(LabelEntry::new(Rank(hubs[k]), dists[k], counts[k]));
+            }
+        }
+        index
+    }
+}
+
+/// A read-only flat snapshot of a [`DirectedSpcIndex`]: two column sets,
+/// one per label family. `SPC(s → t)` merges the `L_out(s)` slice with the
+/// `L_in(t)` slice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirectedFlatIndex {
+    out_cols: FlatColumns<u32>,
+    in_cols: FlatColumns<u32>,
+    ranks: crate::directed::DirectedRankMap,
+}
+
+impl DirectedFlatIndex {
+    /// Freezes `index` into a flat snapshot in one pass per family.
+    pub fn freeze(index: &DirectedSpcIndex) -> Self {
+        let n = index.ranks().len();
+        let family = |side: crate::directed::Side| {
+            FlatColumns::build(
+                n,
+                0,
+                (0..n).map(move |v| {
+                    index
+                        .label(side, VertexId(v as u32))
+                        .entries()
+                        .iter()
+                        .map(|e| (e.hub.0, e.dist, e.count))
+                }),
+            )
+        };
+        DirectedFlatIndex {
+            out_cols: family(crate::directed::Side::Out),
+            in_cols: family(crate::directed::Side::In),
+            ranks: index.ranks().clone(),
+        }
+    }
+
+    /// Rank of `v`.
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> Rank {
+        self.ranks.rank(v)
+    }
+
+    /// Total entries across both families.
+    pub fn num_entries(&self) -> usize {
+        self.out_cols.num_entries() + self.in_cols.num_entries()
+    }
+
+    /// Total snapshot bytes across both families.
+    pub fn column_bytes(&self) -> usize {
+        self.out_cols.column_bytes() + self.in_cols.column_bytes()
+    }
+
+    /// Bytes of the entry columns alone, both families.
+    pub fn entry_column_bytes(&self) -> usize {
+        self.out_cols.entry_column_bytes() + self.in_cols.entry_column_bytes()
+    }
+
+    /// `SPC(s → t)` against the snapshot.
+    pub fn query(&self, s: VertexId, t: VertexId) -> QueryResult {
+        self.query_with(&mut FlatScratch::new(), s, t)
+    }
+
+    /// [`DirectedFlatIndex::query`] reusing `scratch`.
+    #[inline]
+    pub fn query_with(&self, scratch: &mut FlatScratch, s: VertexId, t: VertexId) -> QueryResult {
+        let mut sink = KernelCounters::new();
+        let (dist, count) = merge_across::<false, false>(
+            &self.out_cols,
+            &self.in_cols,
+            s,
+            t,
+            0,
+            scratch,
+            &mut sink,
+        );
+        QueryResult { dist, count }
+    }
+
+    /// `PreQUERY(s → t)`: hubs ranked strictly above `rank(s)` only.
+    pub fn pre_query(&self, s: VertexId, t: VertexId) -> QueryResult {
+        let mut sink = KernelCounters::new();
+        let limit = self.ranks.rank(s).0;
+        let (dist, count) = merge_across::<true, false>(
+            &self.out_cols,
+            &self.in_cols,
+            s,
+            t,
+            limit,
+            &mut FlatScratch::new(),
+            &mut sink,
+        );
+        QueryResult { dist, count }
+    }
+
+    /// Counted [`DirectedFlatIndex::query_with`].
+    pub fn query_counted(
+        &self,
+        scratch: &mut FlatScratch,
+        counters: &mut KernelCounters,
+        s: VertexId,
+        t: VertexId,
+    ) -> QueryResult {
+        let (dist, count) =
+            merge_across::<false, true>(&self.out_cols, &self.in_cols, s, t, 0, scratch, counters);
+        QueryResult { dist, count }
+    }
+}
+
+/// Merge between a slice of one column set and a slice of another (the
+/// directed `L_out(s)` × `L_in(t)` shape).
+#[inline]
+fn merge_across<const LIMITED: bool, const COUNTED: bool>(
+    a: &FlatColumns<u32>,
+    b: &FlatColumns<u32>,
+    s: VertexId,
+    t: VertexId,
+    limit: u32,
+    scratch: &mut FlatScratch,
+    counters: &mut KernelCounters,
+) -> (u32, Count) {
+    let (ha, da, ca) = a.slice(s.index());
+    let (hb, db, cb) = b.slice(t.index());
+    compare_phase::<LIMITED, COUNTED>(ha, hb, limit, &mut scratch.pairs, counters);
+    accumulate_phase(da, ca, db, cb, &scratch.pairs)
+}
+
+/// A read-only flat snapshot of a [`WeightedSpcIndex`]: same CSR layout
+/// with a `u64` distance column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedFlatIndex {
+    cols: FlatColumns<WDist>,
+    ranks: RankMap,
+}
+
+impl WeightedFlatIndex {
+    /// Freezes `index` into a flat snapshot in one pass.
+    pub fn freeze(index: &WeightedSpcIndex) -> Self {
+        let n = index.ranks().len();
+        let cols = FlatColumns::build(
+            n,
+            index.num_entries(),
+            (0..n).map(|v| {
+                index
+                    .label_set(VertexId(v as u32))
+                    .entries()
+                    .iter()
+                    .map(|e| (e.hub.0, e.dist, e.count))
+            }),
+        );
+        WeightedFlatIndex {
+            cols,
+            ranks: index.ranks().clone(),
+        }
+    }
+
+    /// Rank of `v`.
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> Rank {
+        self.ranks.rank(v)
+    }
+
+    /// Total label entries.
+    pub fn num_entries(&self) -> usize {
+        self.cols.num_entries()
+    }
+
+    /// Total snapshot bytes.
+    pub fn column_bytes(&self) -> usize {
+        self.cols.column_bytes()
+    }
+
+    /// Bytes of the entry columns alone (`20 × entries` here: the
+    /// distance column is 8-byte).
+    pub fn entry_column_bytes(&self) -> usize {
+        self.cols.entry_column_bytes()
+    }
+
+    /// Weighted `SpcQUERY(s, t)` against the snapshot.
+    pub fn query(&self, s: VertexId, t: VertexId) -> WQueryResult {
+        self.query_with(&mut FlatScratch::new(), s, t)
+    }
+
+    /// [`WeightedFlatIndex::query`] reusing `scratch`.
+    #[inline]
+    pub fn query_with(&self, scratch: &mut FlatScratch, s: VertexId, t: VertexId) -> WQueryResult {
+        let mut sink = KernelCounters::new();
+        let (dist, count) =
+            self.cols
+                .merge::<false, false>(s.index(), t.index(), 0, scratch, &mut sink);
+        WQueryResult { dist, count }
+    }
+
+    /// Weighted `PreQUERY(s, t)`: hubs ranked strictly above `rank(s)`.
+    pub fn pre_query(&self, s: VertexId, t: VertexId) -> WQueryResult {
+        let mut sink = KernelCounters::new();
+        let limit = self.ranks.rank(s).0;
+        let (dist, count) = self.cols.merge::<true, false>(
+            s.index(),
+            t.index(),
+            limit,
+            &mut FlatScratch::new(),
+            &mut sink,
+        );
+        WQueryResult { dist, count }
+    }
+
+    /// Counted [`WeightedFlatIndex::query_with`].
+    pub fn query_counted(
+        &self,
+        scratch: &mut FlatScratch,
+        counters: &mut KernelCounters,
+        s: VertexId,
+        t: VertexId,
+    ) -> WQueryResult {
+        let (dist, count) =
+            self.cols
+                .merge::<false, true>(s.index(), t.index(), 0, scratch, counters);
+        WQueryResult { dist, count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_index;
+    use crate::order::OrderingStrategy;
+    use crate::query::{pre_query, spc_query, spc_query_counted};
+    use dspc_graph::generators::paper::figure2_g;
+    use dspc_graph::generators::random::erdos_renyi_gnm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flat_matches_live_on_table2() {
+        let idx = crate::query::tests::table2_index();
+        let flat = FlatIndex::freeze(&idx);
+        assert_eq!(flat.num_entries(), idx.num_entries());
+        let mut scratch = FlatScratch::new();
+        for s in 0..12u32 {
+            for t in 0..12u32 {
+                let (s, t) = (VertexId(s), VertexId(t));
+                assert_eq!(flat.query_with(&mut scratch, s, t), spc_query(&idx, s, t));
+                assert_eq!(
+                    flat.pre_query_with(&mut scratch, s, t),
+                    pre_query(&idx, s, t),
+                    "pre ({s:?}, {t:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counted_kernel_matches_and_counts() {
+        let g = figure2_g();
+        let idx = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&idx);
+        let mut scratch = FlatScratch::new();
+        let mut flat_c = KernelCounters::new();
+        let mut live_c = KernelCounters::new();
+        for s in 0..12u32 {
+            for t in 0..12u32 {
+                let (s, t) = (VertexId(s), VertexId(t));
+                let f = flat.query_counted(&mut scratch, &mut flat_c, s, t);
+                let l = spc_query_counted(&idx, &mut live_c, s, t);
+                assert_eq!(f, l);
+            }
+        }
+        assert_eq!(flat_c.queries, 144);
+        assert!(flat_c.merge_steps > 0);
+        assert!(flat_c.common_hubs > 0);
+        // The flat compare loop visits exactly the live merge's positions.
+        assert_eq!(flat_c, live_c);
+    }
+
+    #[test]
+    fn thaw_round_trips_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi_gnm(50, 120, &mut rng);
+        let idx = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&idx);
+        let back = flat.thaw();
+        assert_eq!(back, idx);
+        back.check_invariants().unwrap();
+        assert_eq!(FlatIndex::freeze(&back), flat);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let idx = crate::query::tests::table2_index();
+        let flat = FlatIndex::freeze(&idx);
+        let e = flat.num_entries();
+        assert_eq!(flat.entry_column_bytes(), e * 16);
+        assert_eq!(flat.column_bytes(), e * 16 + (flat.num_vertices() + 1) * 4);
+    }
+
+    #[test]
+    fn empty_and_self_queries() {
+        let g = dspc_graph::UndirectedGraph::with_vertices(3);
+        let idx = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&idx);
+        assert_eq!(
+            flat.query(VertexId(0), VertexId(0)).as_option(),
+            Some((0, 1))
+        );
+        assert!(!flat.query(VertexId(0), VertexId(2)).is_connected());
+
+        let empty = build_index(
+            &dspc_graph::UndirectedGraph::new(),
+            OrderingStrategy::Degree,
+        );
+        let flat = FlatIndex::freeze(&empty);
+        assert_eq!(flat.num_vertices(), 0);
+        assert_eq!(flat.num_entries(), 0);
+    }
+}

@@ -47,8 +47,15 @@ pub struct IndexStats {
     pub entries: usize,
     /// Bytes under the paper's packed 64-bit-per-entry encoding.
     pub packed_bytes: usize,
-    /// Bytes in the in-memory wide representation.
+    /// Actual in-memory footprint of the live wide representation: the
+    /// `Vec<LabelSet>` spine plus, per vertex, the `LabelSet` header and
+    /// its heap block at *capacity* (not length) — what resident memory
+    /// really pays, unlike the old entries-only figure.
     pub wide_bytes: usize,
+    /// Bytes a [`crate::flat::FlatIndex`] snapshot of this index occupies:
+    /// 16 per entry across the three columns plus one `u32` offset per
+    /// vertex (and one terminator).
+    pub flat_bytes: usize,
     /// Largest single label set.
     pub max_label_len: usize,
     /// Mean label set size (the paper's `l`).
@@ -187,7 +194,13 @@ impl SpcIndex {
         IndexStats {
             entries,
             packed_bytes: entries * 8,
-            wide_bytes: self.labels.iter().map(LabelSet::byte_size).sum(),
+            wide_bytes: std::mem::size_of::<Vec<LabelSet>>()
+                + self
+                    .labels
+                    .iter()
+                    .map(LabelSet::memory_byte_size)
+                    .sum::<usize>(),
+            flat_bytes: entries * 16 + (n + 1) * 4,
             max_label_len: max,
             avg_label_len: if n == 0 {
                 0.0
@@ -279,6 +292,34 @@ mod tests {
         assert_eq!(s.packed_bytes, 32);
         assert_eq!(s.max_label_len, 1);
         assert!((s.avg_label_len - 1.0).abs() < 1e-12);
+        // Flat snapshot: 16 bytes per entry + (n + 1) u32 offsets.
+        assert_eq!(s.flat_bytes, 4 * 16 + 5 * 4);
+        // Real footprint: Vec spine + 4 LabelSet headers + ≥ 4 entries of
+        // heap — at least the header overhead above the raw entry bytes.
+        let floor = std::mem::size_of::<Vec<LabelSet>>()
+            + 4 * std::mem::size_of::<LabelSet>()
+            + 4 * std::mem::size_of::<LabelEntry>();
+        assert!(s.wide_bytes >= floor, "{} < {floor}", s.wide_bytes);
+    }
+
+    #[test]
+    fn wide_bytes_tracks_capacity_not_length() {
+        let mut idx = fresh();
+        let before = idx.stats().wide_bytes;
+        // Grow then shrink a label set: length returns to 1 but the Vec
+        // keeps its grown capacity, and wide_bytes must report it.
+        for h in 0..3u32 {
+            idx.label_set_mut(VertexId(0))
+                .upsert(LabelEntry::new(Rank(h), 1, 1));
+        }
+        let rank0 = idx.rank(VertexId(0));
+        for h in 0..3u32 {
+            if Rank(h) != rank0 {
+                idx.label_set_mut(VertexId(0)).remove(Rank(h));
+            }
+        }
+        assert_eq!(idx.label_set(VertexId(0)).len(), 1);
+        assert!(idx.stats().wide_bytes > before);
     }
 
     #[test]

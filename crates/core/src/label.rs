@@ -219,10 +219,22 @@ impl LabelSet {
         self.entries.clear();
     }
 
-    /// In-memory size in bytes (wide format).
+    /// In-memory size in bytes (wide format) of the *live* entries alone —
+    /// `len × 16`. See [`LabelSet::memory_byte_size`] for the real heap
+    /// footprint.
     #[inline]
     pub fn byte_size(&self) -> usize {
         self.entries.len() * std::mem::size_of::<LabelEntry>()
+    }
+
+    /// Actual in-memory footprint of this set: the `LabelSet` struct itself
+    /// (the `Vec` header) plus the heap block the `Vec` owns — which is
+    /// sized by *capacity*, not length. After churn-heavy maintenance,
+    /// capacity routinely exceeds length, so this is what resident memory
+    /// actually pays per vertex.
+    #[inline]
+    pub fn memory_byte_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.entries.capacity() * std::mem::size_of::<LabelEntry>()
     }
 
     /// Size in bytes under the paper's packed 64-bit encoding.

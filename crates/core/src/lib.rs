@@ -62,6 +62,7 @@ pub mod dec;
 pub mod directed;
 pub mod dynamic;
 pub mod engine;
+pub mod flat;
 pub mod inc;
 pub mod index;
 pub mod label;
@@ -76,8 +77,9 @@ pub mod weighted;
 
 pub use build::{build_index, rebuild_index, HpSpcBuilder};
 pub use dynamic::{DynamicSpc, GraphUpdate, UpdateStats};
+pub use flat::{DirectedFlatIndex, FlatIndex, FlatScratch, KernelCounters, WeightedFlatIndex};
 pub use index::{IndexStats, SpcIndex};
 pub use label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
 pub use order::{OrderingStrategy, RankMap};
-pub use parallel::MaintenanceThreads;
+pub use parallel::{MaintenanceThreads, QueryEngine};
 pub use query::{pre_query, spc_query, QueryResult};

@@ -14,9 +14,25 @@
 //! `fan_out` helper below, governed by the [`MaintenanceThreads`] knob on
 //! the dynamic facades.
 
+use crate::flat::{FlatIndex, FlatScratch};
 use crate::index::SpcIndex;
 use crate::query::{spc_query, QueryResult};
 use dspc_graph::VertexId;
+
+/// Target number of query pairs per worker thread for
+/// [`par_batch_query_auto`]. Spawning an OS thread costs on the order of
+/// tens of microseconds — several thousand label-merge queries — so the
+/// auto entry point only spawns when every worker gets at least this many
+/// pairs, and otherwise runs inline on the caller's thread.
+pub const PAIRS_PER_THREAD: usize = 256;
+
+/// Alignment (in pairs) of the per-thread chunks carved by
+/// [`par_batch_query`]. Matching the flat layout's cache granularity — 8
+/// entries of the 4-byte `hubs` column fill a half cache line per slice
+/// head — keeps each spawned worker streaming contiguous column ranges
+/// instead of interleaving with its neighbor at the chunk seam. Only the
+/// final chunk may be shorter.
+pub const QUERY_CHUNK_ALIGN: usize = 8;
 
 /// Thread budget for intra-batch index maintenance (the knob behind
 /// `DynamicSpc::set_maintenance_threads` and the directed/weighted
@@ -80,7 +96,27 @@ where
     FS: Fn() -> S + Sync,
     FW: Fn(&mut S, &T) -> R + Sync,
 {
-    if threads <= 1 || items.len() <= 1 {
+    let chunks: Vec<usize> = chunk_lengths(items.len(), threads).collect();
+    fan_out_chunks(items, &chunks, make_scratch, work)
+}
+
+/// [`fan_out`] with explicit precomputed chunk lengths (one spawned thread
+/// per chunk). A single chunk — or a single item — runs inline on the
+/// caller's thread. The chunk lengths must sum to `items.len()`.
+pub(crate) fn fan_out_chunks<T, S, R, FS, FW>(
+    items: &[T],
+    chunks: &[usize],
+    make_scratch: FS,
+    work: FW,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    FW: Fn(&mut S, &T) -> R + Sync,
+{
+    debug_assert_eq!(chunks.iter().sum::<usize>(), items.len());
+    if chunks.len() <= 1 || items.len() <= 1 {
         let mut scratch = make_scratch();
         return items.iter().map(|t| work(&mut scratch, t)).collect();
     }
@@ -89,7 +125,7 @@ where
     std::thread::scope(|scope| {
         let mut rest_items = items;
         let mut rest_out = &mut out[..];
-        for chunk in chunk_lengths(items.len(), threads) {
+        for &chunk in chunks {
             let (item_chunk, next_items) = rest_items.split_at(chunk);
             let (out_chunk, next_out) = rest_out.split_at_mut(chunk);
             rest_items = next_items;
@@ -107,32 +143,110 @@ where
         .collect()
 }
 
+/// Splits `len` query pairs into at most `parts` contiguous chunks whose
+/// lengths are multiples of [`QUERY_CHUNK_ALIGN`] (except possibly the
+/// last), balanced to within one alignment block. Never yields an empty
+/// chunk, so every spawned thread streams a non-trivial contiguous range.
+pub(crate) fn aligned_chunk_lengths(len: usize, parts: usize) -> Vec<usize> {
+    let blocks = len.div_ceil(QUERY_CHUNK_ALIGN).max(1);
+    let parts = parts.clamp(1, blocks);
+    let base = blocks / parts;
+    let extra = blocks % parts;
+    let mut remaining = len;
+    let mut out = Vec::with_capacity(parts);
+    for i in 0..parts {
+        let b = base + usize::from(i < extra);
+        let take = (b * QUERY_CHUNK_ALIGN).min(remaining);
+        out.push(take);
+        remaining -= take;
+    }
+    debug_assert_eq!(remaining, 0);
+    out
+}
+
+/// Anything batch query evaluation can run against: the live [`SpcIndex`]
+/// or a frozen [`FlatIndex`] snapshot. Workers carry a per-thread
+/// `Scratch` so engines with reusable buffers (the flat kernel's
+/// common-hub pair list) never allocate per query.
+pub trait QueryEngine: Sync {
+    /// Per-worker reusable state.
+    type Scratch: Send;
+
+    /// Fresh scratch for one worker thread.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// `SpcQUERY(s, t)` against this engine.
+    fn query_one(&self, scratch: &mut Self::Scratch, s: VertexId, t: VertexId) -> QueryResult;
+}
+
+impl QueryEngine for SpcIndex {
+    type Scratch = ();
+
+    fn make_scratch(&self) -> Self::Scratch {}
+
+    #[inline]
+    fn query_one(&self, _scratch: &mut Self::Scratch, s: VertexId, t: VertexId) -> QueryResult {
+        spc_query(self, s, t)
+    }
+}
+
+impl QueryEngine for FlatIndex {
+    type Scratch = FlatScratch;
+
+    fn make_scratch(&self) -> Self::Scratch {
+        FlatScratch::new()
+    }
+
+    #[inline]
+    fn query_one(&self, scratch: &mut Self::Scratch, s: VertexId, t: VertexId) -> QueryResult {
+        self.query_with(scratch, s, t)
+    }
+}
+
 /// Evaluates `pairs` in parallel on `threads` OS threads (clamped to the
 /// batch size; `threads == 1` degenerates to the sequential path). Results
-/// are in input order. Chunks are sized so that every spawned thread has
-/// at least one pair to evaluate.
-pub fn par_batch_query(
-    index: &SpcIndex,
+/// are in input order. Chunks are [`QUERY_CHUNK_ALIGN`]-aligned and
+/// balanced, so every spawned thread has work and streams a contiguous
+/// range of the batch.
+pub fn par_batch_query<E: QueryEngine>(
+    engine: &E,
     pairs: &[(VertexId, VertexId)],
     threads: usize,
 ) -> Vec<QueryResult> {
     let threads = threads.clamp(1, pairs.len().max(1));
-    fan_out(pairs, threads, || (), |(), &(s, t)| spc_query(index, s, t))
+    let chunks = aligned_chunk_lengths(pairs.len(), threads);
+    fan_out_chunks(
+        pairs,
+        &chunks,
+        || engine.make_scratch(),
+        |scratch, &(s, t)| engine.query_one(scratch, s, t),
+    )
 }
 
-/// [`par_batch_query`] with the thread count taken from the machine:
-/// `std::thread::available_parallelism()`, falling back to sequential
-/// evaluation when the hardware does not report one. This is the entry
-/// point a serving deployment should reach for — callers pick an explicit
-/// thread count only when partitioning cores across components.
-pub fn par_batch_query_auto(index: &SpcIndex, pairs: &[(VertexId, VertexId)]) -> Vec<QueryResult> {
-    par_batch_query(index, pairs, MaintenanceThreads::Auto.resolve())
+/// [`par_batch_query`] with the thread count derived from the machine and
+/// the batch: `std::thread::available_parallelism()` capped so that every
+/// worker receives at least [`PAIRS_PER_THREAD`] pairs. Small batches run
+/// inline — thread spawn overhead would dominate — and large ones fan out
+/// across the hardware. This is the entry point a serving deployment
+/// should reach for; callers pick an explicit thread count only when
+/// partitioning cores across components.
+pub fn par_batch_query_auto<E: QueryEngine>(
+    engine: &E,
+    pairs: &[(VertexId, VertexId)],
+) -> Vec<QueryResult> {
+    let hw = MaintenanceThreads::Auto.resolve();
+    let threads = hw.min(pairs.len() / PAIRS_PER_THREAD).max(1);
+    par_batch_query(engine, pairs, threads)
 }
 
 /// Evaluates `pairs` sequentially — the comparison baseline for
 /// [`par_batch_query`] and the convenience entry point for small batches.
-pub fn batch_query(index: &SpcIndex, pairs: &[(VertexId, VertexId)]) -> Vec<QueryResult> {
-    pairs.iter().map(|&(s, t)| spc_query(index, s, t)).collect()
+pub fn batch_query<E: QueryEngine>(engine: &E, pairs: &[(VertexId, VertexId)]) -> Vec<QueryResult> {
+    let mut scratch = engine.make_scratch();
+    pairs
+        .iter()
+        .map(|&(s, t)| engine.query_one(&mut scratch, s, t))
+        .collect()
 }
 
 #[cfg(test)]
@@ -227,6 +341,54 @@ mod tests {
             let (min, max) = (chunks.iter().min(), chunks.iter().max());
             assert!(max.unwrap() - min.unwrap() <= 1, "balanced split");
         }
+    }
+
+    #[test]
+    fn aligned_chunks_cover_everything() {
+        for (len, parts) in [
+            (1000usize, 4usize),
+            (9, 8),
+            (3, 16),
+            (17, 4),
+            (8, 8),
+            (257, 3),
+            (1, 1),
+        ] {
+            let chunks = aligned_chunk_lengths(len, parts);
+            assert_eq!(chunks.iter().sum::<usize>(), len, "len={len} parts={parts}");
+            assert!(
+                chunks.iter().all(|&c| c >= 1),
+                "no empty chunks: {chunks:?}"
+            );
+            // Every chunk except the last is a multiple of the alignment.
+            for &c in &chunks[..chunks.len() - 1] {
+                assert_eq!(c % QUERY_CHUNK_ALIGN, 0, "len={len} parts={parts}");
+            }
+        }
+        assert_eq!(aligned_chunk_lengths(0, 4), vec![0]);
+    }
+
+    #[test]
+    fn flat_engine_matches_live_engine() {
+        use crate::flat::FlatIndex;
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = barabasi_albert(250, 3, &mut rng);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&index);
+        let pairs: Vec<_> = (0..777)
+            .map(|_| {
+                (
+                    VertexId(rng.gen_range(0..250)),
+                    VertexId(rng.gen_range(0..250)),
+                )
+            })
+            .collect();
+        let live = batch_query(&index, &pairs);
+        assert_eq!(batch_query(&flat, &pairs), live);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(par_batch_query(&flat, &pairs, threads), live);
+        }
+        assert_eq!(par_batch_query_auto(&flat, &pairs), live);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! decremental update has already repaired (processing is in descending
 //! rank order, so those labels are trustworthy).
 
+use crate::flat::KernelCounters;
 use crate::index::SpcIndex;
-use crate::label::{Count, LabelSet, Rank, INF_DIST};
+use crate::label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
 use dspc_graph::VertexId;
 
 /// Result of a shortest-path-counting query.
@@ -43,27 +44,26 @@ impl QueryResult {
     }
 }
 
-/// Core label-merge kernel shared by `SpcQUERY` and `PreQUERY`.
-///
-/// Scans entries of both sets in ascending hub-rank order; `limit` (when
-/// given) excludes hubs with rank `>= limit` — `PreQUERY(s, t)` passes
-/// `limit = rank(s)`.
+/// Core label-merge kernel shared by `SpcQUERY` and `PreQUERY`,
+/// monomorphized over whether a rank limit applies. The common no-limit
+/// case (`LIMITED = false`) compiles with the limit comparison removed
+/// entirely — no per-iteration `Option` test in the hot loop.
 #[inline]
-fn merge_labels(ls: &LabelSet, lt: &LabelSet, limit: Option<Rank>) -> QueryResult {
-    let a = ls.entries();
-    let b = lt.entries();
+fn merge_kernel<const LIMITED: bool>(
+    a: &[LabelEntry],
+    b: &[LabelEntry],
+    limit: Rank,
+) -> QueryResult {
     let (mut i, mut j) = (0usize, 0usize);
     let mut best = INF_DIST;
     let mut count: Count = 0;
     while i < a.len() && j < b.len() {
         let ha = a[i].hub;
         let hb = b[j].hub;
-        if let Some(lim) = limit {
+        if LIMITED && (ha >= limit || hb >= limit) {
             // Sorted ascending: once either side's head reaches the limit,
             // no common hub strictly above the limit remains.
-            if ha >= lim || hb >= lim {
-                break;
-            }
+            break;
         }
         if ha == hb {
             let d = a[i].dist.saturating_add(b[j].dist);
@@ -87,13 +87,82 @@ fn merge_labels(ls: &LabelSet, lt: &LabelSet, limit: Option<Rank>) -> QueryResul
 /// `SpcQUERY(s, t)` — Algorithm 1. Returns the shortest distance and the
 /// exact number of shortest paths, or [`QueryResult::DISCONNECTED`].
 pub fn spc_query(index: &SpcIndex, s: VertexId, t: VertexId) -> QueryResult {
-    merge_labels(index.label_set(s), index.label_set(t), None)
+    merge_kernel::<false>(
+        index.label_set(s).entries(),
+        index.label_set(t).entries(),
+        Rank(0),
+    )
+}
+
+/// [`spc_query`] with the kernel's deterministic work units tallied into
+/// `counters` — same result, plus `merge_steps` (loop iterations) and
+/// `common_hubs` (equal-hub hits). The `bench_smoke` query phase compares
+/// these against the flat-snapshot kernel's counters.
+pub fn spc_query_counted(
+    index: &SpcIndex,
+    counters: &mut KernelCounters,
+    s: VertexId,
+    t: VertexId,
+) -> QueryResult {
+    let a = index.label_set(s).entries();
+    let b = index.label_set(t).entries();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best = INF_DIST;
+    let mut count: Count = 0;
+    let mut steps = 0u64;
+    let mut common = 0u64;
+    while i < a.len() && j < b.len() {
+        let ha = a[i].hub;
+        let hb = b[j].hub;
+        steps += 1;
+        if ha == hb {
+            common += 1;
+            let d = a[i].dist.saturating_add(b[j].dist);
+            if d < best {
+                best = d;
+                count = a[i].count.saturating_mul(b[j].count);
+            } else if d == best && d != INF_DIST {
+                count = count.saturating_add(a[i].count.saturating_mul(b[j].count));
+            }
+            i += 1;
+            j += 1;
+        } else if ha < hb {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    counters.queries += 1;
+    counters.merge_steps += steps;
+    counters.common_hubs += common;
+    QueryResult { dist: best, count }
 }
 
 /// `PreQUERY(s, t)` — `SpcQUERY` restricted to hubs strictly higher-ranked
 /// than `s` (§3.2.2: "the addition of the line *if h = s then break*").
+///
+/// ```
+/// use dspc::{build_index, pre_query, spc_query, OrderingStrategy};
+/// use dspc_graph::{UndirectedGraph, VertexId};
+///
+/// // Path a — b — c; b has the highest degree, hence the highest rank.
+/// let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let idx = build_index(&g, OrderingStrategy::Degree);
+/// assert_eq!(spc_query(&idx, VertexId(0), VertexId(2)).as_option(), Some((2, 1)));
+///
+/// // PreQUERY(s, t) only consults hubs ranked *strictly above* s, so it
+/// // upper-bounds sd(s, t). From a it may use hub b: the bound is exact.
+/// assert_eq!(pre_query(&idx, VertexId(0), VertexId(1)).as_option(), Some((1, 1)));
+/// // From b itself no hub ranks strictly higher — the bound degenerates
+/// // to "disconnected" even though b — c are adjacent.
+/// assert!(!pre_query(&idx, VertexId(1), VertexId(2)).is_connected());
+/// ```
 pub fn pre_query(index: &SpcIndex, s: VertexId, t: VertexId) -> QueryResult {
-    merge_labels(index.label_set(s), index.label_set(t), Some(index.rank(s)))
+    merge_kernel::<true>(
+        index.label_set(s).entries(),
+        index.label_set(t).entries(),
+        index.rank(s),
+    )
 }
 
 /// Distance-only convenience wrapper over [`spc_query`].

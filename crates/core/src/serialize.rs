@@ -1,16 +1,17 @@
 //! Binary serialization of the SPC-Index.
 //!
-//! The on-disk format mirrors the paper's storage layout (§4.1): one 64-bit
-//! word per label entry — 25-bit hub, 10-bit distance, 29-bit count — when
-//! every entry fits those fields, with a transparent fallback to a wide
-//! 16-byte encoding for graphs whose counts or distances overflow the
-//! packed widths.
+//! Two formats share the `DSPC` magic:
 //!
-//! Layout (little endian):
+//! **v1** mirrors the paper's storage layout (§4.1): one 64-bit word per
+//! label entry — 25-bit hub, 10-bit distance, 29-bit count — when every
+//! entry fits those fields, with a transparent fallback to a wide 16-byte
+//! encoding for graphs whose counts or distances overflow the packed
+//! widths. This remains the most compact interchange form and the default
+//! of [`encode_index`].
 //!
 //! ```text
 //! magic  "DSPC"            4 bytes
-//! version u32              currently 1
+//! version u32              1
 //! flags   u32              bit 0: 1 = packed entries, 0 = wide
 //! n       u64              vertex/id-space size
 //! vertex_at[n] u32         rank → vertex id (the total order)
@@ -18,15 +19,40 @@
 //!   len   u32
 //!   len × entry            8 bytes packed | 16 bytes wide (hub, dist, count)
 //! ```
+//!
+//! **v2** ([`encode_flat`] / [`encode_index_v2`]) writes a
+//! [`FlatIndex`]'s CSR columns directly — each column section is
+//! length-prefixed (element count as `u64`) and starts 8-byte aligned, so
+//! a loader reconstructs either representation with four bulk column
+//! reads and zero per-entry decoding: [`decode_flat`] rebuilds the flat
+//! snapshot as-is, and [`decode_index`] thaws it into a live index by
+//! appending each already-sorted row ([`LabelSet::push_descending`]).
+//!
+//! ```text
+//! magic  "DSPC"            4 bytes
+//! version u32              2
+//! flags   u32              0
+//! n       u64              vertex/id-space size
+//! vertex_at[n] u32         rank → vertex id (the total order)
+//! pad to 8-byte boundary
+//! len u64, offsets[n + 1] u32, pad to 8
+//! len u64, hubs[e]  u32,       pad to 8
+//! len u64, dists[e] u32,       pad to 8
+//! len u64, counts[e] u64
+//! ```
+//!
+//! [`load_index`] and [`decode_index`] accept both versions.
 
+use crate::flat::FlatIndex;
 use crate::index::SpcIndex;
-use crate::label::{packed, LabelEntry, LabelSet, Rank};
+use crate::label::{packed, Count, LabelEntry, LabelSet, Rank};
 use crate::order::{OrderingStrategy, RankMap};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dspc_graph::VertexId;
 
 const MAGIC: &[u8; 4] = b"DSPC";
 const VERSION: u32 = 1;
+const VERSION_FLAT: u32 = 2;
 const FLAG_PACKED: u32 = 1;
 
 /// Serialization/deserialization failures.
@@ -40,6 +66,9 @@ pub enum CodecError {
     Truncated,
     /// The rank permutation is invalid.
     BadRankMap,
+    /// The v2 column sections are inconsistent (offsets not monotone, or
+    /// column lengths disagreeing with each other or the header).
+    BadColumns,
 }
 
 impl std::fmt::Display for CodecError {
@@ -49,6 +78,7 @@ impl std::fmt::Display for CodecError {
             CodecError::BadVersion(v) => write!(f, "unsupported DSPC index version {v}"),
             CodecError::Truncated => write!(f, "truncated DSPC index"),
             CodecError::BadRankMap => write!(f, "corrupt rank permutation"),
+            CodecError::BadColumns => write!(f, "inconsistent DSPC flat columns"),
         }
     }
 }
@@ -94,21 +124,36 @@ pub fn encode_index(index: &SpcIndex) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes an index previously produced by [`encode_index`]. The
-/// explicit rank permutation stored in the file is restored exactly.
-pub fn decode_index(mut data: &[u8]) -> Result<SpcIndex, CodecError> {
+/// Reads the common header prefix (magic + version), returning the
+/// version without consuming anything.
+fn peek_version(data: &[u8]) -> Result<u32, CodecError> {
+    if data.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    if &data[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    Ok(u32::from_le_bytes(data[4..8].try_into().expect("4 bytes")))
+}
+
+/// Deserializes an index previously produced by [`encode_index`] (v1) or
+/// [`encode_flat`]/[`encode_index_v2`] (v2). The explicit rank permutation
+/// stored in the file is restored exactly. A v2 input reconstructs the
+/// live representation without per-entry decoding: four bulk column reads,
+/// then one ordered append pass per vertex.
+pub fn decode_index(data: &[u8]) -> Result<SpcIndex, CodecError> {
+    match peek_version(data)? {
+        VERSION => decode_index_v1(data),
+        VERSION_FLAT => Ok(decode_flat_v2(data)?.thaw()),
+        v => Err(CodecError::BadVersion(v)),
+    }
+}
+
+fn decode_index_v1(mut data: &[u8]) -> Result<SpcIndex, CodecError> {
     if data.remaining() < 20 {
         return Err(CodecError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let version = data.get_u32_le();
-    if version != VERSION {
-        return Err(CodecError::BadVersion(version));
-    }
+    data.advance(8); // magic + version, validated by the caller
     let flags = data.get_u32_le();
     let is_packed = flags & FLAG_PACKED != 0;
     let n = data.get_u64_le() as usize;
@@ -156,15 +201,154 @@ pub fn decode_index(mut data: &[u8]) -> Result<SpcIndex, CodecError> {
     Ok(index)
 }
 
-/// Writes an index to a file.
+fn pad_to_8(buf: &mut BytesMut) {
+    while !buf.len().is_multiple_of(8) {
+        buf.put_u8(0);
+    }
+}
+
+/// Serializes a flat snapshot in the v2 columnar layout: header, rank
+/// permutation, then the four length-prefixed, 8-byte-aligned column
+/// sections, written with bulk copies.
+pub fn encode_flat(flat: &FlatIndex) -> Bytes {
+    let cols = flat.columns();
+    let n = flat.num_vertices();
+    let e = flat.num_entries();
+    let mut buf = BytesMut::with_capacity(64 + n * 8 + e * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_FLAT);
+    buf.put_u32_le(0); // flags
+    buf.put_u64_le(n as u64);
+    for r in 0..n {
+        buf.put_u32_le(flat.ranks().vertex(Rank(r as u32)).0);
+    }
+    pad_to_8(&mut buf);
+    let put_u32s = |buf: &mut BytesMut, xs: &[u32]| {
+        buf.put_u64_le(xs.len() as u64);
+        for &x in xs {
+            buf.put_u32_le(x);
+        }
+        pad_to_8(buf);
+    };
+    put_u32s(&mut buf, cols.offsets());
+    put_u32s(&mut buf, cols.hubs());
+    put_u32s(&mut buf, cols.dists());
+    buf.put_u64_le(cols.counts().len() as u64);
+    for &c in cols.counts() {
+        buf.put_u64_le(c);
+    }
+    buf.freeze()
+}
+
+/// Serializes a live index in the v2 columnar layout (freeze + encode).
+pub fn encode_index_v2(index: &SpcIndex) -> Bytes {
+    encode_flat(&FlatIndex::freeze(index))
+}
+
+/// Deserializes a flat snapshot from either format: a v2 input is four
+/// bulk column reads; a v1 input decodes the live representation and
+/// freezes it.
+pub fn decode_flat(data: &[u8]) -> Result<FlatIndex, CodecError> {
+    match peek_version(data)? {
+        VERSION => Ok(FlatIndex::freeze(&decode_index_v1(data)?)),
+        VERSION_FLAT => decode_flat_v2(data),
+        v => Err(CodecError::BadVersion(v)),
+    }
+}
+
+fn decode_flat_v2(data: &[u8]) -> Result<FlatIndex, CodecError> {
+    let mut pos = 8usize; // magic + version, validated by the caller
+    let read_u32 = |pos: &mut usize| -> Result<u32, CodecError> {
+        let end = pos.checked_add(4).ok_or(CodecError::Truncated)?;
+        let bytes = data.get(*pos..end).ok_or(CodecError::Truncated)?;
+        *pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    };
+    let read_u64 = |pos: &mut usize| -> Result<u64, CodecError> {
+        let end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
+        let bytes = data.get(*pos..end).ok_or(CodecError::Truncated)?;
+        *pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    };
+    let align8 = |pos: &mut usize| -> Result<(), CodecError> {
+        let aligned = pos.checked_add(7).ok_or(CodecError::Truncated)? & !7;
+        if aligned > data.len() {
+            return Err(CodecError::Truncated);
+        }
+        *pos = aligned;
+        Ok(())
+    };
+    let _flags = read_u32(&mut pos)?;
+    let n = read_u64(&mut pos)? as usize;
+    if data.len().saturating_sub(pos) < n * 4 {
+        return Err(CodecError::Truncated);
+    }
+    let mut vertex_at = Vec::with_capacity(n);
+    for _ in 0..n {
+        vertex_at.push(read_u32(&mut pos)?);
+    }
+    {
+        let mut seen = vec![false; n];
+        for &v in &vertex_at {
+            if v as usize >= n || seen[v as usize] {
+                return Err(CodecError::BadRankMap);
+            }
+            seen[v as usize] = true;
+        }
+    }
+    align8(&mut pos)?;
+    let read_u32_col = |pos: &mut usize| -> Result<Vec<u32>, CodecError> {
+        let len = read_u64(pos)? as usize;
+        if data.len().saturating_sub(*pos) < len * 4 {
+            return Err(CodecError::Truncated);
+        }
+        let mut col = Vec::with_capacity(len);
+        for _ in 0..len {
+            col.push(read_u32(pos)?);
+        }
+        align8(pos)?;
+        Ok(col)
+    };
+    let offsets = read_u32_col(&mut pos)?;
+    let hubs = read_u32_col(&mut pos)?;
+    let dists = read_u32_col(&mut pos)?;
+    let counts_len = read_u64(&mut pos)? as usize;
+    if data.len().saturating_sub(pos) < counts_len * 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut counts: Vec<Count> = Vec::with_capacity(counts_len);
+    for _ in 0..counts_len {
+        counts.push(read_u64(&mut pos)?);
+    }
+    if offsets.len() != n + 1 {
+        return Err(CodecError::BadColumns);
+    }
+    let cols = crate::flat::FlatColumns::from_raw(offsets, hubs, dists, counts)
+        .map_err(|_| CodecError::BadColumns)?;
+    let ranks = RankMap::from_rank_order(&vertex_at, OrderingStrategy::Identity);
+    Ok(FlatIndex::from_parts(cols, ranks))
+}
+
+/// Writes an index to a file (v1, the compact interchange form).
 pub fn save_index<P: AsRef<std::path::Path>>(index: &SpcIndex, path: P) -> std::io::Result<()> {
     std::fs::write(path, encode_index(index))
 }
 
-/// Loads an index from a file.
+/// Loads an index from a file; accepts v1 and v2 inputs.
 pub fn load_index<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<SpcIndex> {
     let data = std::fs::read(path)?;
     decode_index(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Writes a flat snapshot to a file in the v2 columnar layout.
+pub fn save_flat<P: AsRef<std::path::Path>>(flat: &FlatIndex, path: P) -> std::io::Result<()> {
+    std::fs::write(path, encode_flat(flat))
+}
+
+/// Loads a flat snapshot from a file; accepts v1 and v2 inputs.
+pub fn load_flat<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<FlatIndex> {
+    let data = std::fs::read(path)?;
+    decode_flat(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -251,6 +435,97 @@ mod tests {
             spc_query(&back, VertexId(0), VertexId(0)).as_option(),
             Some((0, 1))
         );
+    }
+
+    /// Equality up to the `OrderingStrategy` provenance tag, which the
+    /// file format does not carry (the explicit permutation does): same
+    /// columns, same rank order.
+    fn assert_flat_equiv(a: &FlatIndex, b: &FlatIndex) {
+        assert_eq!(a.columns(), b.columns());
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        for r in 0..a.num_vertices() as u32 {
+            assert_eq!(a.ranks().vertex(Rank(r)), b.ranks().vertex(Rank(r)));
+        }
+    }
+
+    /// Live-index counterpart of [`assert_flat_equiv`]: identical label
+    /// sets and rank order, provenance tag ignored.
+    fn assert_index_equiv(a: &SpcIndex, b: &SpcIndex) {
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        for v in 0..a.num_vertices() as u32 {
+            let v = VertexId(v);
+            assert_eq!(a.label_set(v), b.label_set(v));
+            assert_eq!(a.rank(v), b.rank(v));
+        }
+    }
+
+    #[test]
+    fn v2_round_trips_both_representations() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = erdos_renyi_gnm(70, 180, &mut rng);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&index);
+
+        let bytes = encode_flat(&flat);
+        // Flat → flat: exact columns + rank order.
+        assert_flat_equiv(&decode_flat(&bytes).unwrap(), &flat);
+        // Flat → live: identical labels to the original index.
+        let live = decode_index(&bytes).unwrap();
+        assert_index_equiv(&live, &index);
+        live.check_invariants().unwrap();
+        // encode_index_v2 is freeze + encode.
+        assert_eq!(encode_index_v2(&index), bytes);
+        // v1 input also decodes into a flat snapshot.
+        assert_flat_equiv(&decode_flat(&encode_index(&index)).unwrap(), &flat);
+    }
+
+    #[test]
+    fn v2_sections_are_aligned() {
+        let g = figure2_g();
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let bytes = encode_index_v2(&index);
+        assert_eq!(bytes.len() % 8, 0);
+        // Header: 4 magic + 4 version + 4 flags + 8 n + 12 × 4 perm = 68,
+        // padded to 72; every section start is then 8-aligned by layout.
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 2);
+        let off_len = u64::from_le_bytes(bytes[72..80].try_into().unwrap());
+        assert_eq!(off_len, 13); // n + 1 offsets
+    }
+
+    #[test]
+    fn v2_corruption_rejected() {
+        let g = figure2_g();
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let bytes = encode_index_v2(&index);
+        assert_eq!(
+            decode_flat(&bytes[..bytes.len() - 5]),
+            Err(CodecError::Truncated)
+        );
+        // Break offset monotonicity: offsets start at byte 80.
+        let mut bad = bytes.to_vec();
+        bad[80..84].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_flat(&bad), Err(CodecError::BadColumns));
+        // Duplicate rank permutation entry.
+        let mut bad_perm = bytes.to_vec();
+        let dup: [u8; 4] = bad_perm[24..28].try_into().unwrap();
+        bad_perm[20..24].copy_from_slice(&dup);
+        assert_eq!(decode_flat(&bad_perm), Err(CodecError::BadRankMap));
+    }
+
+    #[test]
+    fn flat_file_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi_gnm(50, 120, &mut rng);
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&index);
+        let dir = std::env::temp_dir().join("dspc_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.dspc2");
+        save_flat(&flat, &path).unwrap();
+        assert_flat_equiv(&load_flat(&path).unwrap(), &flat);
+        // load_index accepts the v2 file too.
+        assert_index_equiv(&load_index(&path).unwrap(), &index);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

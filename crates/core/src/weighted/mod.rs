@@ -216,15 +216,22 @@ impl WQueryResult {
     }
 }
 
-/// Weighted `SpcQUERY(s, t)`.
-pub fn weighted_spc_query(index: &WeightedSpcIndex, s: VertexId, t: VertexId) -> WQueryResult {
-    let a = index.label_set(s).entries();
-    let b = index.label_set(t).entries();
+/// Weighted label-merge kernel, monomorphized over the `PreQUERY` rank
+/// limit like the unweighted one in [`crate::query`].
+#[inline]
+fn merge_weighted<const LIMITED: bool>(
+    a: &[WLabelEntry],
+    b: &[WLabelEntry],
+    limit: Rank,
+) -> WQueryResult {
     let (mut i, mut j) = (0usize, 0usize);
     let mut best = WDIST_INF;
     let mut count: Count = 0;
     while i < a.len() && j < b.len() {
         let (ha, hb) = (a[i].hub, b[j].hub);
+        if LIMITED && (ha >= limit || hb >= limit) {
+            break;
+        }
         if ha == hb {
             let d = a[i].dist.saturating_add(b[j].dist);
             if d < best {
@@ -242,6 +249,25 @@ pub fn weighted_spc_query(index: &WeightedSpcIndex, s: VertexId, t: VertexId) ->
         }
     }
     WQueryResult { dist: best, count }
+}
+
+/// Weighted `SpcQUERY(s, t)`.
+pub fn weighted_spc_query(index: &WeightedSpcIndex, s: VertexId, t: VertexId) -> WQueryResult {
+    merge_weighted::<false>(
+        index.label_set(s).entries(),
+        index.label_set(t).entries(),
+        Rank(0),
+    )
+}
+
+/// Weighted `PreQUERY(s, t)`: [`weighted_spc_query`] restricted to hubs
+/// ranked strictly above `s`.
+pub fn weighted_pre_query(index: &WeightedSpcIndex, s: VertexId, t: VertexId) -> WQueryResult {
+    merge_weighted::<true>(
+        index.label_set(s).entries(),
+        index.label_set(t).entries(),
+        index.rank(s),
+    )
 }
 
 /// Rank-indexed probe for repeated weighted queries against one hub.
@@ -319,6 +345,8 @@ pub struct DynamicWeightedSpc {
     inc: WeightedIncSpc,
     dec: WeightedDecSpc,
     maintenance_threads: MaintenanceThreads,
+    /// Flat snapshot of the current epoch; dropped on any mutation.
+    flat: Option<crate::flat::WeightedFlatIndex>,
 }
 
 impl DynamicWeightedSpc {
@@ -332,7 +360,21 @@ impl DynamicWeightedSpc {
             inc: WeightedIncSpc::new(cap),
             dec: WeightedDecSpc::new(cap),
             maintenance_threads: MaintenanceThreads::default(),
+            flat: None,
         }
+    }
+
+    /// The read-optimized flat snapshot of the current epoch (frozen on
+    /// first use, reused until the next mutation drops it — same contract
+    /// as [`crate::dynamic::DynamicSpc::frozen_queries`]).
+    pub fn frozen_queries(&mut self) -> &crate::flat::WeightedFlatIndex {
+        self.flat
+            .get_or_insert_with(|| crate::flat::WeightedFlatIndex::freeze(&self.index))
+    }
+
+    /// Whether a flat snapshot is currently cached.
+    pub fn has_frozen_snapshot(&self) -> bool {
+        self.flat.is_some()
     }
 
     /// Sets the worker-thread budget for intra-batch repair
@@ -371,6 +413,7 @@ impl DynamicWeightedSpc {
         w: dspc_graph::Weight,
     ) -> dspc_graph::Result<UpdateStats> {
         self.graph.insert_edge(a, b, w)?;
+        self.flat = None;
         let c = self.inc.apply(&self.graph, &mut self.index, a, b, w);
         Ok(UpdateStats::from_counters(UpdateKind::InsertEdge, c))
     }
@@ -380,6 +423,7 @@ impl DynamicWeightedSpc {
         let c = self
             .dec
             .delete_edge(&mut self.graph, &mut self.index, a, b)?;
+        self.flat = None;
         Ok(UpdateStats::from_counters(UpdateKind::DeleteEdge, c))
     }
 
@@ -398,12 +442,14 @@ impl DynamicWeightedSpc {
             edges,
             self.maintenance_threads.resolve(),
         )?;
+        self.flat = None;
         Ok(UpdateStats::from_counters(UpdateKind::Batch, c))
     }
 
     /// Adds an isolated vertex at the lowest rank (O(1) on the index).
     pub fn add_vertex(&mut self) -> VertexId {
         let v = self.graph.add_vertex();
+        self.flat = None;
         self.index.append_vertex(v);
         v
     }
@@ -418,6 +464,7 @@ impl DynamicWeightedSpc {
             self.delete_edge(v, VertexId(u))?;
         }
         self.graph.delete_vertex(v)?;
+        self.flat = None;
         Ok(())
     }
 
@@ -438,12 +485,14 @@ impl DynamicWeightedSpc {
         }
         if w < old {
             self.graph.set_weight(a, b, w)?;
+            self.flat = None;
             let c = self.inc.apply(&self.graph, &mut self.index, a, b, w);
             Ok(UpdateStats::from_counters(UpdateKind::WeightChange, c))
         } else {
             let c = self
                 .dec
                 .increase_weight(&mut self.graph, &mut self.index, a, b, w)?;
+            self.flat = None;
             Ok(UpdateStats::from_counters(UpdateKind::WeightChange, c))
         }
     }

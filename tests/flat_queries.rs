@@ -1,0 +1,168 @@
+//! Property-based equivalence of the flat columnar query path: for
+//! arbitrary random graphs, the frozen [`dspc::FlatIndex`] (and its
+//! directed / weighted counterparts) must answer exactly like the live
+//! label sets, which in turn must match the brute-force counting oracle.
+//! Also covers the `PreQUERY` rank-limited kernels and the dynamic
+//! facades' snapshot invalidation contract around `apply_batch`.
+
+use dspc::directed::{directed_pre_query, directed_spc_query, DynamicDirectedSpc};
+use dspc::weighted::{weighted_pre_query, weighted_spc_query, DynamicWeightedSpc};
+use dspc::{pre_query, spc_query, DynamicSpc, FlatIndex, GraphUpdate, OrderingStrategy};
+use dspc_graph::traversal::bfs::BfsCounter;
+use dspc_graph::traversal::dbfs::DirectedBfsCounter;
+use dspc_graph::traversal::dijkstra::DijkstraCounter;
+use dspc_graph::{UndirectedGraph, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a small random graph as (n, edge list).
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(3 * n))
+            .prop_map(move |edges| UndirectedGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Flat undirected queries ≡ live kernel ≡ counting BFS, and the
+    /// flat `PreQUERY` honors the same rank limit as the live one.
+    #[test]
+    fn flat_matches_live_and_oracle(g in graph_strategy(18), seed in 0u64..1000) {
+        for strategy in [
+            OrderingStrategy::Degree,
+            OrderingStrategy::Identity,
+            OrderingStrategy::Random(seed),
+        ] {
+            let index = dspc::build_index(&g, strategy);
+            let flat = FlatIndex::freeze(&index);
+            let mut bfs = BfsCounter::new(g.capacity());
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    let live = spc_query(&index, s, t);
+                    prop_assert_eq!(flat.query(s, t), live);
+                    prop_assert_eq!(live.as_option(), bfs.count(&g, s, t));
+                    prop_assert_eq!(flat.pre_query(s, t), pre_query(&index, s, t));
+                }
+            }
+        }
+    }
+
+    /// Directed flat queries ≡ live `L_out × L_in` merge ≡ directed BFS.
+    #[test]
+    fn directed_flat_matches_live_and_oracle(
+        n in 3usize..12,
+        arcs in proptest::collection::vec((0u32..12, 0u32..12), 0..40),
+    ) {
+        let arcs: Vec<(u32, u32)> = arcs
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let g = dspc_graph::DirectedGraph::from_arcs(n, &arcs);
+        let index = dspc::directed::build_directed_index(&g, OrderingStrategy::Degree);
+        let flat = dspc::DirectedFlatIndex::freeze(&index);
+        let mut bfs = DirectedBfsCounter::new(g.capacity());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let live = directed_spc_query(&index, s, t);
+                prop_assert_eq!(flat.query(s, t), live);
+                prop_assert_eq!(live.as_option(), bfs.count(&g, s, t));
+                prop_assert_eq!(flat.pre_query(s, t), directed_pre_query(&index, s, t));
+            }
+        }
+    }
+
+    /// Weighted flat queries ≡ live merge ≡ counting Dijkstra.
+    #[test]
+    fn weighted_flat_matches_live_and_oracle(
+        g in graph_strategy(12),
+        weights in proptest::collection::vec(1u32..6, 40),
+    ) {
+        let triples: Vec<(u32, u32, u32)> = g
+            .edges()
+            .enumerate()
+            .map(|(i, (u, v))| (u.0, v.0, weights[i % weights.len()]))
+            .collect();
+        let wg = dspc_graph::WeightedGraph::from_weighted_edges(g.capacity(), &triples);
+        let index = dspc::weighted::build_weighted_index(&wg, OrderingStrategy::Degree);
+        let flat = dspc::WeightedFlatIndex::freeze(&index);
+        let mut dj = DijkstraCounter::new(wg.capacity());
+        for s in wg.vertices() {
+            for t in wg.vertices() {
+                let live = weighted_spc_query(&index, s, t);
+                prop_assert_eq!(flat.query(s, t), live);
+                prop_assert_eq!(live.as_option(), dj.count(&wg, s, t));
+                prop_assert_eq!(flat.pre_query(s, t), weighted_pre_query(&index, s, t));
+            }
+        }
+    }
+
+    /// `frozen_queries` snapshots stay exact across `apply_batch` epochs:
+    /// every mutation drops the cache, and the refrozen snapshot answers
+    /// like the repaired live index.
+    #[test]
+    fn frozen_snapshot_invalidates_across_batches(
+        g in graph_strategy(14),
+        picks in proptest::collection::vec(0usize..1 << 12, 1..4),
+    ) {
+        let mut d = DynamicSpc::build(g, OrderingStrategy::Degree);
+        d.frozen_queries();
+        prop_assert!(d.has_frozen_snapshot());
+        for pick in picks {
+            let m = d.graph().num_edges();
+            if m == 0 { break; }
+            let (a, b) = d.graph().nth_edge(pick % m).unwrap();
+            d.apply_batch(&[GraphUpdate::DeleteEdge(a, b)]).unwrap();
+            prop_assert!(!d.has_frozen_snapshot(), "mutation must drop the snapshot");
+            let vs: Vec<VertexId> = d.graph().vertices().collect();
+            for &s in &vs {
+                for &t in &vs {
+                    let live = d.query(s, t);
+                    prop_assert_eq!(d.frozen_queries().query(s, t).as_option(), live);
+                }
+            }
+            prop_assert!(d.has_frozen_snapshot());
+        }
+    }
+}
+
+/// Deterministic spot checks of the directed and weighted facades'
+/// invalidation flags (kept out of proptest: one shape suffices).
+#[test]
+fn directed_and_weighted_facades_invalidate() {
+    let g = dspc_graph::DirectedGraph::from_arcs(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+    let mut d = DynamicDirectedSpc::build(g, OrderingStrategy::Degree);
+    assert_eq!(
+        d.frozen_queries()
+            .query(VertexId(0), VertexId(3))
+            .as_option(),
+        Some((1, 1))
+    );
+    assert!(d.has_frozen_snapshot());
+    d.delete_arc(VertexId(0), VertexId(3)).unwrap();
+    assert!(!d.has_frozen_snapshot());
+    assert_eq!(
+        d.frozen_queries()
+            .query(VertexId(0), VertexId(3))
+            .as_option(),
+        Some((3, 1))
+    );
+
+    let wg = dspc_graph::WeightedGraph::from_weighted_edges(3, &[(0, 1, 2), (1, 2, 2), (0, 2, 5)]);
+    let mut w = DynamicWeightedSpc::build(wg, OrderingStrategy::Degree);
+    assert_eq!(
+        w.frozen_queries()
+            .query(VertexId(0), VertexId(2))
+            .as_option(),
+        Some((4, 1))
+    );
+    w.set_weight(VertexId(0), VertexId(2), 3).unwrap();
+    assert!(!w.has_frozen_snapshot());
+    assert_eq!(
+        w.frozen_queries()
+            .query(VertexId(0), VertexId(2))
+            .as_option(),
+        Some((3, 1))
+    );
+}

@@ -1,0 +1,122 @@
+//! Serialization format compatibility: a hand-assembled v1 byte fixture
+//! pins the on-disk layout against accidental format drift, and the
+//! v1 → v2 migration path (decode packed, re-encode columnar) must
+//! preserve every label bit in both directions.
+
+use dspc::serialize::{decode_flat, decode_index, encode_flat, encode_index, encode_index_v2};
+use dspc::{spc_query, FlatIndex, OrderingStrategy, Rank};
+use dspc_graph::{UndirectedGraph, VertexId};
+
+/// Assembles a v1 file for the 3-vertex path `0 - 1 - 2` under the
+/// identity order, byte by byte. If this fixture ever fails to decode,
+/// the v1 reader changed behavior and existing files would break.
+fn golden_v1_bytes() -> Vec<u8> {
+    let mut b: Vec<u8> = Vec::new();
+    b.extend_from_slice(b"DSPC"); // magic
+    b.extend_from_slice(&1u32.to_le_bytes()); // version 1
+    b.extend_from_slice(&1u32.to_le_bytes()); // flags: packed entries
+    b.extend_from_slice(&3u64.to_le_bytes()); // n = 3
+    for v in [0u32, 1, 2] {
+        b.extend_from_slice(&v.to_le_bytes()); // identity rank order
+    }
+    // Packed entry = hub << 39 | dist << 29 | count. Identity order over
+    // the path graph gives: L(0) = {(0,0,1)}, L(1) = {(0,1,1), (1,0,1)},
+    // L(2) = {(0,2,1), (1,1,1), (2,0,1)}.
+    let pack = |hub: u64, dist: u64, count: u64| (hub << 39) | (dist << 29) | count;
+    let rows: [&[(u64, u64, u64)]; 3] = [
+        &[(0, 0, 1)],
+        &[(0, 1, 1), (1, 0, 1)],
+        &[(0, 2, 1), (1, 1, 1), (2, 0, 1)],
+    ];
+    for row in rows {
+        b.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        for &(h, d, c) in row {
+            b.extend_from_slice(&pack(h, d, c).to_le_bytes());
+        }
+    }
+    b
+}
+
+#[test]
+fn golden_v1_fixture_decodes() {
+    let index = decode_index(&golden_v1_bytes()).expect("golden v1 bytes must stay decodable");
+    index.check_invariants().unwrap();
+    assert_eq!(index.num_vertices(), 3);
+    assert_eq!(index.num_entries(), 6);
+    assert_eq!(
+        spc_query(&index, VertexId(0), VertexId(2)).as_option(),
+        Some((2, 1))
+    );
+    // The encoder still produces these exact bytes for this index.
+    let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]);
+    let rebuilt = dspc::build_index(&g, OrderingStrategy::Identity);
+    assert_eq!(
+        encode_index(&rebuilt).as_ref(),
+        golden_v1_bytes().as_slice()
+    );
+}
+
+#[test]
+fn v1_to_v2_migration_preserves_labels() {
+    let v1 = golden_v1_bytes();
+    // Migrate: decode the v1 file straight into a flat snapshot, then
+    // re-encode it columnar.
+    let flat = decode_flat(&v1).expect("v1 input decodes into a flat snapshot");
+    let v2 = encode_flat(&flat);
+    assert_eq!(
+        u32::from_le_bytes(v2[4..8].try_into().unwrap()),
+        2,
+        "migrated file carries the v2 version tag"
+    );
+    // Both files describe the same index.
+    let from_v1 = decode_index(&v1).unwrap();
+    let from_v2 = decode_index(&v2).unwrap();
+    for v in 0..3u32 {
+        let v = VertexId(v);
+        assert_eq!(from_v1.label_set(v), from_v2.label_set(v));
+        assert_eq!(from_v1.rank(v), from_v2.rank(v));
+    }
+}
+
+#[test]
+fn both_representations_round_trip_on_a_nontrivial_graph() {
+    // Petersen graph: vertex-transitive, diameter 2, plenty of equal
+    // shortest paths to exercise count accumulation.
+    let edges: [(u32, u32); 15] = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 0),
+        (0, 5),
+        (1, 6),
+        (2, 7),
+        (3, 8),
+        (4, 9),
+        (5, 7),
+        (7, 9),
+        (9, 6),
+        (6, 8),
+        (8, 5),
+    ];
+    let g = UndirectedGraph::from_edges(10, &edges);
+    let index = dspc::build_index(&g, OrderingStrategy::Degree);
+    let flat = FlatIndex::freeze(&index);
+
+    // live → v1 → live, live → v2 → live, flat → v2 → flat: all exact.
+    let via_v1 = decode_index(&encode_index(&index)).unwrap();
+    let via_v2 = decode_index(&encode_index_v2(&index)).unwrap();
+    let flat_back = decode_flat(&encode_flat(&flat)).unwrap();
+    for s in g.vertices() {
+        for t in g.vertices() {
+            let want = spc_query(&index, s, t);
+            assert_eq!(spc_query(&via_v1, s, t), want);
+            assert_eq!(spc_query(&via_v2, s, t), want);
+            assert_eq!(flat_back.query(s, t), want);
+        }
+    }
+    for r in 0..10u32 {
+        assert_eq!(via_v1.vertex(Rank(r)), index.vertex(Rank(r)));
+        assert_eq!(via_v2.vertex(Rank(r)), index.vertex(Rank(r)));
+    }
+}

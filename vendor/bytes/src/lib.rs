@@ -68,6 +68,11 @@ pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
     /// Appends a `u32` little-endian.
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
@@ -91,6 +96,10 @@ pub trait Buf {
     /// Bytes left to consume.
     fn remaining(&self) -> usize;
 
+    /// Discards the next `cnt` bytes. Panics when not enough remain
+    /// (mirrors upstream).
+    fn advance(&mut self, cnt: usize);
+
     /// Copies exactly `dst.len()` bytes out, consuming them. Panics when
     /// not enough bytes remain (mirrors upstream).
     fn copy_to_slice(&mut self, dst: &mut [u8]);
@@ -113,6 +122,11 @@ pub trait Buf {
 impl Buf for &[u8] {
     fn remaining(&self) -> usize {
         self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
     }
 
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
@@ -141,6 +155,9 @@ mod tests {
         let mut magic = [0u8; 4];
         rd.copy_to_slice(&mut magic);
         assert_eq!(&magic, b"HDR!");
+        let mut skip: &[u8] = &frozen;
+        skip.advance(4);
+        assert_eq!(skip.remaining(), 12);
         assert_eq!(rd.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(rd.get_u64_le(), u64::MAX - 1);
         assert_eq!(rd.remaining(), 0);
