@@ -21,6 +21,14 @@
 //! (the flat kernel must be bit-identical) and reports the kernel's
 //! deterministic work units — `merge_steps`, `common_hubs`, and the flat
 //! layout's `label_bytes_per_entry`.
+//!
+//! A final serving phase replays the scripted epoch-rotation loop of
+//! [`dspc_bench::serving`]: a seeded hybrid stream drained through
+//! `EpochServer` rotations while a reader fleet on a scripted refresh
+//! cadence answers from published snapshots. Its `serve_*` counters are
+//! deterministic; the gate on this phase is `serve_merge_steps`
+//! *normalized by* `serve_rotations`, so adding rotations to the scenario
+//! never masks a per-epoch kernel regression.
 
 use dspc::directed::{directed_spc_query, ArcUpdate, DynamicDirectedSpc};
 use dspc::dynamic::GraphUpdate;
@@ -29,6 +37,7 @@ use dspc::weighted::{weighted_spc_query, DynamicWeightedSpc, WeightedUpdate};
 use dspc::{
     DynamicSpc, FlatScratch, KernelCounters, MaintenanceThreads, OrderingStrategy, UpdateStats,
 };
+use dspc_bench::serving::ServingReplayConfig;
 use dspc_graph::generators::random::{
     barabasi_albert, erdos_renyi_gnm, random_orientation, random_weights,
 };
@@ -253,6 +262,21 @@ fn bridged(report: &mut BTreeMap<String, u64>) {
     *report.entry("label_entries".to_string()).or_insert(0) += d.index().num_entries() as u64;
 }
 
+/// Serving phase: the deterministic epoch-rotation replay. Counters land
+/// under the `serve_` prefix; per-shard kernel work is reported per shard
+/// so a partitioning skew shows up in the lane output.
+fn serving(report: &mut BTreeMap<String, u64>) {
+    let replay = dspc_bench::serving::replay(ServingReplayConfig::smoke());
+    report.insert("serve_rotations".to_string(), replay.rotations);
+    report.insert("serve_updates_applied".to_string(), replay.updates_applied);
+    report.insert("serve_queries".to_string(), replay.queries_served);
+    report.insert("serve_stale_reads".to_string(), replay.stale_epoch_reads);
+    report.insert("serve_merge_steps".to_string(), replay.merge_steps());
+    for (shard, &steps) in replay.shard_merge_steps.iter().enumerate() {
+        report.insert(format!("serve_shard{shard}_merge_steps"), steps);
+    }
+}
+
 fn render_json(report: &BTreeMap<String, u64>) -> String {
     let body: Vec<String> = report
         .iter()
@@ -314,6 +338,7 @@ fn main() {
     directed(&mut report);
     weighted(&mut report);
     bridged(&mut report);
+    serving(&mut report);
 
     let json = render_json(&report);
     std::fs::write(&out_path, &json).expect("write report");
@@ -346,6 +371,28 @@ fn main() {
                 "info"
             };
             eprintln!("[bench_smoke] {key}: baseline {base}, now {now} ({delta:+.2}%) [{verdict}]");
+        }
+        // Serving gate: merge steps per rotation. Normalizing keeps the
+        // gate honest if the scenario's rotation count ever changes —
+        // more epochs of work must not dilute a per-epoch regression.
+        let ratio = |r: &BTreeMap<String, u64>| -> Option<f64> {
+            let steps = *r.get("serve_merge_steps")?;
+            let rotations = *r.get("serve_rotations")?;
+            (rotations > 0).then(|| steps as f64 / rotations as f64)
+        };
+        if let (Some(base), Some(now)) = (ratio(&baseline), ratio(&report)) {
+            let delta = (now - base) / base * 100.0;
+            let verdict = if delta > threshold {
+                failed = true;
+                "FAIL"
+            } else if delta < -threshold {
+                "IMPROVED — refresh BENCH_baseline.json to lock it in"
+            } else {
+                "gate"
+            };
+            eprintln!(
+                "[bench_smoke] serve_merge_steps/rotation: baseline {base:.1}, now {now:.1} ({delta:+.2}%) [{verdict}]"
+            );
         }
         if failed {
             eprintln!(

@@ -23,5 +23,6 @@
 pub mod datasets;
 pub mod exp;
 pub mod runner;
+pub mod serving;
 pub mod stats;
 pub mod workload;

@@ -263,6 +263,34 @@ impl DynamicSpc {
         }
     }
 
+    /// Wraps an already-built `(graph, index)` pair — the warm-start path:
+    /// a server boots from a serialized index
+    /// ([`crate::serialize::load_flat`] + [`crate::flat::FlatIndex::thaw`])
+    /// and resumes dynamic maintenance without paying a rebuild. `strategy`
+    /// is what a later [`DynamicSpc::rebuild`] will re-rank with.
+    ///
+    /// The caller asserts `index` is exact for `graph`; the id spaces must
+    /// at least agree (checked here).
+    pub fn from_parts(graph: UndirectedGraph, index: SpcIndex, strategy: OrderingStrategy) -> Self {
+        assert_eq!(
+            index.num_vertices(),
+            graph.capacity(),
+            "index and graph id spaces disagree"
+        );
+        let cap = graph.capacity();
+        DynamicSpc {
+            graph,
+            index,
+            inc: IncSpc::new(cap),
+            dec: DecSpc::new(cap),
+            builder: HpSpcBuilder::new(cap),
+            strategy,
+            updates_since_build: 0,
+            maintenance_threads: MaintenanceThreads::default(),
+            flat: None,
+        }
+    }
+
     /// The read-optimized flat snapshot of the current epoch, freezing one
     /// on first use and reusing it until the next mutation. Between epochs
     /// the index is immutable (see the module docs), so handing the

@@ -98,7 +98,7 @@ impl KernelCounters {
 /// across the whole chunk.
 #[derive(Clone, Debug, Default)]
 pub struct FlatScratch {
-    pairs: Vec<(u32, u32)>,
+    pub(crate) pairs: Vec<(u32, u32)>,
 }
 
 impl FlatScratch {
@@ -113,7 +113,7 @@ impl FlatScratch {
 /// common no-limit kernel; `COUNTED` likewise compiles the counters out of
 /// the production path.
 #[inline]
-fn compare_phase<const LIMITED: bool, const COUNTED: bool>(
+pub(crate) fn compare_phase<const LIMITED: bool, const COUNTED: bool>(
     ha: &[u32],
     hb: &[u32],
     limit: u32,
@@ -149,7 +149,7 @@ fn compare_phase<const LIMITED: bool, const COUNTED: bool>(
 /// Accumulate phase: fold the recorded common hubs into `(sd, spc)`,
 /// identically to the live merge kernel (Equations (1)–(2)).
 #[inline]
-fn accumulate_phase<D: FlatDist>(
+pub(crate) fn accumulate_phase<D: FlatDist>(
     da: &[D],
     ca: &[Count],
     db: &[D],
@@ -258,7 +258,7 @@ impl<D: FlatDist> FlatColumns<D> {
 
     /// The three column slices of vertex `v`.
     #[inline]
-    fn slice(&self, v: usize) -> (&[u32], &[D], &[Count]) {
+    pub(crate) fn slice(&self, v: usize) -> (&[u32], &[D], &[Count]) {
         let lo = self.offsets[v] as usize;
         let hi = self.offsets[v + 1] as usize;
         (

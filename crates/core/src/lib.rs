@@ -72,6 +72,7 @@ pub mod paths;
 pub mod policy;
 pub mod query;
 pub mod serialize;
+pub mod shard;
 pub mod verify;
 pub mod weighted;
 
@@ -83,3 +84,4 @@ pub use label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
 pub use order::{OrderingStrategy, RankMap};
 pub use parallel::{MaintenanceThreads, QueryEngine};
 pub use query::{pre_query, spc_query, QueryResult};
+pub use shard::{EpochSnapshot, ShardedFlatIndex};

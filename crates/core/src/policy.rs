@@ -92,11 +92,48 @@ impl ManagedSpc {
     /// Applies an update, then rebuilds if the policy fires.
     pub fn apply(&mut self, update: GraphUpdate) -> Result<UpdateStats> {
         let stats = self.inner.apply(update)?;
+        self.maybe_rebuild();
+        Ok(stats)
+    }
+
+    /// Applies a whole epoch through [`DynamicSpc::apply_batch`], then
+    /// rebuilds if the policy fires — the write path the serving layer
+    /// drives once per rotation. Whether the epoch ends in incremental
+    /// repair or a policy-triggered rebuild, the facade's frozen snapshot
+    /// cache is dropped, so the next [`ManagedSpc::frozen_queries`] freezes
+    /// the post-epoch index.
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<UpdateStats> {
+        let stats = self.inner.apply_batch(updates)?;
+        self.maybe_rebuild();
+        Ok(stats)
+    }
+
+    fn maybe_rebuild(&mut self) {
         if self.policy.should_rebuild(&self.inner) {
             self.inner.rebuild();
             self.rebuilds += 1;
         }
-        Ok(stats)
+    }
+
+    /// `SPC(s, t)` through the live index.
+    pub fn query(
+        &self,
+        s: dspc_graph::VertexId,
+        t: dspc_graph::VertexId,
+    ) -> Option<(u32, crate::label::Count)> {
+        self.inner.query(s, t)
+    }
+
+    /// The current epoch's flat snapshot (delegates to
+    /// [`DynamicSpc::frozen_queries`] — invalidated by every mutation,
+    /// including policy-triggered rebuilds).
+    pub fn frozen_queries(&mut self) -> &crate::flat::FlatIndex {
+        self.inner.frozen_queries()
+    }
+
+    /// Whether a flat snapshot is currently cached.
+    pub fn has_frozen_snapshot(&self) -> bool {
+        self.inner.has_frozen_snapshot()
     }
 
     /// Unwraps.
@@ -132,6 +169,48 @@ mod tests {
             .unwrap();
         assert_eq!(managed.rebuilds(), 1);
         assert_eq!(managed.inner().updates_since_build(), 0);
+        verify_all_pairs(managed.inner().graph(), managed.inner().index()).unwrap();
+    }
+
+    /// Regression pin: the policy's full-rebuild branch replaces the index
+    /// wholesale, so it MUST drop the facade's cached flat snapshot like
+    /// every ordinary mutator does — otherwise `frozen_queries` would keep
+    /// serving the pre-rebuild labels. Queries through the frozen engine
+    /// after a policy-triggered rebuild must match the rebuilt live index.
+    #[test]
+    fn policy_rebuild_invalidates_frozen_snapshot() {
+        let d = DynamicSpc::build(figure2_g(), OrderingStrategy::Degree);
+        let mut managed = ManagedSpc::new(d, MaintenancePolicy::every(1));
+        managed.frozen_queries();
+        assert!(managed.has_frozen_snapshot());
+        // Every apply fires the policy: update repair, then a full rebuild.
+        managed
+            .apply(GraphUpdate::InsertEdge(VertexId(3), VertexId(9)))
+            .unwrap();
+        assert_eq!(managed.rebuilds(), 1);
+        assert!(
+            !managed.has_frozen_snapshot(),
+            "rebuild must invalidate the frozen snapshot"
+        );
+        let vs: Vec<VertexId> = managed.inner().graph().vertices().collect();
+        for &s in &vs {
+            for &t in &vs {
+                let live = managed.query(s, t);
+                assert_eq!(managed.frozen_queries().query(s, t).as_option(), live);
+            }
+        }
+        // Same contract on the batch path.
+        managed
+            .apply_batch(&[GraphUpdate::DeleteEdge(VertexId(3), VertexId(9))])
+            .unwrap();
+        assert_eq!(managed.rebuilds(), 2);
+        assert!(!managed.has_frozen_snapshot());
+        for &s in &vs {
+            for &t in &vs {
+                let live = managed.query(s, t);
+                assert_eq!(managed.frozen_queries().query(s, t).as_option(), live);
+            }
+        }
         verify_all_pairs(managed.inner().graph(), managed.inner().index()).unwrap();
     }
 

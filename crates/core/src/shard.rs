@@ -1,0 +1,380 @@
+//! Shared-nothing sharding of flat snapshots, plus the epoch-stamped
+//! snapshot wrapper the serving layer publishes.
+//!
+//! A [`crate::flat::FlatIndex`] is one contiguous CSR column set. For a
+//! serving deployment that pins shards to cores (or ships them to separate
+//! processes), [`ShardedFlatIndex`] splits the same columns by **vertex
+//! range**: shard `i` owns the label slices of vertices
+//! `bounds[i] .. bounds[i + 1]`, stored in its own rebased CSR columns with
+//! no pointers into any other shard. A query `SPC(s, t)` reads the slice of
+//! `s` from `shard_of(s)` and the slice of `t` from `shard_of(t)` and runs
+//! the exact same two-phase merge kernel as the unsharded snapshot — so
+//! answers (and the kernel's deterministic `merge_steps`) are
+//! **bit-identical** to [`crate::flat::FlatIndex`], which is itself
+//! bit-identical to the live label sets. The test suite
+//! (`tests/shard_equivalence.rs`) enforces the whole chain.
+//!
+//! [`EpochSnapshot`] stamps any snapshot with the epoch that froze it. The
+//! serving layer (`dspc-serve`) publishes `Arc<EpochSnapshot<_>>` values at
+//! epoch boundaries; the stamp is what lets a concurrent test harness check
+//! every answer against the exact epoch the reader observed.
+
+use crate::flat::{
+    accumulate_phase, compare_phase, FlatColumns, FlatIndex, FlatScratch, KernelCounters,
+};
+use crate::label::{Count, Rank};
+use crate::order::RankMap;
+use crate::query::QueryResult;
+use dspc_graph::VertexId;
+
+/// Evenly spaced shard boundaries over an `n`-vertex id space: `shards + 1`
+/// non-decreasing values from `0` to `n`, ranges differing in size by at
+/// most one vertex.
+pub fn even_bounds(n: usize, shards: usize) -> Vec<u32> {
+    let shards = shards.max(1);
+    let base = n / shards;
+    let extra = n % shards;
+    let mut bounds = Vec::with_capacity(shards + 1);
+    let mut at = 0usize;
+    bounds.push(0);
+    for i in 0..shards {
+        at += base + usize::from(i < extra);
+        bounds.push(at as u32);
+    }
+    bounds
+}
+
+/// A [`FlatIndex`] split into shared-nothing vertex-range shards.
+///
+/// Each shard holds its own rebased CSR columns; nothing is shared between
+/// shards except the global rank map (needed for `PreQUERY` limits).
+/// Queries spanning two shards read one slice from each — the merge kernel
+/// itself is oblivious to sharding, so results are bit-identical to the
+/// unsharded snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedFlatIndex {
+    shards: Vec<FlatColumns<u32>>,
+    bounds: Vec<u32>,
+    ranks: RankMap,
+}
+
+impl ShardedFlatIndex {
+    /// Splits `flat` into `shards` evenly sized vertex ranges.
+    pub fn from_flat(flat: &FlatIndex, shards: usize) -> Self {
+        Self::with_bounds(flat, &even_bounds(flat.num_vertices(), shards))
+            .expect("even bounds are always valid")
+    }
+
+    /// Splits `flat` at explicit `bounds` (`bounds[0] = 0`, non-decreasing,
+    /// last element = vertex count) — uneven ranges and empty shards are
+    /// allowed. Errors on malformed bounds.
+    pub fn with_bounds(flat: &FlatIndex, bounds: &[u32]) -> Result<Self, &'static str> {
+        let n = flat.num_vertices();
+        if bounds.len() < 2 {
+            return Err("bounds need at least two entries");
+        }
+        if bounds[0] != 0 {
+            return Err("bounds must start at 0");
+        }
+        if bounds.windows(2).any(|w| w[0] > w[1]) {
+            return Err("bounds must be non-decreasing");
+        }
+        if *bounds.last().unwrap() as usize != n {
+            return Err("bounds must end at the vertex count");
+        }
+        let cols = flat.columns();
+        let (offsets, hubs, dists, counts) =
+            (cols.offsets(), cols.hubs(), cols.dists(), cols.counts());
+        let shards = bounds
+            .windows(2)
+            .map(|w| {
+                let (lo, hi) = (w[0] as usize, w[1] as usize);
+                let base = offsets[lo];
+                let local_offsets: Vec<u32> = offsets[lo..=hi].iter().map(|&o| o - base).collect();
+                let (elo, ehi) = (offsets[lo] as usize, offsets[hi] as usize);
+                FlatColumns::from_raw(
+                    local_offsets,
+                    hubs[elo..ehi].to_vec(),
+                    dists[elo..ehi].to_vec(),
+                    counts[elo..ehi].to_vec(),
+                )
+                .expect("rebased columns keep CSR shape")
+            })
+            .collect();
+        Ok(ShardedFlatIndex {
+            shards,
+            bounds: bounds.to_vec(),
+            ranks: flat.ranks().clone(),
+        })
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of vertices covered (all shards together).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        *self.bounds.last().unwrap() as usize
+    }
+
+    /// Total label entries across all shards.
+    pub fn num_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.hubs().len()).sum()
+    }
+
+    /// The shard boundaries (`num_shards() + 1` values, first 0, last
+    /// `num_vertices()`).
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// The vertex total order (global — shared by every shard).
+    #[inline]
+    pub fn ranks(&self) -> &RankMap {
+        &self.ranks
+    }
+
+    /// Rank of `v`.
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> Rank {
+        self.ranks.rank(v)
+    }
+
+    /// Which shard owns vertex `v`'s label slice.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        debug_assert!((v.0 as usize) < self.num_vertices());
+        self.bounds.partition_point(|&b| b <= v.0) - 1
+    }
+
+    /// Label entries held by shard `i`.
+    pub fn shard_entries(&self, i: usize) -> usize {
+        self.shards[i].hubs().len()
+    }
+
+    /// The three column slices of vertex `v`, read from its owning shard.
+    #[inline]
+    fn slice(&self, v: VertexId) -> (&[u32], &[u32], &[Count]) {
+        let shard = self.shard_of(v);
+        self.shards[shard].slice((v.0 - self.bounds[shard]) as usize)
+    }
+
+    #[inline]
+    fn merge<const LIMITED: bool, const COUNTED: bool>(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        limit: u32,
+        scratch: &mut FlatScratch,
+        counters: &mut KernelCounters,
+    ) -> QueryResult {
+        let (ha, da, ca) = self.slice(s);
+        let (hb, db, cb) = self.slice(t);
+        compare_phase::<LIMITED, COUNTED>(ha, hb, limit, &mut scratch.pairs, counters);
+        let (dist, count) = accumulate_phase(da, ca, db, cb, &scratch.pairs);
+        QueryResult { dist, count }
+    }
+
+    /// `SpcQUERY(s, t)` against the sharded snapshot. Allocates a transient
+    /// scratch; batch callers should prefer [`ShardedFlatIndex::query_with`].
+    pub fn query(&self, s: VertexId, t: VertexId) -> QueryResult {
+        self.query_with(&mut FlatScratch::new(), s, t)
+    }
+
+    /// `SpcQUERY(s, t)` reusing `scratch` across calls.
+    #[inline]
+    pub fn query_with(&self, scratch: &mut FlatScratch, s: VertexId, t: VertexId) -> QueryResult {
+        let mut sink = KernelCounters::new();
+        self.merge::<false, false>(s, t, 0, scratch, &mut sink)
+    }
+
+    /// `PreQUERY(s, t)`: only hubs ranked strictly above `rank(s)`
+    /// participate, matching [`crate::query::pre_query`].
+    pub fn pre_query(&self, s: VertexId, t: VertexId) -> QueryResult {
+        self.pre_query_with(&mut FlatScratch::new(), s, t)
+    }
+
+    /// [`ShardedFlatIndex::pre_query`] reusing `scratch`.
+    #[inline]
+    pub fn pre_query_with(
+        &self,
+        scratch: &mut FlatScratch,
+        s: VertexId,
+        t: VertexId,
+    ) -> QueryResult {
+        let mut sink = KernelCounters::new();
+        let limit = self.ranks.rank(s).0;
+        self.merge::<true, false>(s, t, limit, scratch, &mut sink)
+    }
+
+    /// Counted [`ShardedFlatIndex::query_with`]: kernel work units are
+    /// attributed to the shard owning `s` — `per_shard` must hold one
+    /// counter per shard. This is the serving layer's per-shard
+    /// `merge_steps` accounting.
+    pub fn query_counted(
+        &self,
+        scratch: &mut FlatScratch,
+        per_shard: &mut [KernelCounters],
+        s: VertexId,
+        t: VertexId,
+    ) -> QueryResult {
+        assert_eq!(per_shard.len(), self.num_shards(), "one counter per shard");
+        self.merge::<false, true>(s, t, 0, scratch, &mut per_shard[self.shard_of(s)])
+    }
+}
+
+impl crate::parallel::QueryEngine for ShardedFlatIndex {
+    type Scratch = FlatScratch;
+
+    fn make_scratch(&self) -> Self::Scratch {
+        FlatScratch::new()
+    }
+
+    #[inline]
+    fn query_one(&self, scratch: &mut Self::Scratch, s: VertexId, t: VertexId) -> QueryResult {
+        self.query_with(scratch, s, t)
+    }
+}
+
+/// A snapshot stamped with the epoch that froze it.
+///
+/// The serving layer publishes one of these per epoch boundary; readers
+/// answer queries from whichever stamped snapshot they currently hold, so
+/// every answer names the exact index state it was computed against.
+#[derive(Clone, Debug)]
+pub struct EpochSnapshot<S> {
+    epoch: u64,
+    index: S,
+}
+
+impl<S> EpochSnapshot<S> {
+    /// Wraps `index` as the snapshot of `epoch`.
+    pub fn new(epoch: u64, index: S) -> Self {
+        EpochSnapshot { epoch, index }
+    }
+
+    /// The epoch this snapshot was frozen at.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen index.
+    #[inline]
+    pub fn index(&self) -> &S {
+        &self.index
+    }
+
+    /// Unwraps.
+    pub fn into_inner(self) -> S {
+        self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_index;
+    use crate::order::OrderingStrategy;
+    use crate::query::{pre_query, spc_query};
+    use dspc_graph::generators::random::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn even_bounds_cover_and_balance() {
+        assert_eq!(even_bounds(10, 4), vec![0, 3, 6, 8, 10]);
+        assert_eq!(even_bounds(3, 7), vec![0, 1, 2, 3, 3, 3, 3, 3]);
+        assert_eq!(even_bounds(0, 2), vec![0, 0, 0]);
+        assert_eq!(even_bounds(5, 1), vec![0, 5]);
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_and_live() {
+        let g = barabasi_albert(120, 3, &mut StdRng::seed_from_u64(7));
+        let idx = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&idx);
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = ShardedFlatIndex::from_flat(&flat, shards);
+            assert_eq!(sharded.num_shards(), shards);
+            assert_eq!(sharded.num_entries(), flat.num_entries());
+            let mut scratch = FlatScratch::new();
+            for s in 0..120u32 {
+                for t in (0..120u32).step_by(7) {
+                    let (s, t) = (VertexId(s), VertexId(t));
+                    assert_eq!(
+                        sharded.query_with(&mut scratch, s, t),
+                        spc_query(&idx, s, t)
+                    );
+                    assert_eq!(
+                        sharded.pre_query_with(&mut scratch, s, t),
+                        pre_query(&idx, s, t)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_counters_attribute_to_source_shard() {
+        let g = barabasi_albert(40, 2, &mut StdRng::seed_from_u64(3));
+        let idx = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&idx);
+        let sharded = ShardedFlatIndex::from_flat(&flat, 4);
+        let mut per_shard = vec![KernelCounters::new(); 4];
+        let mut scratch = FlatScratch::new();
+        // Queries sourced at vertex 0 land in shard 0's counters only.
+        for t in 0..40u32 {
+            sharded.query_counted(&mut scratch, &mut per_shard, VertexId(0), VertexId(t));
+        }
+        assert_eq!(per_shard[0].queries, 40);
+        assert!(per_shard[1..].iter().all(|c| c.queries == 0));
+        // Summed per-shard work equals the unsharded counted kernel's.
+        let mut flat_c = KernelCounters::new();
+        for t in 0..40u32 {
+            flat.query_counted(&mut scratch, &mut flat_c, VertexId(0), VertexId(t));
+        }
+        assert_eq!(per_shard[0], flat_c);
+    }
+
+    #[test]
+    fn uneven_and_empty_shards() {
+        let g = barabasi_albert(30, 2, &mut StdRng::seed_from_u64(5));
+        let idx = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&idx);
+        // Lopsided split with an empty middle shard.
+        let sharded = ShardedFlatIndex::with_bounds(&flat, &[0, 1, 1, 29, 30]).unwrap();
+        assert_eq!(sharded.shard_entries(1), 0);
+        assert_eq!(sharded.shard_of(VertexId(0)), 0);
+        assert_eq!(sharded.shard_of(VertexId(1)), 2);
+        assert_eq!(sharded.shard_of(VertexId(29)), 3);
+        for s in 0..30u32 {
+            for t in 0..30u32 {
+                let (s, t) = (VertexId(s), VertexId(t));
+                assert_eq!(sharded.query(s, t), flat.query(s, t));
+            }
+        }
+        // Malformed bounds are rejected.
+        assert!(ShardedFlatIndex::with_bounds(&flat, &[0, 31]).is_err());
+        assert!(ShardedFlatIndex::with_bounds(&flat, &[1, 30]).is_err());
+        assert!(ShardedFlatIndex::with_bounds(&flat, &[0, 20, 10, 30]).is_err());
+        assert!(ShardedFlatIndex::with_bounds(&flat, &[0]).is_err());
+    }
+
+    #[test]
+    fn epoch_snapshot_stamps() {
+        let g = dspc_graph::UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let idx = build_index(&g, OrderingStrategy::Degree);
+        let snap = EpochSnapshot::new(7, FlatIndex::freeze(&idx));
+        assert_eq!(snap.epoch(), 7);
+        assert_eq!(
+            snap.index().query(VertexId(0), VertexId(2)).as_option(),
+            Some((2, 1))
+        );
+        let back = snap.into_inner();
+        assert_eq!(back.num_vertices(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! A dedicated writer thread behind a command channel.
+//!
+//! [`EpochServer`] is single-threaded by construction; this module moves it
+//! onto its own thread so update submission and rotation can be driven from
+//! elsewhere while reader threads keep serving. Readers are unaffected —
+//! handles created before or after the spawn serve from the same published
+//! chain and never interact with the channel.
+
+use crate::engine::ServingEngine;
+use crate::server::{EpochServer, RotationReport};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+enum Cmd<U> {
+    Submit(Vec<U>),
+    Rotate(mpsc::Sender<dspc_graph::Result<RotationReport>>),
+    Shutdown,
+}
+
+/// Control handle for an [`EpochServer`] running on its own thread.
+///
+/// Obtained from [`EpochServer::spawn`]. Dropping the handle without
+/// calling [`WriterHandle::shutdown`] detaches the writer thread (it exits
+/// when the channel closes); readers keep serving from the last published
+/// snapshot either way.
+pub struct WriterHandle<E: ServingEngine> {
+    tx: mpsc::Sender<Cmd<E::Update>>,
+    join: Option<JoinHandle<EpochServer<E>>>,
+}
+
+impl<E: ServingEngine> EpochServer<E> {
+    /// Moves the server onto a dedicated writer thread and returns the
+    /// control handle. Create [`Reader`](crate::Reader)s before spawning
+    /// (or from other readers via [`Reader::fork`](crate::Reader::fork)) —
+    /// they are independent of the writer thread.
+    pub fn spawn(self) -> WriterHandle<E> {
+        let (tx, rx) = mpsc::channel::<Cmd<E::Update>>();
+        let join = std::thread::spawn(move || {
+            let mut server = self;
+            while let Ok(cmd) = rx.recv() {
+                match cmd {
+                    Cmd::Submit(updates) => server.submit(updates),
+                    Cmd::Rotate(ack) => {
+                        // A dropped ack receiver means the caller went
+                        // away; the rotation still happened.
+                        let _ = ack.send(server.rotate());
+                    }
+                    Cmd::Shutdown => break,
+                }
+            }
+            server
+        });
+        WriterHandle {
+            tx,
+            join: Some(join),
+        }
+    }
+}
+
+impl<E: ServingEngine> WriterHandle<E> {
+    /// Queues updates on the writer thread for its next rotation.
+    pub fn submit(&self, updates: Vec<E::Update>) {
+        self.tx
+            .send(Cmd::Submit(updates))
+            .expect("writer thread is alive");
+    }
+
+    /// Asks the writer thread to rotate and blocks until the new epoch is
+    /// published (readers are not blocked — only this caller waits).
+    pub fn rotate(&self) -> dspc_graph::Result<RotationReport> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(Cmd::Rotate(ack_tx))
+            .expect("writer thread is alive");
+        ack_rx.recv().expect("writer thread answers rotations")
+    }
+
+    /// Stops the writer thread and returns the server (with its live
+    /// engine, publisher, and stats) to the caller.
+    pub fn shutdown(mut self) -> EpochServer<E> {
+        self.tx.send(Cmd::Shutdown).expect("writer thread is alive");
+        self.join
+            .take()
+            .expect("shutdown consumes the handle")
+            .join()
+            .expect("writer thread exits cleanly")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use dspc::dynamic::GraphUpdate;
+    use dspc::{DynamicSpc, OrderingStrategy};
+    use dspc_graph::{UndirectedGraph, VertexId};
+
+    #[test]
+    fn threaded_writer_rotates_while_readers_serve() {
+        let g = UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let server = EpochServer::new(
+            DynamicSpc::build(g, OrderingStrategy::Degree),
+            ServeConfig { shards: 3 },
+        );
+        let mut reader = server.reader();
+        let handle = server.spawn();
+
+        handle.submit(vec![GraphUpdate::InsertEdge(VertexId(0), VertexId(5))]);
+        let report = handle.rotate().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.batched_updates, 1);
+
+        // The reader (on this thread, untouched by the channel) can refresh
+        // to the published epoch and sees the shortcut edge.
+        assert_eq!(reader.refresh(), 1);
+        let (epoch, r) = reader.query(VertexId(0), VertexId(5));
+        assert_eq!((epoch, r.as_option()), (1, Some((1, 1))));
+
+        let server = handle.shutdown();
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(server.stats().rotations, 1);
+    }
+
+    #[test]
+    fn rotation_errors_cross_the_channel() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let server = EpochServer::new(
+            DynamicSpc::build(g, OrderingStrategy::Degree),
+            ServeConfig::default(),
+        );
+        let handle = server.spawn();
+        handle.submit(vec![GraphUpdate::InsertEdge(VertexId(0), VertexId(1))]);
+        assert!(handle.rotate().is_err(), "duplicate edge surfaces");
+        // The writer thread survives the error and keeps rotating.
+        assert_eq!(handle.rotate().unwrap().epoch, 1);
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,333 @@
+//! The epoch server: single-writer rotation over the snapshot chain, plus
+//! the per-reader handle queries are served through.
+
+use crate::engine::{ServingEngine, ServingSnapshot};
+use crate::publish::{Publisher, Subscription};
+use dspc::shard::EpochSnapshot;
+use dspc::{FlatScratch, KernelCounters, UpdateStats};
+use dspc_graph::VertexId;
+
+/// Server construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Shared-nothing shards each published snapshot fans out over
+    /// (representations without sharding ignore the hint).
+    pub shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { shards: 1 }
+    }
+}
+
+/// What one [`EpochServer::rotate`] did.
+#[derive(Clone, Copy, Debug)]
+pub struct RotationReport {
+    /// The epoch just published.
+    pub epoch: u64,
+    /// Updates drained from the pending buffer into the batch.
+    pub batched_updates: usize,
+    /// Maintenance counters of the applied batch; `None` when the epoch
+    /// had no pending updates (the rotation still publishes, so readers
+    /// can observe an explicit epoch boundary).
+    pub applied: Option<UpdateStats>,
+}
+
+/// Aggregate write-side counters across a server's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Snapshots published past the initial one.
+    pub rotations: u64,
+    /// Updates drained into epoch batches.
+    pub updates_applied: u64,
+}
+
+/// The single writer: owns the live engine, buffers updates, rotates the
+/// published snapshot at epoch boundaries.
+///
+/// All mutation goes through `&mut self` — the type system enforces the
+/// single-writer half of the epoch contract, while [`Reader`] handles
+/// (any number, any threads) serve from published snapshots without ever
+/// blocking on this writer. To run the writer on its own thread, see
+/// [`EpochServer::spawn`].
+pub struct EpochServer<E: ServingEngine> {
+    engine: E,
+    publisher: Publisher<E::Snapshot>,
+    pending: Vec<E::Update>,
+    config: ServeConfig,
+    stats: ServerStats,
+}
+
+impl<E: ServingEngine> EpochServer<E> {
+    /// Wraps `engine` and publishes its current state as the epoch-0
+    /// snapshot.
+    pub fn new(engine: E, config: ServeConfig) -> Self {
+        let initial = engine.freeze(config.shards);
+        EpochServer {
+            engine,
+            publisher: Publisher::new(initial),
+            pending: Vec::new(),
+            config,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Boots a server from an *already-frozen* snapshot (the warm-start
+    /// path: a v2 columnar file loads straight into serving position) plus
+    /// the live engine that will take over maintenance. The loaded
+    /// snapshot is published as epoch 0 as-is — no re-freeze, no rebuild —
+    /// so the first queries are served before the engine is even touched.
+    pub fn warm_start(engine: E, initial: E::Snapshot, config: ServeConfig) -> Self {
+        EpochServer {
+            engine,
+            publisher: Publisher::new(initial),
+            pending: Vec::new(),
+            config,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// A new reader handle pinned at the newest published snapshot.
+    /// Readers are independent: hand them to other threads freely.
+    pub fn reader(&self) -> Reader<E::Snapshot> {
+        Reader::new(self.publisher.subscribe())
+    }
+
+    /// Queues updates for the next rotation. Nothing is applied — and
+    /// nothing a reader can observe changes — until [`EpochServer::rotate`].
+    pub fn submit<I: IntoIterator<Item = E::Update>>(&mut self, updates: I) {
+        self.pending.extend(updates);
+    }
+
+    /// Updates waiting for the next rotation.
+    pub fn pending_updates(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The newest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.publisher.epoch()
+    }
+
+    /// Aggregate write-side counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The live engine (e.g. for reference queries against the current
+    /// epoch's labels).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Ends the current epoch: drains the pending buffer, applies it as
+    /// one coalesced batch through the engine (off the read path — readers
+    /// keep serving from published snapshots throughout), freezes the
+    /// repaired index, and publishes it as the next epoch.
+    ///
+    /// An empty pending buffer still rotates (publishing an identical
+    /// snapshot under a new stamp) so callers can force epoch boundaries.
+    /// On a batch validation error nothing was applied; the faulty batch
+    /// is dropped and no snapshot is published.
+    pub fn rotate(&mut self) -> dspc_graph::Result<RotationReport> {
+        let batch = std::mem::take(&mut self.pending);
+        let applied = if batch.is_empty() {
+            None
+        } else {
+            Some(self.engine.apply_batch(&batch)?)
+        };
+        let epoch = self
+            .publisher
+            .publish(self.engine.freeze(self.config.shards));
+        self.stats.rotations += 1;
+        self.stats.updates_applied += batch.len() as u64;
+        Ok(RotationReport {
+            epoch,
+            batched_updates: batch.len(),
+            applied,
+        })
+    }
+
+    /// Consumes the server, returning the live engine.
+    pub fn into_engine(self) -> E {
+        self.engine
+    }
+}
+
+/// A reader's handle: serves queries from its pinned snapshot, advances
+/// between epochs only when asked, and keeps deterministic serving
+/// counters (queries served, stale-epoch reads, per-shard kernel work).
+///
+/// Handles are `Send` — create them on the writer thread, move them into
+/// reader threads. Queries never lock: the pinned snapshot is immutable
+/// and refreshing is a wait-free pointer walk.
+pub struct Reader<S: ServingSnapshot> {
+    sub: Subscription<S>,
+    scratch: FlatScratch,
+    per_shard: Vec<KernelCounters>,
+    queries_served: u64,
+    stale_epoch_reads: u64,
+}
+
+impl<S: ServingSnapshot> Reader<S> {
+    fn new(sub: Subscription<S>) -> Self {
+        let shards = sub.snapshot().index().shard_count();
+        Reader {
+            sub,
+            scratch: FlatScratch::new(),
+            per_shard: vec![KernelCounters::new(); shards],
+            queries_served: 0,
+            stale_epoch_reads: 0,
+        }
+    }
+
+    /// An independent reader pinned at this reader's current snapshot,
+    /// with zeroed counters.
+    pub fn fork(&self) -> Reader<S> {
+        Reader::new(self.sub.clone())
+    }
+
+    /// The pinned snapshot's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.sub.epoch()
+    }
+
+    /// The pinned snapshot.
+    pub fn snapshot(&self) -> &EpochSnapshot<S> {
+        self.sub.snapshot()
+    }
+
+    /// Whether a newer epoch has been published past the pinned one.
+    pub fn is_stale(&self) -> bool {
+        self.sub.is_stale()
+    }
+
+    /// Advances to the newest published snapshot (wait-free) and returns
+    /// its epoch. Epochs observed through one reader are monotone.
+    pub fn refresh(&mut self) -> u64 {
+        self.sub.advance()
+    }
+
+    /// `SPC(s, t)` from the pinned snapshot. Returns the answer stamped
+    /// with the epoch it was computed against. Counts the query as a
+    /// stale-epoch read if a newer snapshot was already visible when the
+    /// query ran (the reader chose staleness — the paper's kept-stale
+    /// labels, one epoch coarser).
+    pub fn query(&mut self, s: VertexId, t: VertexId) -> (u64, S::Answer) {
+        if self.sub.is_stale() {
+            self.stale_epoch_reads += 1;
+        }
+        self.queries_served += 1;
+        let snap = self.sub.snapshot();
+        let answer = snap
+            .index()
+            .query_counted(&mut self.scratch, &mut self.per_shard, s, t);
+        (snap.epoch(), answer)
+    }
+
+    /// Queries served through this handle.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// Queries answered while a newer epoch was already visible.
+    pub fn stale_epoch_reads(&self) -> u64 {
+        self.stale_epoch_reads
+    }
+
+    /// Per-shard kernel work accumulated by this handle's queries.
+    pub fn shard_counters(&self) -> &[KernelCounters] {
+        &self.per_shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspc::dynamic::GraphUpdate;
+    use dspc::{DynamicSpc, OrderingStrategy};
+    use dspc_graph::UndirectedGraph;
+
+    fn server() -> EpochServer<DynamicSpc> {
+        let g = UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        EpochServer::new(
+            DynamicSpc::build(g, OrderingStrategy::Degree),
+            ServeConfig { shards: 2 },
+        )
+    }
+
+    #[test]
+    fn rotation_preserves_pinned_reads_and_publishes_new_epochs() {
+        let mut server = server();
+        let mut pinned = server.reader();
+        let mut fresh = server.reader();
+        let (e, before) = pinned.query(VertexId(0), VertexId(4));
+        assert_eq!((e, before.as_option()), (0, Some((4, 1))));
+
+        server.submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(4))]);
+        let report = server.rotate().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.batched_updates, 1);
+        assert!(report.applied.is_some());
+
+        // The pinned reader still serves epoch 0 — and knows it's stale.
+        assert!(pinned.is_stale());
+        let (e, r) = pinned.query(VertexId(0), VertexId(4));
+        assert_eq!((e, r.as_option()), (0, Some((4, 1))));
+        assert_eq!(pinned.stale_epoch_reads(), 1);
+
+        // A refreshed reader sees the new edge.
+        assert_eq!(fresh.refresh(), 1);
+        let (e, r) = fresh.query(VertexId(0), VertexId(4));
+        assert_eq!((e, r.as_option()), (1, Some((1, 1))));
+        assert_eq!(fresh.stale_epoch_reads(), 0);
+
+        // Live engine and fresh snapshot agree.
+        assert_eq!(r, server.engine().query_live(VertexId(0), VertexId(4)));
+        assert_eq!(server.stats().rotations, 1);
+        assert_eq!(server.stats().updates_applied, 1);
+    }
+
+    #[test]
+    fn empty_rotation_still_advances_the_epoch() {
+        let mut server = server();
+        let mut reader = server.reader();
+        let report = server.rotate().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert!(report.applied.is_none());
+        assert_eq!(reader.refresh(), 1);
+        assert_eq!(server.epoch(), 1);
+    }
+
+    #[test]
+    fn invalid_batch_is_dropped_without_publishing() {
+        let mut server = server();
+        server.submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(1))]); // duplicate
+        assert!(server.rotate().is_err());
+        assert_eq!(server.epoch(), 0, "no snapshot published");
+        assert_eq!(server.pending_updates(), 0, "faulty batch dropped");
+        // The server keeps serving and rotating afterwards.
+        server.submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(2))]);
+        assert_eq!(server.rotate().unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn per_shard_counters_accumulate() {
+        let server = server();
+        let mut reader = server.reader();
+        for s in 0..5u32 {
+            for t in 0..5u32 {
+                reader.query(VertexId(s), VertexId(t));
+            }
+        }
+        assert_eq!(reader.queries_served(), 25);
+        let total: u64 = reader.shard_counters().iter().map(|c| c.queries).sum();
+        assert_eq!(total, 25);
+        assert_eq!(reader.shard_counters().len(), 2);
+        // Forked readers start with fresh counters at the same epoch.
+        let fork = reader.fork();
+        assert_eq!(fork.queries_served(), 0);
+        assert_eq!(fork.epoch(), reader.epoch());
+    }
+}

@@ -1,0 +1,15 @@
+//! Helpers shared by the workspace integration tests (`mod common;`).
+
+#![allow(dead_code)]
+
+use dspc_graph::UndirectedGraph;
+use proptest::prelude::*;
+
+/// Strategy: a small random graph as (n, edge list).
+pub fn graph_strategy(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(3 * n))
+            .prop_map(move |edges| UndirectedGraph::from_edges(n, &edges))
+    })
+}

@@ -11,17 +11,11 @@ use dspc::{pre_query, spc_query, DynamicSpc, FlatIndex, GraphUpdate, OrderingStr
 use dspc_graph::traversal::bfs::BfsCounter;
 use dspc_graph::traversal::dbfs::DirectedBfsCounter;
 use dspc_graph::traversal::dijkstra::DijkstraCounter;
-use dspc_graph::{UndirectedGraph, VertexId};
+use dspc_graph::VertexId;
 use proptest::prelude::*;
 
-/// Strategy: a small random graph as (n, edge list).
-fn graph_strategy(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
-    (2usize..max_n).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(3 * n))
-            .prop_map(move |edges| UndirectedGraph::from_edges(n, &edges))
-    })
-}
+mod common;
+use common::graph_strategy;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]

@@ -1,7 +1,9 @@
 //! Serialization format compatibility: a hand-assembled v1 byte fixture
 //! pins the on-disk layout against accidental format drift, and the
 //! v1 → v2 migration path (decode packed, re-encode columnar) must
-//! preserve every label bit in both directions.
+//! preserve every label bit in both directions. Also covers the serving
+//! layer's warm-start path: a server booted from a `save_flat` file must
+//! answer — and continue maintaining — identically to one built live.
 
 use dspc::serialize::{decode_flat, decode_index, encode_flat, encode_index, encode_index_v2};
 use dspc::{spc_query, FlatIndex, OrderingStrategy, Rank};
@@ -118,5 +120,80 @@ fn both_representations_round_trip_on_a_nontrivial_graph() {
     for r in 0..10u32 {
         assert_eq!(via_v1.vertex(Rank(r)), index.vertex(Rank(r)));
         assert_eq!(via_v2.vertex(Rank(r)), index.vertex(Rank(r)));
+    }
+}
+
+/// Warm start: `save_flat` → boot an `EpochServer` straight from the file
+/// (the loaded columns are published as epoch 0 as-is, and the live engine
+/// is reconstructed via `thaw` + `DynamicSpc::from_parts`) → the server
+/// must answer identically to a live-built one, both before and after a
+/// rotation (i.e. the thawed engine also *maintains* identically).
+#[test]
+fn warm_start_server_matches_live_built_server() {
+    use dspc::dynamic::GraphUpdate;
+    use dspc::serialize::{load_flat, save_flat};
+    use dspc::{DynamicSpc, ShardedFlatIndex};
+    use dspc_graph::generators::random::barabasi_albert;
+    use dspc_serve::{EpochServer, ServeConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let n = 40u32;
+    let g = barabasi_albert(n as usize, 3, &mut StdRng::seed_from_u64(0xB007));
+    let live_engine = DynamicSpc::build(g.clone(), OrderingStrategy::Degree);
+    let flat = FlatIndex::freeze(live_engine.index());
+    let path = std::env::temp_dir().join(format!("dspc_warm_start_{}.v2", std::process::id()));
+    save_flat(&flat, &path).expect("write snapshot file");
+
+    // Boot from disk: the loaded columns go straight into serving position
+    // (sharded, epoch 0), the engine thaws from the same columns.
+    let loaded = load_flat(&path).expect("read snapshot file");
+    std::fs::remove_file(&path).ok();
+    let warm_engine = DynamicSpc::from_parts(g.clone(), loaded.thaw(), OrderingStrategy::Degree);
+    let mut warm = EpochServer::warm_start(
+        warm_engine,
+        ShardedFlatIndex::from_flat(&loaded, 3),
+        ServeConfig { shards: 3 },
+    );
+    let mut live = EpochServer::new(live_engine, ServeConfig { shards: 3 });
+
+    let mut warm_reader = warm.reader();
+    let mut live_reader = live.reader();
+    for s in 0..n {
+        for t in 0..n {
+            let (s, t) = (VertexId(s), VertexId(t));
+            // Same epoch stamp (0) and bit-identical answers.
+            assert_eq!(warm_reader.query(s, t), live_reader.query(s, t));
+        }
+    }
+
+    // The warm-started engine keeps maintaining identically: one mixed
+    // batch, one rotation, full answer-table agreement at epoch 1.
+    let (da, db) = g.edges().next().expect("graph has edges");
+    let mut insert = None;
+    'outer: for a in 0..n {
+        for b in (a + 1)..n {
+            if !g.has_edge(VertexId(a), VertexId(b)) {
+                insert = Some((VertexId(a), VertexId(b)));
+                break 'outer;
+            }
+        }
+    }
+    let (ia, ib) = insert.expect("graph is not complete");
+    let batch = vec![
+        GraphUpdate::DeleteEdge(da, db),
+        GraphUpdate::InsertEdge(ia, ib),
+    ];
+    warm.submit(batch.clone());
+    live.submit(batch);
+    warm.rotate().expect("valid batch");
+    live.rotate().expect("valid batch");
+    assert_eq!(warm_reader.refresh(), 1);
+    assert_eq!(live_reader.refresh(), 1);
+    for s in 0..n {
+        for t in 0..n {
+            let (s, t) = (VertexId(s), VertexId(t));
+            assert_eq!(warm_reader.query(s, t), live_reader.query(s, t));
+        }
     }
 }

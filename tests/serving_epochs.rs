@@ -1,0 +1,375 @@
+//! The serving layer's headline correctness harness: reader threads hammer
+//! queries while the writer thread rotates epochs underneath them, and
+//! **every** answer is checked — exactly, not probabilistically — against
+//! the brute-force oracle of the epoch stamped on that answer.
+//!
+//! The trick that makes a concurrent test exact: the update script and the
+//! per-epoch graphs are precomputed before any thread starts, and every
+//! [`dspc_serve::Reader`] answer carries the epoch of the snapshot that
+//! produced it. Whatever interleaving the scheduler produces, a stamped
+//! answer `(e, r)` is only correct if `r` equals the oracle count on the
+//! epoch-`e` graph — so the assertion is deterministic even though the
+//! schedule is not. Each reader additionally asserts that the epochs it
+//! observes never move backwards (the publication chain only grows
+//! forward).
+//!
+//! Covered here: the undirected facade at 1, 4, and 8 reader threads, and
+//! the directed and weighted facades at 4 — all three variants rotate
+//! through a writer running on its own thread ([`dspc_serve::WriterHandle`]).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use dspc::directed::{ArcUpdate, DynamicDirectedSpc};
+use dspc::dynamic::GraphUpdate;
+use dspc::weighted::{DynamicWeightedSpc, WeightedUpdate};
+use dspc::{DynamicSpc, OrderingStrategy};
+use dspc_graph::generators::random::{
+    barabasi_albert, erdos_renyi_gnm, random_orientation, random_weights,
+};
+use dspc_graph::traversal::bfs::BfsCounter;
+use dspc_graph::traversal::dbfs::DirectedBfsCounter;
+use dspc_graph::traversal::dijkstra::DijkstraCounter;
+use dspc_graph::weighted::WDist;
+use dspc_graph::{DirectedGraph, UndirectedGraph, VertexId, WeightedGraph};
+use dspc_serve::{EpochServer, ServeConfig, ServingEngine, ServingSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EPOCHS: usize = 6;
+/// Queries every reader answers against the final epoch after the writer
+/// is done (the mid-flight queries are as many as the schedule allows).
+const FINAL_QUERIES: usize = 32;
+
+/// A per-thread brute-force counter for one graph variant.
+trait EpochOracle<G> {
+    type Key: PartialEq + std::fmt::Debug;
+    fn answer(&mut self, g: &G, s: VertexId, t: VertexId) -> Self::Key;
+}
+
+struct UndirectedOracle(BfsCounter);
+impl EpochOracle<UndirectedGraph> for UndirectedOracle {
+    type Key = Option<(u32, u64)>;
+    fn answer(&mut self, g: &UndirectedGraph, s: VertexId, t: VertexId) -> Self::Key {
+        self.0.count(g, s, t)
+    }
+}
+
+struct DirectedOracle(DirectedBfsCounter);
+impl EpochOracle<DirectedGraph> for DirectedOracle {
+    type Key = Option<(u32, u64)>;
+    fn answer(&mut self, g: &DirectedGraph, s: VertexId, t: VertexId) -> Self::Key {
+        self.0.count(g, s, t)
+    }
+}
+
+struct WeightedOracle(DijkstraCounter);
+impl EpochOracle<WeightedGraph> for WeightedOracle {
+    type Key = Option<(WDist, u64)>;
+    fn answer(&mut self, g: &WeightedGraph, s: VertexId, t: VertexId) -> Self::Key {
+        self.0.count(g, s, t)
+    }
+}
+
+/// Shape of one harness run.
+#[derive(Clone, Copy)]
+struct HarnessConfig {
+    num_readers: usize,
+    shards: usize,
+    n: u32,
+    seed: u64,
+}
+
+/// Runs the concurrent harness: `cfg.num_readers` threads query and refresh
+/// on their own schedule while the writer thread rotates through the
+/// scripted `batches`; `graphs[e]` is the graph as of epoch `e` (the oracle
+/// input for any answer stamped `e`).
+fn run_harness<E, G, O>(
+    engine: E,
+    batches: &[Vec<E::Update>],
+    graphs: &[G],
+    cfg: HarnessConfig,
+    make_oracle: &(impl Fn() -> O + Sync),
+    key: impl Fn(<E::Snapshot as ServingSnapshot>::Answer) -> O::Key + Copy + Send + Sync,
+) where
+    E: ServingEngine,
+    G: Sync,
+    O: EpochOracle<G>,
+{
+    assert_eq!(graphs.len(), batches.len() + 1, "one graph per epoch");
+    let HarnessConfig {
+        num_readers,
+        shards,
+        n,
+        seed,
+    } = cfg;
+    let total_epochs = batches.len() as u64;
+    let total_updates: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+    let server = EpochServer::new(engine, ServeConfig { shards });
+    let readers: Vec<_> = (0..num_readers).map(|_| server.reader()).collect();
+    let handle = server.spawn();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let joins: Vec<_> = readers
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut reader)| {
+                scope.spawn(move || {
+                    let mut oracle = make_oracle();
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0x9E3779B9 + i as u64));
+                    let mut last_epoch = reader.epoch();
+                    // Phase 1: hammer whatever snapshot is pinned while the
+                    // writer rotates underneath.
+                    while !stop.load(Ordering::Acquire) {
+                        if rng.gen_range(0..4) == 0 {
+                            let e = reader.refresh();
+                            assert!(e >= last_epoch, "refresh moved the epoch backwards");
+                            last_epoch = e;
+                        }
+                        let s = VertexId(rng.gen_range(0..n));
+                        let t = VertexId(rng.gen_range(0..n));
+                        let (stamp, answer) = reader.query(s, t);
+                        assert!(stamp >= last_epoch, "observed epochs must be monotone");
+                        last_epoch = stamp;
+                        assert_eq!(
+                            key(answer),
+                            oracle.answer(&graphs[stamp as usize], s, t),
+                            "answer must match the stamped epoch's oracle \
+                             (epoch {stamp}, {s:?} -> {t:?})"
+                        );
+                    }
+                    // Phase 2: drain to the final epoch and verify there.
+                    assert_eq!(reader.refresh(), total_epochs);
+                    for _ in 0..FINAL_QUERIES {
+                        let s = VertexId(rng.gen_range(0..n));
+                        let t = VertexId(rng.gen_range(0..n));
+                        let (stamp, answer) = reader.query(s, t);
+                        assert_eq!(stamp, total_epochs, "nothing newer exists");
+                        assert_eq!(key(answer), oracle.answer(&graphs[stamp as usize], s, t));
+                    }
+                    reader.queries_served()
+                })
+            })
+            .collect();
+
+        for batch in batches {
+            handle.submit(batch.clone());
+            let report = handle.rotate().expect("scripted batch is valid");
+            assert_eq!(report.batched_updates, batch.len());
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+        let served: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        assert!(
+            served >= (num_readers * FINAL_QUERIES) as u64,
+            "every reader must have answered its final-epoch batch"
+        );
+    });
+
+    let server = handle.shutdown();
+    assert_eq!(server.epoch(), total_epochs);
+    assert_eq!(server.stats().rotations, total_epochs);
+    assert_eq!(server.stats().updates_applied, total_updates);
+}
+
+/// Scripted undirected epochs: 2 deletions + 3 insertions per batch,
+/// sampled against the evolving shadow graph.
+fn undirected_script(
+    n: u32,
+    seed: u64,
+) -> (UndirectedGraph, Vec<Vec<GraphUpdate>>, Vec<UndirectedGraph>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = barabasi_albert(n as usize, 3, &mut rng);
+    let mut shadow = base.clone();
+    let mut graphs = vec![base.clone()];
+    let mut batches = Vec::new();
+    for _ in 0..EPOCHS {
+        let mut batch = Vec::new();
+        let edges: Vec<_> = shadow.edges().collect();
+        let mut picked = std::collections::HashSet::new();
+        while picked.len() < 2 {
+            let i = rng.gen_range(0..edges.len());
+            if picked.insert(i) {
+                let (a, b) = edges[i];
+                batch.push(GraphUpdate::DeleteEdge(a, b));
+                shadow.delete_edge(a, b).unwrap();
+            }
+        }
+        let mut inserted = 0;
+        while inserted < 3 {
+            let a = VertexId(rng.gen_range(0..n));
+            let b = VertexId(rng.gen_range(0..n));
+            // Skip pairs deleted this epoch too: the batch must be a pure
+            // net effect (no delete+reinsert of the same edge).
+            if a != b
+                && !shadow.has_edge(a, b)
+                && !batch.iter().any(|u| {
+                    matches!(u, GraphUpdate::DeleteEdge(x, y)
+                        if (*x, *y) == (a, b) || (*x, *y) == (b, a))
+                })
+            {
+                batch.push(GraphUpdate::InsertEdge(a, b));
+                shadow.insert_edge(a, b).unwrap();
+                inserted += 1;
+            }
+        }
+        batches.push(batch);
+        graphs.push(shadow.clone());
+    }
+    (base, batches, graphs)
+}
+
+/// Scripted directed epochs: 2 arc deletions + 2 arc insertions per batch.
+fn directed_script(n: u32, seed: u64) -> (DirectedGraph, Vec<Vec<ArcUpdate>>, Vec<DirectedGraph>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let undirected = erdos_renyi_gnm(n as usize, 3 * n as usize, &mut rng);
+    let base = random_orientation(&undirected, 0.25, &mut rng);
+    let mut shadow = base.clone();
+    let mut graphs = vec![base.clone()];
+    let mut batches = Vec::new();
+    for _ in 0..EPOCHS {
+        let mut batch = Vec::new();
+        let arcs: Vec<_> = shadow.arcs().collect();
+        let mut picked = std::collections::HashSet::new();
+        while picked.len() < 2 {
+            let i = rng.gen_range(0..arcs.len());
+            if picked.insert(i) {
+                let (a, b) = arcs[i];
+                batch.push(ArcUpdate::DeleteArc(a, b));
+                shadow.delete_arc(a, b).unwrap();
+            }
+        }
+        let mut inserted = 0;
+        while inserted < 2 {
+            let a = VertexId(rng.gen_range(0..n));
+            let b = VertexId(rng.gen_range(0..n));
+            if a != b
+                && !shadow.has_arc(a, b)
+                && !batch
+                    .iter()
+                    .any(|u| matches!(u, ArcUpdate::DeleteArc(x, y) if (*x, *y) == (a, b)))
+            {
+                batch.push(ArcUpdate::InsertArc(a, b));
+                shadow.insert_arc(a, b).unwrap();
+                inserted += 1;
+            }
+        }
+        batches.push(batch);
+        graphs.push(shadow.clone());
+    }
+    (base, batches, graphs)
+}
+
+/// Scripted weighted epochs: 1 deletion, 1 weight change, and 2 weighted
+/// insertions per batch.
+fn weighted_script(
+    n: u32,
+    seed: u64,
+) -> (WeightedGraph, Vec<Vec<WeightedUpdate>>, Vec<WeightedGraph>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let undirected = erdos_renyi_gnm(n as usize, 3 * n as usize, &mut rng);
+    let base = random_weights(&undirected, 5, &mut rng);
+    let mut shadow = base.clone();
+    let mut graphs = vec![base.clone()];
+    let mut batches = Vec::new();
+    for _ in 0..EPOCHS {
+        let mut batch = Vec::new();
+        let edges: Vec<_> = shadow.edges().collect();
+        let (da, db, _) = edges[rng.gen_range(0..edges.len())];
+        batch.push(WeightedUpdate::DeleteEdge(da, db));
+        shadow.delete_edge(da, db).unwrap();
+        loop {
+            let (a, b, w) = edges[rng.gen_range(0..edges.len())];
+            if (a, b) != (da, db) {
+                let w = w % 5 + 1;
+                batch.push(WeightedUpdate::SetWeight(a, b, w));
+                shadow.set_weight(a, b, w).unwrap();
+                break;
+            }
+        }
+        let mut inserted = 0;
+        while inserted < 2 {
+            let a = VertexId(rng.gen_range(0..n));
+            let b = VertexId(rng.gen_range(0..n));
+            if a != b && !shadow.has_edge(a, b) && (a, b) != (da, db) && (b, a) != (da, db) {
+                let w = rng.gen_range(1..5);
+                batch.push(WeightedUpdate::InsertEdge(a, b, w));
+                shadow.insert_edge(a, b, w).unwrap();
+                inserted += 1;
+            }
+        }
+        batches.push(batch);
+        graphs.push(shadow.clone());
+    }
+    (base, batches, graphs)
+}
+
+fn run_undirected(num_readers: usize) {
+    let (base, batches, graphs) = undirected_script(48, 0xE90C);
+    run_harness(
+        DynamicSpc::build(base, OrderingStrategy::Degree),
+        &batches,
+        &graphs,
+        HarnessConfig {
+            num_readers,
+            shards: 3,
+            n: 48,
+            seed: 0xE90C,
+        },
+        &|| UndirectedOracle(BfsCounter::new(48)),
+        |r| r.as_option(),
+    );
+}
+
+#[test]
+fn undirected_one_reader() {
+    run_undirected(1);
+}
+
+#[test]
+fn undirected_four_readers() {
+    run_undirected(4);
+}
+
+#[test]
+fn undirected_eight_readers() {
+    run_undirected(8);
+}
+
+#[test]
+fn directed_four_readers() {
+    let (base, batches, graphs) = directed_script(36, 0xD14);
+    run_harness(
+        DynamicDirectedSpc::build(base, OrderingStrategy::Degree),
+        &batches,
+        &graphs,
+        HarnessConfig {
+            num_readers: 4,
+            shards: 1,
+            n: 36,
+            seed: 0xD14,
+        },
+        &|| DirectedOracle(DirectedBfsCounter::new(36)),
+        |r| r.as_option(),
+    );
+}
+
+#[test]
+fn weighted_four_readers() {
+    let (base, batches, graphs) = weighted_script(32, 0x3E1D);
+    run_harness(
+        DynamicWeightedSpc::build(base, OrderingStrategy::Degree),
+        &batches,
+        &graphs,
+        HarnessConfig {
+            num_readers: 4,
+            shards: 1,
+            n: 32,
+            seed: 0x3E1D,
+        },
+        &|| WeightedOracle(DijkstraCounter::new(32)),
+        |r| r.as_option(),
+    );
+}

@@ -1,0 +1,129 @@
+//! Property-based equivalence of the shared-nothing sharded snapshot: for
+//! arbitrary random graphs and shard layouts — even shard counts that
+//! exceed the vertex count, and adversarially uneven explicit bounds with
+//! empty shards — [`dspc::ShardedFlatIndex`] must answer **bit-identically**
+//! to the unsharded [`dspc::FlatIndex`] and to the live label sets,
+//! including the rank-limited `PreQUERY` kernel. The per-shard counted path
+//! must also conserve work: summed across shards, `merge_steps` equals the
+//! unsharded kernel's count exactly (the serving layer's per-shard
+//! attribution is a partition, not an approximation).
+
+use dspc::shard::{even_bounds, ShardedFlatIndex};
+use dspc::{pre_query, spc_query, FlatIndex, FlatScratch, KernelCounters, OrderingStrategy};
+use proptest::prelude::*;
+
+mod common;
+use common::graph_strategy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded queries ≡ flat queries ≡ live kernel, across 1/2/4/7-way
+    /// even splits (7 deliberately never divides the sizes the strategy
+    /// produces evenly, and often exceeds the vertex count).
+    #[test]
+    fn sharded_matches_flat_and_live(g in graph_strategy(18), seed in 0u64..1000) {
+        let index = dspc::build_index(&g, OrderingStrategy::Random(seed));
+        let flat = FlatIndex::freeze(&index);
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = ShardedFlatIndex::from_flat(&flat, shards);
+            prop_assert_eq!(sharded.num_shards(), shards);
+            prop_assert_eq!(sharded.num_vertices(), flat.num_vertices());
+            prop_assert_eq!(sharded.num_entries(), flat.num_entries());
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    let live = spc_query(&index, s, t);
+                    prop_assert_eq!(sharded.query(s, t), live);
+                    prop_assert_eq!(sharded.query(s, t), flat.query(s, t));
+                    prop_assert_eq!(sharded.pre_query(s, t), pre_query(&index, s, t));
+                    prop_assert_eq!(sharded.pre_query(s, t), flat.pre_query(s, t));
+                }
+            }
+        }
+    }
+
+    /// Explicit uneven bounds (arbitrary cut points, duplicates allowed →
+    /// empty shards) answer identically to the unsharded snapshot, and
+    /// `shard_of` routes every vertex into the range that owns it.
+    #[test]
+    fn uneven_bounds_are_exact(
+        g in graph_strategy(16),
+        cuts in proptest::collection::vec(0u32..16, 0..5),
+    ) {
+        let index = dspc::build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&index);
+        let n = flat.num_vertices() as u32;
+        let mut bounds: Vec<u32> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        let sharded = ShardedFlatIndex::with_bounds(&flat, &bounds).expect("bounds are valid");
+        prop_assert_eq!(sharded.num_shards(), bounds.len() - 1);
+        for s in g.vertices() {
+            let owner = sharded.shard_of(s);
+            prop_assert!(sharded.bounds()[owner] <= s.0 && s.0 < sharded.bounds()[owner + 1]);
+            for t in g.vertices() {
+                prop_assert_eq!(sharded.query(s, t), flat.query(s, t));
+                prop_assert_eq!(sharded.pre_query(s, t), flat.pre_query(s, t));
+            }
+        }
+    }
+
+    /// Per-shard counted queries conserve kernel work: the per-shard
+    /// `merge_steps`/`common_hubs` totals equal the unsharded kernel's
+    /// counters bit-for-bit, and every query is attributed to exactly the
+    /// shard owning its source vertex.
+    #[test]
+    fn per_shard_counters_partition_the_kernel_work(
+        g in graph_strategy(14),
+        shards in 1usize..6,
+    ) {
+        let index = dspc::build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&index);
+        let sharded = ShardedFlatIndex::from_flat(&flat, shards);
+        let mut scratch = FlatScratch::new();
+        let mut flat_c = KernelCounters::new();
+        let mut per_shard = vec![KernelCounters::new(); shards];
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let want = flat.query_counted(&mut scratch, &mut flat_c, s, t);
+                let got = sharded.query_counted(&mut scratch, &mut per_shard, s, t);
+                prop_assert_eq!(got, want);
+            }
+        }
+        let mut summed = KernelCounters::new();
+        for c in &per_shard {
+            summed.queries += c.queries;
+            summed.merge_steps += c.merge_steps;
+            summed.common_hubs += c.common_hubs;
+        }
+        prop_assert_eq!(summed, flat_c);
+        // Attribution: shard i answered exactly the queries whose source
+        // lives in its vertex range.
+        let vs: Vec<_> = g.vertices().collect();
+        for (i, c) in per_shard.iter().enumerate() {
+            let owned = vs.iter().filter(|v| sharded.shard_of(**v) == i).count();
+            prop_assert_eq!(c.queries, (owned * vs.len()) as u64);
+        }
+    }
+}
+
+/// `even_bounds` invariants at the edges the proptest sizes don't hit.
+#[test]
+fn even_bounds_shapes() {
+    assert_eq!(even_bounds(10, 4), vec![0, 3, 6, 8, 10]);
+    assert_eq!(even_bounds(3, 7), vec![0, 1, 2, 3, 3, 3, 3, 3]);
+    assert_eq!(even_bounds(0, 3), vec![0, 0, 0, 0]);
+    assert_eq!(even_bounds(5, 0), vec![0, 5], "zero shards clamps to one");
+}
+
+/// Malformed bounds are rejected, not mis-sliced.
+#[test]
+fn bad_bounds_are_rejected() {
+    let g = dspc_graph::UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    let flat = FlatIndex::freeze(&dspc::build_index(&g, OrderingStrategy::Degree));
+    assert!(ShardedFlatIndex::with_bounds(&flat, &[0]).is_err());
+    assert!(ShardedFlatIndex::with_bounds(&flat, &[1, 4]).is_err());
+    assert!(ShardedFlatIndex::with_bounds(&flat, &[0, 3, 2, 4]).is_err());
+    assert!(ShardedFlatIndex::with_bounds(&flat, &[0, 2, 3]).is_err());
+}
