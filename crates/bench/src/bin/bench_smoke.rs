@@ -29,6 +29,15 @@
 //! deterministic; the gate on this phase is `serve_merge_steps`
 //! *normalized by* `serve_rotations`, so adding rotations to the scenario
 //! never masks a per-epoch kernel regression.
+//!
+//! A recovery phase then runs the scripted crash/recover cycle of
+//! [`dspc_bench::recovery`]: a journaled server checkpointed mid-stream
+//! and killed, recovered, and proven bit-identical to its never-crashed
+//! twin. Gated counters: `recover_replayed_batches` (the recovery path
+//! must keep replaying exactly the committed post-checkpoint work — a
+//! drop means recovery silently skips durable batches, a rise means the
+//! checkpoint stopped truncating) and `journal_bytes_per_update` (the
+//! WAL's write amplification).
 
 use dspc::directed::{directed_spc_query, ArcUpdate, DynamicDirectedSpc};
 use dspc::dynamic::GraphUpdate;
@@ -277,6 +286,31 @@ fn serving(report: &mut BTreeMap<String, u64>) {
     }
 }
 
+/// Recovery phase: the deterministic crash/recover cycle. The replay
+/// itself panics on any recovery-equivalence violation, so reaching the
+/// report at all is the correctness half; the counters gate the perf half.
+fn recovery(report: &mut BTreeMap<String, u64>) {
+    let replay = dspc_bench::recovery::replay(dspc_bench::recovery::RecoveryReplayConfig::smoke());
+    report.insert("recover_rotations".to_string(), replay.rotations);
+    report.insert(
+        "recover_replayed_batches".to_string(),
+        replay.replayed_batches,
+    );
+    report.insert(
+        "recover_replayed_rotations".to_string(),
+        replay.replayed_rotations,
+    );
+    report.insert(
+        "recover_restored_pending_updates".to_string(),
+        replay.restored_pending_updates,
+    );
+    report.insert("journal_bytes".to_string(), replay.journal_bytes);
+    report.insert(
+        "journal_bytes_per_update".to_string(),
+        replay.journal_bytes_per_update(),
+    );
+}
+
 fn render_json(report: &BTreeMap<String, u64>) -> String {
     let body: Vec<String> = report
         .iter()
@@ -339,6 +373,7 @@ fn main() {
     weighted(&mut report);
     bridged(&mut report);
     serving(&mut report);
+    recovery(&mut report);
 
     let json = render_json(&report);
     std::fs::write(&out_path, &json).expect("write report");
@@ -355,9 +390,14 @@ fn main() {
             } else {
                 (now as f64 - base as f64) / base as f64 * 100.0
             };
-            // Gated counters: maintenance work (total_sweeps) and query
-            // kernel work (merge_steps). Everything else is informational.
-            let gate = key == "total_sweeps" || key == "merge_steps";
+            // Gated counters: maintenance work (total_sweeps), query
+            // kernel work (merge_steps), recovery coverage
+            // (recover_replayed_batches), and journal write amplification
+            // (journal_bytes_per_update). Everything else is informational.
+            let gate = key == "total_sweeps"
+                || key == "merge_steps"
+                || key == "recover_replayed_batches"
+                || key == "journal_bytes_per_update";
             let verdict = if gate && delta > threshold {
                 failed = true;
                 "FAIL"

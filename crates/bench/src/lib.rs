@@ -22,6 +22,7 @@
 
 pub mod datasets;
 pub mod exp;
+pub mod recovery;
 pub mod runner;
 pub mod serving;
 pub mod stats;

@@ -120,7 +120,9 @@ pub fn replay(config: ServingReplayConfig) -> ServingReplayReport {
             config.del_per_epoch,
             &mut rng,
         );
-        server.submit(stream);
+        server
+            .submit(stream)
+            .expect("unjournaled submit cannot fail");
         server.rotate().expect("scripted epoch batch is valid");
 
         // Read side: scripted refresh cadence, then a seeded query batch

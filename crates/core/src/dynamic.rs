@@ -341,6 +341,19 @@ impl DynamicSpc {
         self.updates_since_build
     }
 
+    /// The ordering strategy a later [`DynamicSpc::rebuild`] re-ranks with.
+    pub fn strategy(&self) -> OrderingStrategy {
+        self.strategy
+    }
+
+    /// Restores the update-pressure counter after crash recovery, so a
+    /// recovered facade triggers staleness policies exactly like the
+    /// never-crashed one whose state was checkpointed. Not for general use:
+    /// the counter is otherwise maintained by the mutators themselves.
+    pub fn restore_update_pressure(&mut self, updates_since_build: usize) {
+        self.updates_since_build = updates_since_build;
+    }
+
     /// `SPC(s, t)`: `Some((sd, spc))`, or `None` when disconnected.
     pub fn query(&self, s: VertexId, t: VertexId) -> Option<(u32, Count)> {
         spc_query(&self.index, s, t).as_option()

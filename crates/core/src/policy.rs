@@ -79,9 +79,26 @@ impl ManagedSpc {
         }
     }
 
+    /// Reassembles a managed facade from checkpointed state: the recovered
+    /// inner facade, the policy it ran under, and the rebuild count at
+    /// checkpoint time — so policy behavior (and its counters) continue
+    /// exactly where the crashed instance left off.
+    pub fn recover(inner: DynamicSpc, policy: MaintenancePolicy, rebuilds: usize) -> Self {
+        ManagedSpc {
+            inner,
+            policy,
+            rebuilds,
+        }
+    }
+
     /// The wrapped facade.
     pub fn inner(&self) -> &DynamicSpc {
         &self.inner
+    }
+
+    /// The active maintenance policy.
+    pub fn policy(&self) -> MaintenancePolicy {
+        self.policy
     }
 
     /// Number of policy-triggered rebuilds so far.

@@ -39,7 +39,15 @@
 //! len u64, hubs[e]  u32,       pad to 8
 //! len u64, dists[e] u32,       pad to 8
 //! len u64, counts[e] u64
+//! crc64[5] u64             per-section checksums (header, offsets, hubs,
+//!                          dists, counts)
+//! magic  "DSPCXSUM"        8 bytes, footer marker
 //! ```
+//!
+//! The checksum footer is verified before any decoded value is used; a
+//! mismatch fails with [`CodecError::Corrupt`] naming the damaged section.
+//! Footer-less v2 files (written before the footer existed) still decode —
+//! the footer is detected by its trailing marker.
 //!
 //! [`load_index`] and [`decode_index`] accept both versions.
 
@@ -55,6 +63,44 @@ const VERSION: u32 = 1;
 const VERSION_FLAT: u32 = 2;
 const FLAG_PACKED: u32 = 1;
 
+/// Trailing marker of the v2 checksum footer.
+const FOOTER_MAGIC: &[u8; 8] = b"DSPCXSUM";
+/// Names of the five checksummed v2 sections, in file order.
+const SECTION_NAMES: [&str; 5] = ["header", "offsets", "hubs", "dists", "counts"];
+/// Footer size: five section checksums plus the trailing marker.
+const FOOTER_LEN: usize = 5 * 8 + FOOTER_MAGIC.len();
+
+/// CRC-64 (reflected ECMA-182 polynomial — the XZ variant), table built at
+/// compile time. Used for the v2 checksum footer and by the serving
+/// layer's write-ahead journal; any single-bit corruption is detected.
+pub fn crc64(data: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    const TABLE: [u64; 256] = {
+        let mut table = [0u64; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u64;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = u64::MAX;
+    for &byte in data {
+        crc = TABLE[((crc ^ byte as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
 /// Serialization/deserialization failures.
 #[derive(Debug, PartialEq, Eq)]
 pub enum CodecError {
@@ -69,6 +115,10 @@ pub enum CodecError {
     /// The v2 column sections are inconsistent (offsets not monotone, or
     /// column lengths disagreeing with each other or the header).
     BadColumns,
+    /// A checksum mismatch in the named section — the bytes were damaged
+    /// after writing (bit rot, torn write, hostile edit). The payload names
+    /// the damaged section so operators know *where* the file broke.
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -79,6 +129,9 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated DSPC index"),
             CodecError::BadRankMap => write!(f, "corrupt rank permutation"),
             CodecError::BadColumns => write!(f, "inconsistent DSPC flat columns"),
+            CodecError::Corrupt(section) => {
+                write!(f, "corrupt DSPC '{section}' section (checksum mismatch)")
+            }
         }
     }
 }
@@ -209,12 +262,13 @@ fn pad_to_8(buf: &mut BytesMut) {
 
 /// Serializes a flat snapshot in the v2 columnar layout: header, rank
 /// permutation, then the four length-prefixed, 8-byte-aligned column
-/// sections, written with bulk copies.
+/// sections, written with bulk copies, closed by the per-section checksum
+/// footer.
 pub fn encode_flat(flat: &FlatIndex) -> Bytes {
     let cols = flat.columns();
     let n = flat.num_vertices();
     let e = flat.num_entries();
-    let mut buf = BytesMut::with_capacity(64 + n * 8 + e * 16);
+    let mut buf = BytesMut::with_capacity(64 + n * 8 + e * 16 + FOOTER_LEN);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION_FLAT);
     buf.put_u32_le(0); // flags
@@ -223,6 +277,8 @@ pub fn encode_flat(flat: &FlatIndex) -> Bytes {
         buf.put_u32_le(flat.ranks().vertex(Rank(r as u32)).0);
     }
     pad_to_8(&mut buf);
+    let mut ends = [0usize; 5];
+    ends[0] = buf.len();
     let put_u32s = |buf: &mut BytesMut, xs: &[u32]| {
         buf.put_u64_le(xs.len() as u64);
         for &x in xs {
@@ -231,12 +287,28 @@ pub fn encode_flat(flat: &FlatIndex) -> Bytes {
         pad_to_8(buf);
     };
     put_u32s(&mut buf, cols.offsets());
+    ends[1] = buf.len();
     put_u32s(&mut buf, cols.hubs());
+    ends[2] = buf.len();
     put_u32s(&mut buf, cols.dists());
+    ends[3] = buf.len();
     buf.put_u64_le(cols.counts().len() as u64);
     for &c in cols.counts() {
         buf.put_u64_le(c);
     }
+    ends[4] = buf.len();
+    // Checksum footer: one crc64 per section, then the trailing marker the
+    // decoder detects the footer by.
+    let mut crcs = [0u64; 5];
+    let mut start = 0usize;
+    for (i, &end) in ends.iter().enumerate() {
+        crcs[i] = crc64(&buf.as_ref()[start..end]);
+        start = end;
+    }
+    for c in crcs {
+        buf.put_u64_le(c);
+    }
+    buf.put_slice(FOOTER_MAGIC);
     buf.freeze()
 }
 
@@ -256,23 +328,39 @@ pub fn decode_flat(data: &[u8]) -> Result<FlatIndex, CodecError> {
     }
 }
 
+/// Splits a v2 input into its body and (when present) the five per-section
+/// checksums of the trailing footer. Footer-less files pass through whole.
+fn split_footer(data: &[u8]) -> (&[u8], Option<[u64; 5]>) {
+    if data.len() < FOOTER_LEN || !data.ends_with(FOOTER_MAGIC) {
+        return (data, None);
+    }
+    let body_len = data.len() - FOOTER_LEN;
+    let mut crcs = [0u64; 5];
+    for (i, crc) in crcs.iter_mut().enumerate() {
+        let at = body_len + i * 8;
+        *crc = u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"));
+    }
+    (&data[..body_len], Some(crcs))
+}
+
 fn decode_flat_v2(data: &[u8]) -> Result<FlatIndex, CodecError> {
+    let (body, footer) = split_footer(data);
     let mut pos = 8usize; // magic + version, validated by the caller
     let read_u32 = |pos: &mut usize| -> Result<u32, CodecError> {
         let end = pos.checked_add(4).ok_or(CodecError::Truncated)?;
-        let bytes = data.get(*pos..end).ok_or(CodecError::Truncated)?;
+        let bytes = body.get(*pos..end).ok_or(CodecError::Truncated)?;
         *pos = end;
         Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
     };
     let read_u64 = |pos: &mut usize| -> Result<u64, CodecError> {
         let end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
-        let bytes = data.get(*pos..end).ok_or(CodecError::Truncated)?;
+        let bytes = body.get(*pos..end).ok_or(CodecError::Truncated)?;
         *pos = end;
         Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     };
     let align8 = |pos: &mut usize| -> Result<(), CodecError> {
         let aligned = pos.checked_add(7).ok_or(CodecError::Truncated)? & !7;
-        if aligned > data.len() {
+        if aligned > body.len() {
             return Err(CodecError::Truncated);
         }
         *pos = aligned;
@@ -280,26 +368,19 @@ fn decode_flat_v2(data: &[u8]) -> Result<FlatIndex, CodecError> {
     };
     let _flags = read_u32(&mut pos)?;
     let n = read_u64(&mut pos)? as usize;
-    if data.len().saturating_sub(pos) < n * 4 {
+    if body.len().saturating_sub(pos) < n * 4 {
         return Err(CodecError::Truncated);
     }
     let mut vertex_at = Vec::with_capacity(n);
     for _ in 0..n {
         vertex_at.push(read_u32(&mut pos)?);
     }
-    {
-        let mut seen = vec![false; n];
-        for &v in &vertex_at {
-            if v as usize >= n || seen[v as usize] {
-                return Err(CodecError::BadRankMap);
-            }
-            seen[v as usize] = true;
-        }
-    }
     align8(&mut pos)?;
+    let mut ends = [0usize; 5];
+    ends[0] = pos;
     let read_u32_col = |pos: &mut usize| -> Result<Vec<u32>, CodecError> {
         let len = read_u64(pos)? as usize;
-        if data.len().saturating_sub(*pos) < len * 4 {
+        if body.len().saturating_sub(*pos) < len * 4 {
             return Err(CodecError::Truncated);
         }
         let mut col = Vec::with_capacity(len);
@@ -310,15 +391,43 @@ fn decode_flat_v2(data: &[u8]) -> Result<FlatIndex, CodecError> {
         Ok(col)
     };
     let offsets = read_u32_col(&mut pos)?;
+    ends[1] = pos;
     let hubs = read_u32_col(&mut pos)?;
+    ends[2] = pos;
     let dists = read_u32_col(&mut pos)?;
+    ends[3] = pos;
     let counts_len = read_u64(&mut pos)? as usize;
-    if data.len().saturating_sub(pos) < counts_len * 8 {
+    if body.len().saturating_sub(pos) < counts_len * 8 {
         return Err(CodecError::Truncated);
     }
     let mut counts: Vec<Count> = Vec::with_capacity(counts_len);
     for _ in 0..counts_len {
         counts.push(read_u64(&mut pos)?);
+    }
+    ends[4] = pos;
+    // Bytes past the counts section must be a valid footer (split off
+    // above). Anything else means the file was damaged near its end.
+    if pos != body.len() {
+        return Err(CodecError::Corrupt("footer"));
+    }
+    // Verify every section checksum before trusting any decoded value.
+    if let Some(crcs) = footer {
+        let mut start = 0usize;
+        for (i, &end) in ends.iter().enumerate() {
+            if crc64(&body[start..end]) != crcs[i] {
+                return Err(CodecError::Corrupt(SECTION_NAMES[i]));
+            }
+            start = end;
+        }
+    }
+    {
+        let mut seen = vec![false; n];
+        for &v in &vertex_at {
+            if v as usize >= n || seen[v as usize] {
+                return Err(CodecError::BadRankMap);
+            }
+            seen[v as usize] = true;
+        }
     }
     if offsets.len() != n + 1 {
         return Err(CodecError::BadColumns);
@@ -497,16 +606,43 @@ mod tests {
         let g = figure2_g();
         let index = build_index(&g, OrderingStrategy::Degree);
         let bytes = encode_index_v2(&index);
+        // Cutting into the footer marker leaves trailing bytes that are not
+        // a valid footer.
         assert_eq!(
             decode_flat(&bytes[..bytes.len() - 5]),
-            Err(CodecError::Truncated)
+            Err(CodecError::Corrupt("footer"))
         );
-        // Break offset monotonicity: offsets start at byte 80.
+        // Damaged offsets column: the section checksum trips before the
+        // (now nonsensical) values are ever interpreted.
         let mut bad = bytes.to_vec();
         bad[80..84].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert_eq!(decode_flat(&bad), Err(CodecError::BadColumns));
-        // Duplicate rank permutation entry.
+        assert_eq!(decode_flat(&bad), Err(CodecError::Corrupt("offsets")));
+        // Duplicate rank permutation entry: caught by the header checksum.
         let mut bad_perm = bytes.to_vec();
+        let dup: [u8; 4] = bad_perm[24..28].try_into().unwrap();
+        bad_perm[20..24].copy_from_slice(&dup);
+        assert_eq!(decode_flat(&bad_perm), Err(CodecError::Corrupt("header")));
+    }
+
+    #[test]
+    fn crc64_known_vector() {
+        // CRC-64/XZ check value for the standard "123456789" input.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn footer_less_v2_still_decodes() {
+        let g = figure2_g();
+        let index = build_index(&g, OrderingStrategy::Degree);
+        let flat = FlatIndex::freeze(&index);
+        let bytes = encode_flat(&flat);
+        // A pre-footer v2 file is exactly today's encoding minus the footer.
+        let legacy = &bytes[..bytes.len() - FOOTER_LEN];
+        assert_flat_equiv(&decode_flat(legacy).unwrap(), &flat);
+        // Without a footer, logical validation still runs: a duplicate
+        // permutation entry is caught the old way.
+        let mut bad_perm = legacy.to_vec();
         let dup: [u8; 4] = bad_perm[24..28].try_into().unwrap();
         bad_perm[20..24].copy_from_slice(&dup);
         assert_eq!(decode_flat(&bad_perm), Err(CodecError::BadRankMap));

@@ -120,8 +120,10 @@ impl ServingSnapshot for WeightedFlatIndex {
 pub trait ServingEngine: Send + 'static {
     /// The frozen representation published to readers.
     type Snapshot: ServingSnapshot;
-    /// The update vocabulary of this graph variant.
-    type Update: Clone + Send + 'static;
+    /// The update vocabulary of this graph variant. Updates are
+    /// journalable ([`crate::journal::JournalUpdate`]) so any engine can
+    /// ride behind the write-ahead journal.
+    type Update: Clone + Send + 'static + crate::journal::JournalUpdate;
 
     /// Applies one epoch's updates as a single coalesced batch (the
     /// `apply_batch` epoch contract: net effect only, exact index on

@@ -28,6 +28,21 @@
 //! what the `bench_smoke` serving phase drives) or on a dedicated thread
 //! behind a command channel ([`EpochServer::spawn`] → [`WriterHandle`]).
 //!
+//! **Durability** ([`journal`] module): a server built with
+//! [`EpochServer::with_journal`] write-ahead journals every submitted
+//! batch (length-prefixed, CRC-64 checksummed, fsynced before the batch is
+//! acknowledged), stamps an epoch marker at each successful rotation, and
+//! checkpoints on demand — snapshotting the engine through the v2 columnar
+//! codec and truncating the log. [`EpochServer::recover`] boots from the
+//! last checkpoint and replays the journal, producing a server
+//! bit-identical — answers *and* maintenance counters — to one that never
+//! crashed. Failures are contained, not fatal: a batch that fails
+//! validation (or panics the engine) is quarantined and handed back in
+//! [`RotationError::rejected`] while readers keep serving the last good
+//! epoch, and a dead writer thread surfaces as [`WriterError`] instead of
+//! a panic. The whole story is exercised by a deterministic [`FaultPlan`]
+//! crash schedule (`tests/fault_injection.rs` at the workspace root).
+//!
 //! ```
 //! use dspc::dynamic::GraphUpdate;
 //! use dspc::{DynamicSpc, OrderingStrategy};
@@ -44,7 +59,7 @@
 //!
 //! // The writer batches updates and rotates; the reader still answers
 //! // from its pinned epoch-0 snapshot until it refreshes.
-//! server.submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(3))]);
+//! server.submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(3))]).unwrap();
 //! server.rotate().unwrap();
 //! assert_eq!(reader.query(VertexId(0), VertexId(3)).0, 0); // pinned
 //! assert_eq!(reader.refresh(), 1);
@@ -56,13 +71,21 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod journal;
 mod publish;
 mod runtime;
 mod server;
 
 pub use engine::{ServingEngine, ServingSnapshot};
+pub use journal::{
+    current_wal_path, DurableEngine, Failpoint, FaultPlan, Journal, JournalError, JournalUpdate,
+    RecoveryReport,
+};
 pub use publish::{Publisher, Subscription};
-pub use runtime::WriterHandle;
-pub use server::{EpochServer, Reader, RotationReport, ServeConfig, ServerStats};
+pub use runtime::{RotateError, WriterError, WriterHandle};
+pub use server::{
+    EpochServer, Reader, RotationError, RotationFailure, RotationReport, ServeConfig, ServerStats,
+    SubmitError,
+};
 
 pub use dspc::shard::EpochSnapshot;

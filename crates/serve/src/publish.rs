@@ -30,9 +30,17 @@ pub struct Publisher<S> {
 impl<S> Publisher<S> {
     /// Starts a chain with `initial` as the epoch-0 snapshot.
     pub fn new(initial: S) -> Self {
+        Publisher::starting_at(initial, 0)
+    }
+
+    /// Starts a chain with `initial` stamped as `epoch` — the recovery
+    /// path: a server rebooting from a checkpoint resumes the epoch clock
+    /// where the crashed instance left it, so readers attached before and
+    /// after a crash observe one monotone epoch sequence.
+    pub fn starting_at(initial: S, epoch: u64) -> Self {
         Publisher {
             tail: Arc::new(Node {
-                snap: EpochSnapshot::new(0, initial),
+                snap: EpochSnapshot::new(epoch, initial),
                 next: OnceLock::new(),
             }),
         }
@@ -137,6 +145,16 @@ mod tests {
         assert!(!sub.is_stale());
         // A late subscriber starts at the newest snapshot.
         assert_eq!(p.subscribe().epoch(), 2);
+    }
+
+    #[test]
+    fn chain_can_resume_a_prior_epoch_clock() {
+        let mut p = Publisher::starting_at("ckpt", 7);
+        assert_eq!(p.epoch(), 7);
+        let mut sub = p.subscribe();
+        assert_eq!(sub.epoch(), 7);
+        assert_eq!(p.publish("e8"), 8);
+        assert_eq!(sub.advance(), 8);
     }
 
     #[test]

@@ -5,27 +5,85 @@
 //! elsewhere while reader threads keep serving. Readers are unaffected —
 //! handles created before or after the spawn serve from the same published
 //! chain and never interact with the channel.
+//!
+//! Failure containment: nothing on this handle panics. A dead or panicked
+//! writer thread surfaces as [`WriterError`] from every method, and a
+//! submission the journal refused is *deferred* — stashed on the writer
+//! thread and handed back (with its rejected updates) from the next
+//! [`WriterHandle::rotate`] rather than lost.
 
 use crate::engine::ServingEngine;
-use crate::server::{EpochServer, RotationReport};
+use crate::server::{EpochServer, RotationError, RotationFailure, RotationReport, SubmitError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
-enum Cmd<U> {
-    Submit(Vec<U>),
-    Rotate(mpsc::Sender<dspc_graph::Result<RotationReport>>),
+enum Cmd<E: ServingEngine> {
+    Submit(Vec<E::Update>),
+    Rotate(mpsc::Sender<Result<RotationReport, RotationError<E::Update>>>),
     Shutdown,
+    /// Testing hook: panic the writer thread, simulating a hard crash.
+    Crash,
 }
+
+/// Why a [`WriterHandle`] call could not reach the writer thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriterError {
+    /// The writer thread is gone (its channel is closed) — it panicked or
+    /// was detached and exited.
+    Disconnected,
+    /// A previous call on this handle already observed the writer dead;
+    /// the handle refuses further work.
+    Poisoned,
+}
+
+impl std::fmt::Display for WriterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriterError::Disconnected => write!(f, "writer thread is gone"),
+            WriterError::Poisoned => write!(f, "writer handle is poisoned by an earlier failure"),
+        }
+    }
+}
+
+impl std::error::Error for WriterError {}
+
+/// A [`WriterHandle::rotate`] failure: either the handle could not reach
+/// the writer thread at all, or the rotation itself failed (carrying the
+/// quarantined batch).
+#[derive(Debug)]
+pub enum RotateError<U> {
+    /// The writer thread is unreachable.
+    Writer(WriterError),
+    /// The rotation ran and failed; the batch is in
+    /// [`RotationError::rejected`].
+    Rotation(RotationError<U>),
+}
+
+impl<U: std::fmt::Debug> std::fmt::Display for RotateError<U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RotateError::Writer(e) => write!(f, "{e}"),
+            RotateError::Rotation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<U: std::fmt::Debug> std::error::Error for RotateError<U> {}
 
 /// Control handle for an [`EpochServer`] running on its own thread.
 ///
 /// Obtained from [`EpochServer::spawn`]. Dropping the handle without
 /// calling [`WriterHandle::shutdown`] detaches the writer thread (it exits
 /// when the channel closes); readers keep serving from the last published
-/// snapshot either way.
+/// snapshot either way. A writer-thread death never panics through this
+/// handle: the first call to observe it returns
+/// [`WriterError::Disconnected`] and poisons the handle, and every later
+/// call returns [`WriterError::Poisoned`].
 pub struct WriterHandle<E: ServingEngine> {
-    tx: mpsc::Sender<Cmd<E::Update>>,
+    tx: mpsc::Sender<Cmd<E>>,
     join: Option<JoinHandle<EpochServer<E>>>,
+    poisoned: AtomicBool,
 }
 
 impl<E: ServingEngine> EpochServer<E> {
@@ -34,18 +92,44 @@ impl<E: ServingEngine> EpochServer<E> {
     /// (or from other readers via [`Reader::fork`](crate::Reader::fork)) —
     /// they are independent of the writer thread.
     pub fn spawn(self) -> WriterHandle<E> {
-        let (tx, rx) = mpsc::channel::<Cmd<E::Update>>();
+        let (tx, rx) = mpsc::channel::<Cmd<E>>();
         let join = std::thread::spawn(move || {
             let mut server = self;
+            // A journaled submit can fail after the caller's fire-and-forget
+            // send; the failure (with its rejected updates) is deferred here
+            // and surfaces from the next rotation instead of vanishing.
+            let mut deferred: Option<SubmitError<E::Update>> = None;
             while let Ok(cmd) = rx.recv() {
                 match cmd {
-                    Cmd::Submit(updates) => server.submit(updates),
+                    Cmd::Submit(updates) => match deferred.as_mut() {
+                        // Once a submit failed, later submits are rejected
+                        // too (the journal no longer covers them); their
+                        // updates accumulate into the deferred error so the
+                        // caller gets every unaccepted update back.
+                        Some(err) => err.rejected.extend(updates),
+                        None => {
+                            if let Err(e) = server.submit(updates) {
+                                deferred = Some(e);
+                            }
+                        }
+                    },
                     Cmd::Rotate(ack) => {
+                        let result = match deferred.take() {
+                            Some(SubmitError { error, rejected }) => Err(RotationError {
+                                kind: RotationFailure::Journal(error),
+                                rejected,
+                            }),
+                            None => server.rotate(),
+                        };
                         // A dropped ack receiver means the caller went
                         // away; the rotation still happened.
-                        let _ = ack.send(server.rotate());
+                        let _ = ack.send(result);
                     }
-                    Cmd::Shutdown => break,
+                    Cmd::Shutdown => {
+                        let _ = server.sync_journal();
+                        break;
+                    }
+                    Cmd::Crash => panic!("injected writer crash"),
                 }
             }
             server
@@ -53,37 +137,76 @@ impl<E: ServingEngine> EpochServer<E> {
         WriterHandle {
             tx,
             join: Some(join),
+            poisoned: AtomicBool::new(false),
         }
     }
 }
 
 impl<E: ServingEngine> WriterHandle<E> {
+    fn guard(&self) -> Result<(), WriterError> {
+        if self.poisoned.load(Ordering::Acquire) {
+            Err(WriterError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&self) -> WriterError {
+        self.poisoned.store(true, Ordering::Release);
+        WriterError::Disconnected
+    }
+
     /// Queues updates on the writer thread for its next rotation.
-    pub fn submit(&self, updates: Vec<E::Update>) {
+    ///
+    /// Fire-and-forget: on a journaled server the append happens on the
+    /// writer thread, and an append failure is deferred — it comes back
+    /// (with the rejected updates) from the next [`WriterHandle::rotate`].
+    pub fn submit(&self, updates: Vec<E::Update>) -> Result<(), WriterError> {
+        self.guard()?;
         self.tx
             .send(Cmd::Submit(updates))
-            .expect("writer thread is alive");
+            .map_err(|_| self.poison())
     }
 
     /// Asks the writer thread to rotate and blocks until the new epoch is
-    /// published (readers are not blocked — only this caller waits).
-    pub fn rotate(&self) -> dspc_graph::Result<RotationReport> {
+    /// published (readers are not blocked — only this caller waits). A
+    /// failed rotation hands the quarantined batch back in the error; the
+    /// writer thread survives it and keeps serving.
+    pub fn rotate(&self) -> Result<RotationReport, RotateError<E::Update>> {
+        self.guard().map_err(RotateError::Writer)?;
         let (ack_tx, ack_rx) = mpsc::channel();
         self.tx
             .send(Cmd::Rotate(ack_tx))
-            .expect("writer thread is alive");
-        ack_rx.recv().expect("writer thread answers rotations")
+            .map_err(|_| RotateError::Writer(self.poison()))?;
+        match ack_rx.recv() {
+            Ok(result) => result.map_err(RotateError::Rotation),
+            // The writer thread died mid-rotation (e.g. an injected crash
+            // raced in): the ack channel closed without an answer.
+            Err(_) => Err(RotateError::Writer(self.poison())),
+        }
     }
 
-    /// Stops the writer thread and returns the server (with its live
-    /// engine, publisher, and stats) to the caller.
-    pub fn shutdown(mut self) -> EpochServer<E> {
-        self.tx.send(Cmd::Shutdown).expect("writer thread is alive");
+    /// Stops the writer thread (flushing the journal, if any) and returns
+    /// the server to the caller. Fails with [`WriterError`] if the writer
+    /// thread is already dead — the engine is lost with it.
+    pub fn shutdown(mut self) -> Result<EpochServer<E>, WriterError> {
+        self.guard()?;
+        if self.tx.send(Cmd::Shutdown).is_err() {
+            return Err(self.poison());
+        }
         self.join
             .take()
             .expect("shutdown consumes the handle")
             .join()
-            .expect("writer thread exits cleanly")
+            .map_err(|_| self.poison())
+    }
+
+    /// Panics the writer thread, simulating a hard crash. Testing hook for
+    /// the fault-injection harness; the handle stays usable and reports
+    /// [`WriterError`] from subsequent calls.
+    #[doc(hidden)]
+    pub fn crash_writer_for_test(&self) {
+        let _ = self.tx.send(Cmd::Crash);
     }
 }
 
@@ -95,6 +218,15 @@ mod tests {
     use dspc::{DynamicSpc, OrderingStrategy};
     use dspc_graph::{UndirectedGraph, VertexId};
 
+    fn spawn_server() -> WriterHandle<DynamicSpc> {
+        let g = UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        EpochServer::new(
+            DynamicSpc::build(g, OrderingStrategy::Degree),
+            ServeConfig { shards: 3 },
+        )
+        .spawn()
+    }
+
     #[test]
     fn threaded_writer_rotates_while_readers_serve() {
         let g = UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
@@ -105,7 +237,9 @@ mod tests {
         let mut reader = server.reader();
         let handle = server.spawn();
 
-        handle.submit(vec![GraphUpdate::InsertEdge(VertexId(0), VertexId(5))]);
+        handle
+            .submit(vec![GraphUpdate::InsertEdge(VertexId(0), VertexId(5))])
+            .unwrap();
         let report = handle.rotate().unwrap();
         assert_eq!(report.epoch, 1);
         assert_eq!(report.batched_updates, 1);
@@ -116,23 +250,93 @@ mod tests {
         let (epoch, r) = reader.query(VertexId(0), VertexId(5));
         assert_eq!((epoch, r.as_option()), (1, Some((1, 1))));
 
-        let server = handle.shutdown();
+        let server = handle.shutdown().unwrap();
         assert_eq!(server.epoch(), 1);
         assert_eq!(server.stats().rotations, 1);
     }
 
     #[test]
-    fn rotation_errors_cross_the_channel() {
+    fn rotation_errors_cross_the_channel_with_the_batch() {
         let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]);
         let server = EpochServer::new(
             DynamicSpc::build(g, OrderingStrategy::Degree),
             ServeConfig::default(),
         );
         let handle = server.spawn();
-        handle.submit(vec![GraphUpdate::InsertEdge(VertexId(0), VertexId(1))]);
-        assert!(handle.rotate().is_err(), "duplicate edge surfaces");
+        handle
+            .submit(vec![GraphUpdate::InsertEdge(VertexId(0), VertexId(1))])
+            .unwrap();
+        match handle.rotate() {
+            Err(RotateError::Rotation(e)) => {
+                assert!(matches!(e.kind, RotationFailure::Invalid(_)));
+                assert_eq!(e.rejected.len(), 1, "quarantined batch crosses the channel");
+            }
+            other => panic!("expected a rotation error, got {other:?}"),
+        }
         // The writer thread survives the error and keeps rotating.
         assert_eq!(handle.rotate().unwrap().epoch, 1);
-        handle.shutdown();
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn killed_writer_poisons_the_handle_instead_of_panicking() {
+        let handle = spawn_server();
+        let mut reader = {
+            // Rotate once so readers have a non-trivial epoch to pin.
+            handle.rotate().unwrap();
+            handle.shutdown().unwrap()
+        }
+        .reader();
+
+        let handle = spawn_server();
+        handle.crash_writer_for_test();
+        // The first call to observe the dead writer reports Disconnected…
+        let err = loop {
+            match handle.rotate() {
+                Err(RotateError::Writer(e)) => break e,
+                Ok(_) => continue, // the crash command may still be queued
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        };
+        assert_eq!(err, WriterError::Disconnected);
+        // …and every later call sees the poisoned handle.
+        assert_eq!(
+            handle.submit(vec![GraphUpdate::InsertEdge(VertexId(0), VertexId(2))]),
+            Err(WriterError::Poisoned)
+        );
+        match handle.rotate() {
+            Err(RotateError::Writer(WriterError::Poisoned)) => {}
+            other => panic!("expected poisoned, got {other:?}"),
+        }
+        match handle.shutdown() {
+            Err(WriterError::Poisoned) => {}
+            Err(other) => panic!("expected poisoned, got {other:?}"),
+            Ok(_) => panic!("shutdown must fail on a poisoned handle"),
+        }
+
+        // Readers created before the crash keep serving their snapshot.
+        let (epoch, r) = reader.query(VertexId(0), VertexId(5));
+        assert_eq!((epoch, r.as_option()), (1, Some((5, 1))));
+    }
+
+    #[test]
+    fn dropping_the_handle_detaches_cleanly() {
+        let handle = spawn_server();
+        let reader = {
+            handle
+                .submit(vec![GraphUpdate::InsertEdge(VertexId(0), VertexId(5))])
+                .unwrap();
+            handle.rotate().unwrap();
+            // A reader forked off the server outlives the handle.
+            let server = handle.shutdown().unwrap();
+            server.reader()
+        };
+        // New handle, dropped without shutdown: the writer thread exits on
+        // channel close, nothing panics, the reader still serves.
+        let handle = spawn_server();
+        drop(handle);
+        let mut reader = reader;
+        let (_, r) = reader.query(VertexId(0), VertexId(5));
+        assert_eq!(r.as_option(), Some((1, 1)));
     }
 }

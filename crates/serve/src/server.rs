@@ -2,10 +2,17 @@
 //! the per-reader handle queries are served through.
 
 use crate::engine::{ServingEngine, ServingSnapshot};
+use crate::journal::{
+    cleanup_generations, commit_checkpoint, load_generation, manifest_exists, parse_wal,
+    reattach_journal, write_checkpoint_state, CheckpointHeader, DurableEngine, Failpoint,
+    FaultPlan, Journal, JournalError, RecoveryReport,
+};
 use crate::publish::{Publisher, Subscription};
 use dspc::shard::EpochSnapshot;
 use dspc::{FlatScratch, KernelCounters, UpdateStats};
 use dspc_graph::VertexId;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 
 /// Server construction knobs.
 #[derive(Clone, Copy, Debug)]
@@ -34,13 +41,108 @@ pub struct RotationReport {
     pub applied: Option<UpdateStats>,
 }
 
-/// Aggregate write-side counters across a server's lifetime.
-#[derive(Clone, Copy, Debug, Default)]
+/// Aggregate write-side counters across a server's lifetime. For a
+/// journaled server these survive crashes: they are checkpointed into the
+/// WAL header and restored (plus replay) by [`EpochServer::recover`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Snapshots published past the initial one.
     pub rotations: u64,
     /// Updates drained into epoch batches.
     pub updates_applied: u64,
+    /// Updates handed back to callers by failed rotations (the quarantined
+    /// batches of [`RotationError::rejected`]).
+    pub rejected_updates: u64,
+    /// Rotations that failed and quarantined their batch.
+    pub quarantined_rotations: u64,
+    /// Journaled batches re-applied by [`EpochServer::recover`].
+    pub replayed_batches: u64,
+    /// Bytes appended to the write-ahead journal.
+    pub journal_bytes: u64,
+}
+
+/// Why a rotation failed.
+#[derive(Debug)]
+pub enum RotationFailure {
+    /// The batch failed validation — nothing was applied, the engine is
+    /// untouched.
+    Invalid(dspc_graph::GraphError),
+    /// The engine panicked applying the batch. The panic was contained
+    /// (readers keep serving the last good epoch); the payload's message
+    /// is carried here.
+    Panicked(String),
+    /// The write-ahead journal failed (I/O error or injected crash). When
+    /// this arises from a quarantine-record append, the journal fault
+    /// supersedes the original validation failure.
+    Journal(JournalError),
+}
+
+/// A failed rotation: why it failed, plus the quarantined batch — the
+/// updates are returned to the caller for repair/requeue, never silently
+/// dropped. The server stays serviceable: readers keep serving the last
+/// published epoch and later rotations proceed normally.
+#[derive(Debug)]
+pub struct RotationError<U> {
+    /// What went wrong.
+    pub kind: RotationFailure,
+    /// The updates drained for this rotation, handed back un-applied.
+    pub rejected: Vec<U>,
+}
+
+impl std::fmt::Display for RotationFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RotationFailure::Invalid(e) => write!(f, "batch validation failed: {e}"),
+            RotationFailure::Panicked(msg) => write!(f, "engine panicked applying batch: {msg}"),
+            RotationFailure::Journal(e) => write!(f, "journal failure: {e}"),
+        }
+    }
+}
+
+impl<U: std::fmt::Debug> std::fmt::Display for RotationError<U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rotation failed ({}); {} updates quarantined",
+            self.kind,
+            self.rejected.len()
+        )
+    }
+}
+
+impl<U: std::fmt::Debug> std::error::Error for RotationError<U> {}
+
+/// A failed submission: the journal refused the batch (or an injected
+/// crash fired), and the updates are handed back un-buffered.
+#[derive(Debug)]
+pub struct SubmitError<U> {
+    /// What went wrong in the journal.
+    pub error: JournalError,
+    /// The updates that were not accepted.
+    pub rejected: Vec<U>,
+}
+
+impl<U: std::fmt::Debug> std::fmt::Display for SubmitError<U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submit failed ({}); {} updates rejected",
+            self.error,
+            self.rejected.len()
+        )
+    }
+}
+
+impl<U: std::fmt::Debug> std::error::Error for SubmitError<U> {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The single writer: owns the live engine, buffers updates, rotates the
@@ -51,12 +153,18 @@ pub struct ServerStats {
 /// (any number, any threads) serve from published snapshots without ever
 /// blocking on this writer. To run the writer on its own thread, see
 /// [`EpochServer::spawn`].
+///
+/// A server built with [`EpochServer::with_journal`] additionally
+/// write-ahead journals every submitted batch; see the
+/// [`journal`](crate::journal) module docs for the durability contract.
 pub struct EpochServer<E: ServingEngine> {
     engine: E,
     publisher: Publisher<E::Snapshot>,
     pending: Vec<E::Update>,
     config: ServeConfig,
     stats: ServerStats,
+    journal: Option<Journal<E::Update>>,
+    faults: FaultPlan,
 }
 
 impl<E: ServingEngine> EpochServer<E> {
@@ -64,13 +172,12 @@ impl<E: ServingEngine> EpochServer<E> {
     /// snapshot.
     pub fn new(engine: E, config: ServeConfig) -> Self {
         let initial = engine.freeze(config.shards);
-        EpochServer {
+        EpochServer::assemble(
             engine,
-            publisher: Publisher::new(initial),
-            pending: Vec::new(),
+            Publisher::new(initial),
             config,
-            stats: ServerStats::default(),
-        }
+            ServerStats::default(),
+        )
     }
 
     /// Boots a server from an *already-frozen* snapshot (the warm-start
@@ -79,12 +186,28 @@ impl<E: ServingEngine> EpochServer<E> {
     /// snapshot is published as epoch 0 as-is — no re-freeze, no rebuild —
     /// so the first queries are served before the engine is even touched.
     pub fn warm_start(engine: E, initial: E::Snapshot, config: ServeConfig) -> Self {
+        EpochServer::assemble(
+            engine,
+            Publisher::new(initial),
+            config,
+            ServerStats::default(),
+        )
+    }
+
+    fn assemble(
+        engine: E,
+        publisher: Publisher<E::Snapshot>,
+        config: ServeConfig,
+        stats: ServerStats,
+    ) -> Self {
         EpochServer {
             engine,
-            publisher: Publisher::new(initial),
+            publisher,
             pending: Vec::new(),
             config,
-            stats: ServerStats::default(),
+            stats,
+            journal: None,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -96,8 +219,51 @@ impl<E: ServingEngine> EpochServer<E> {
 
     /// Queues updates for the next rotation. Nothing is applied — and
     /// nothing a reader can observe changes — until [`EpochServer::rotate`].
-    pub fn submit<I: IntoIterator<Item = E::Update>>(&mut self, updates: I) {
-        self.pending.extend(updates);
+    ///
+    /// On a journaled server the batch is appended to the write-ahead log
+    /// and fsynced *before* it enters the pending buffer: `Ok` means the
+    /// updates survive a crash. On error the updates come back in
+    /// [`SubmitError::rejected`], un-buffered. Without a journal this
+    /// never fails.
+    pub fn submit<I: IntoIterator<Item = E::Update>>(
+        &mut self,
+        updates: I,
+    ) -> Result<(), SubmitError<E::Update>> {
+        let batch: Vec<E::Update> = updates.into_iter().collect();
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.journal.is_some() {
+            if self.faults.fires(Failpoint::KillBeforeAppend) {
+                self.journal = None;
+                return Err(SubmitError {
+                    error: JournalError::InjectedCrash(Failpoint::KillBeforeAppend),
+                    rejected: batch,
+                });
+            }
+            let journal = self.journal.as_mut().expect("checked above");
+            match journal
+                .append_batch(&batch)
+                .and_then(|n| journal.sync().map(|()| n))
+            {
+                Ok(n) => self.stats.journal_bytes += n,
+                Err(error) => {
+                    return Err(SubmitError {
+                        error,
+                        rejected: batch,
+                    })
+                }
+            }
+            if self.faults.fires(Failpoint::KillAfterAppend) {
+                self.journal = None;
+                return Err(SubmitError {
+                    error: JournalError::InjectedCrash(Failpoint::KillAfterAppend),
+                    rejected: batch,
+                });
+            }
+        }
+        self.pending.extend(batch);
+        Ok(())
     }
 
     /// Updates waiting for the next rotation.
@@ -121,6 +287,31 @@ impl<E: ServingEngine> EpochServer<E> {
         &self.engine
     }
 
+    /// Whether a write-ahead journal is attached.
+    pub fn is_journaled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The attached journal's generation, if any.
+    pub fn journal_generation(&self) -> Option<u64> {
+        self.journal.as_ref().map(|j| j.generation())
+    }
+
+    /// Arms a deterministic crash schedule (see [`FaultPlan`]). Testing
+    /// hook: each armed failpoint simulates a process kill at its site.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Flushes and fsyncs the journal (no-op without one). Appends are
+    /// already synced individually; this exists for shutdown paths.
+    pub fn sync_journal(&mut self) -> Result<(), JournalError> {
+        match self.journal.as_mut() {
+            Some(j) => j.sync(),
+            None => Ok(()),
+        }
+    }
+
     /// Ends the current epoch: drains the pending buffer, applies it as
     /// one coalesced batch through the engine (off the read path — readers
     /// keep serving from published snapshots throughout), freezes the
@@ -128,20 +319,49 @@ impl<E: ServingEngine> EpochServer<E> {
     ///
     /// An empty pending buffer still rotates (publishing an identical
     /// snapshot under a new stamp) so callers can force epoch boundaries.
-    /// On a batch validation error nothing was applied; the faulty batch
-    /// is dropped and no snapshot is published.
-    pub fn rotate(&mut self) -> dspc_graph::Result<RotationReport> {
+    ///
+    /// On failure nothing is published and the drained batch is
+    /// *quarantined*: handed back in [`RotationError::rejected`] for the
+    /// caller to repair/requeue (on a journaled server a quarantine record
+    /// voids the batch so recovery will not replay it). Engine panics are
+    /// contained the same way — no panic propagates to readers or callers.
+    pub fn rotate(&mut self) -> Result<RotationReport, RotationError<E::Update>> {
         let batch = std::mem::take(&mut self.pending);
         let applied = if batch.is_empty() {
             None
         } else {
-            Some(self.engine.apply_batch(&batch)?)
+            let engine = &mut self.engine;
+            match catch_unwind(AssertUnwindSafe(|| engine.apply_batch(&batch))) {
+                Ok(Ok(stats)) => Some(stats),
+                Ok(Err(e)) => return Err(self.quarantine(batch, RotationFailure::Invalid(e))),
+                Err(payload) => {
+                    let kind = RotationFailure::Panicked(panic_message(payload));
+                    return Err(self.quarantine(batch, kind));
+                }
+            }
         };
         let epoch = self
             .publisher
             .publish(self.engine.freeze(self.config.shards));
         self.stats.rotations += 1;
         self.stats.updates_applied += batch.len() as u64;
+        if let Some(journal) = self.journal.as_mut() {
+            match journal
+                .append_epoch(epoch)
+                .and_then(|n| journal.sync().map(|()| n))
+            {
+                Ok(n) => self.stats.journal_bytes += n,
+                // The batch WAS applied and published; the marker is
+                // missing, so recovery would replay it against the last
+                // checkpoint — still exact relative to durable state.
+                Err(e) => {
+                    return Err(RotationError {
+                        kind: RotationFailure::Journal(e),
+                        rejected: Vec::new(),
+                    })
+                }
+            }
+        }
         Ok(RotationReport {
             epoch,
             batched_updates: batch.len(),
@@ -149,9 +369,188 @@ impl<E: ServingEngine> EpochServer<E> {
         })
     }
 
+    /// Books a failed rotation: counts it, voids the batch journal-side,
+    /// and wraps the rejected updates into the error.
+    fn quarantine(
+        &mut self,
+        batch: Vec<E::Update>,
+        kind: RotationFailure,
+    ) -> RotationError<E::Update> {
+        self.stats.rejected_updates += batch.len() as u64;
+        self.stats.quarantined_rotations += 1;
+        let kind = match self.journal.as_mut() {
+            Some(journal) => match journal
+                .append_quarantine()
+                .and_then(|n| journal.sync().map(|()| n))
+            {
+                Ok(n) => {
+                    self.stats.journal_bytes += n;
+                    kind
+                }
+                Err(e) => RotationFailure::Journal(e),
+            },
+            None => kind,
+        };
+        RotationError {
+            kind,
+            rejected: batch,
+        }
+    }
+
     /// Consumes the server, returning the live engine.
     pub fn into_engine(self) -> E {
         self.engine
+    }
+}
+
+impl<E: DurableEngine> EpochServer<E> {
+    /// Like [`EpochServer::new`], but with a write-ahead journal in `dir`:
+    /// the engine's state is checkpointed as generation 1 and every
+    /// subsequent [`EpochServer::submit`] is journaled before it is
+    /// buffered. Refuses a directory that already holds a journal — boot
+    /// that with [`EpochServer::recover`] instead.
+    pub fn with_journal(
+        engine: E,
+        config: ServeConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, JournalError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        if manifest_exists(dir) {
+            return Err(JournalError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "journal directory already initialized; use EpochServer::recover",
+            )));
+        }
+        let mut server = EpochServer::new(engine, config);
+        let state = server.engine.encode_state();
+        write_checkpoint_state(dir, 1, &state)?;
+        let header = CheckpointHeader {
+            generation: 1,
+            epoch: 0,
+            ..CheckpointHeader::default()
+        };
+        let (journal, bytes) = commit_checkpoint::<E::Update>(dir, &header, &[])?;
+        server.stats.journal_bytes += bytes;
+        server.journal = Some(journal);
+        Ok(server)
+    }
+
+    /// Snapshots the live engine as the next generation and truncates the
+    /// journal, crash-atomically: state file first, then a fresh WAL
+    /// carrying the still-pending batches, then the `MANIFEST` rename that
+    /// commits the switch, then best-effort cleanup of the old generation.
+    /// A crash at any point leaves a recoverable directory (see the
+    /// [`journal`](crate::journal) module docs). Returns the new
+    /// generation number.
+    pub fn checkpoint(&mut self) -> Result<u64, JournalError> {
+        let (dir, old_generation) = match self.journal.as_ref() {
+            Some(j) => (j.dir().to_path_buf(), j.generation()),
+            None => return Err(JournalError::NotJournaled),
+        };
+        let generation = old_generation + 1;
+        let state = self.engine.encode_state();
+        write_checkpoint_state(&dir, generation, &state)?;
+        if self.faults.fires(Failpoint::KillAfterStateFile) {
+            self.journal = None;
+            return Err(JournalError::InjectedCrash(Failpoint::KillAfterStateFile));
+        }
+        let header = CheckpointHeader {
+            generation,
+            epoch: self.epoch(),
+            rotations: self.stats.rotations,
+            updates_applied: self.stats.updates_applied,
+            rejected_updates: self.stats.rejected_updates,
+            quarantined_rotations: self.stats.quarantined_rotations,
+            replayed_batches: self.stats.replayed_batches,
+            journal_bytes: self.stats.journal_bytes,
+        };
+        let (journal, bytes) = commit_checkpoint(&dir, &header, &self.pending)?;
+        if self.faults.fires(Failpoint::KillAfterManifest) {
+            self.journal = None;
+            return Err(JournalError::InjectedCrash(Failpoint::KillAfterManifest));
+        }
+        self.stats.journal_bytes += bytes;
+        self.journal = Some(journal);
+        cleanup_generations(&dir, generation);
+        Ok(generation)
+    }
+
+    /// Boots a server from a journal directory after a crash: decodes the
+    /// checkpointed engine state, republishes it at the checkpoint epoch,
+    /// replays every committed WAL epoch exactly as the crashed server
+    /// rotated it (skipping quarantined batches, dropping a torn tail),
+    /// restores unapplied batches to the pending buffer, and reattaches
+    /// the journal for further appends. The recovered server is
+    /// bit-identical — answers and counters — to one that never crashed.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        config: ServeConfig,
+    ) -> Result<(Self, RecoveryReport), JournalError> {
+        let dir = dir.as_ref();
+        let (generation, epoch, state, wal) = load_generation(dir)?;
+        let engine = E::decode_state(&state)?;
+        let replay = parse_wal::<E::Update>(&wal)?;
+        if replay.header.generation != generation || replay.header.epoch != epoch {
+            return Err(JournalError::Corrupt {
+                section: "wal-header",
+                offset: 0,
+            });
+        }
+        let initial = engine.freeze(config.shards);
+        let stats = ServerStats {
+            rotations: replay.header.rotations,
+            updates_applied: replay.header.updates_applied,
+            rejected_updates: replay.header.rejected_updates + replay.quarantined_updates,
+            quarantined_rotations: replay.header.quarantined_rotations + replay.quarantine_events,
+            replayed_batches: replay.header.replayed_batches,
+            // The header counter predates this generation's WAL; the bytes
+            // of every acknowledged append since are exactly the WAL's
+            // valid length, so the restored counter matches a server that
+            // never crashed.
+            journal_bytes: replay.header.journal_bytes + replay.valid_len,
+        };
+        let mut server = EpochServer::assemble(
+            engine,
+            Publisher::starting_at(initial, epoch),
+            config,
+            stats,
+        );
+        let mut replayed_batches = 0u64;
+        let replayed_rotations = replay.epochs.len() as u64;
+        // Replay each committed epoch exactly as the crashed server
+        // rotated it: all of its batches into the pending buffer, one
+        // coalesced rotation. The journal is not attached yet, so replay
+        // does not re-append what the WAL already holds.
+        for group in replay.epochs {
+            for batch in group {
+                replayed_batches += 1;
+                server.pending.extend(batch);
+            }
+            server
+                .rotate()
+                .map_err(|e| JournalError::ReplayFailed(e.kind.to_string()))?;
+        }
+        let mut restored_pending_updates = 0usize;
+        for batch in replay.pending {
+            replayed_batches += 1;
+            restored_pending_updates += batch.len();
+            server.pending.extend(batch);
+        }
+        server.stats.replayed_batches += replayed_batches;
+        server.journal = Some(reattach_journal(dir, generation, replay.valid_len)?);
+        cleanup_generations(dir, generation);
+        let report = RecoveryReport {
+            generation,
+            checkpoint_epoch: epoch,
+            resumed_epoch: server.epoch(),
+            replayed_batches,
+            replayed_rotations,
+            restored_pending_updates,
+            quarantined_updates_skipped: replay.quarantined_updates,
+            dropped_tail_bytes: replay.dropped_tail_bytes,
+        };
+        Ok((server, report))
     }
 }
 
@@ -265,7 +664,9 @@ mod tests {
         let (e, before) = pinned.query(VertexId(0), VertexId(4));
         assert_eq!((e, before.as_option()), (0, Some((4, 1))));
 
-        server.submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(4))]);
+        server
+            .submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(4))])
+            .unwrap();
         let report = server.rotate().unwrap();
         assert_eq!(report.epoch, 1);
         assert_eq!(report.batched_updates, 1);
@@ -301,15 +702,40 @@ mod tests {
     }
 
     #[test]
-    fn invalid_batch_is_dropped_without_publishing() {
+    fn failed_rotation_quarantines_the_batch_without_publishing() {
         let mut server = server();
-        server.submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(1))]); // duplicate
-        assert!(server.rotate().is_err());
+        let good = GraphUpdate::InsertEdge(VertexId(0), VertexId(2));
+        // A duplicate insert poisons the batch; the good update queued
+        // behind it must come back too, not be destroyed.
+        server
+            .submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(1)), good])
+            .unwrap();
+        let err = server.rotate().unwrap_err();
+        assert!(matches!(err.kind, RotationFailure::Invalid(_)));
+        assert_eq!(err.rejected.len(), 2, "whole batch handed back");
         assert_eq!(server.epoch(), 0, "no snapshot published");
-        assert_eq!(server.pending_updates(), 0, "faulty batch dropped");
-        // The server keeps serving and rotating afterwards.
-        server.submit([GraphUpdate::InsertEdge(VertexId(0), VertexId(2))]);
-        assert_eq!(server.rotate().unwrap().epoch, 1);
+        assert_eq!(server.pending_updates(), 0, "batch moved into the error");
+        assert_eq!(server.stats().rejected_updates, 2);
+        assert_eq!(server.stats().quarantined_rotations, 1);
+
+        // The caller repairs the batch (drops the bad op) and requeues the
+        // good updates from the error — nothing was lost.
+        let repaired: Vec<GraphUpdate> = err
+            .rejected
+            .into_iter()
+            .filter(|u| *u != GraphUpdate::InsertEdge(VertexId(0), VertexId(1)))
+            .collect();
+        server.submit(repaired).unwrap();
+        let report = server.rotate().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.batched_updates, 1);
+        assert_eq!(
+            server
+                .engine()
+                .query_live(VertexId(0), VertexId(2))
+                .as_option(),
+            Some((1, 1))
+        );
     }
 
     #[test]

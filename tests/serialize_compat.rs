@@ -123,6 +123,64 @@ fn both_representations_round_trip_on_a_nontrivial_graph() {
     }
 }
 
+/// The v2 checksum footer: every single-byte corruption of a v2 file must
+/// fail loudly — never decode to a silently wrong index — and damage is
+/// attributed to the section whose checksum caught it.
+#[test]
+fn v2_corruption_always_fails_loudly() {
+    use dspc::serialize::CodecError;
+
+    let g = UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+    let flat = FlatIndex::freeze(&dspc::build_index(&g, OrderingStrategy::Degree));
+    let v2 = encode_flat(&flat);
+    const FOOTER_LEN: usize = 5 * 8 + 8; // five crc64s + trailing magic
+
+    // A truncated file fails loudly, whether the cut lands in the footer…
+    for cut in 1..FOOTER_LEN {
+        assert!(
+            decode_flat(&v2[..v2.len() - cut]).is_err(),
+            "file truncated by {cut} bytes must not decode"
+        );
+    }
+    // …or removes it entirely plus some of the counts column.
+    assert!(decode_flat(&v2[..v2.len() - FOOTER_LEN - 3]).is_err());
+
+    // Known positions blame the right section: byte 20 is the first rank
+    // permutation entry (header section), the byte just before the footer
+    // is the last count (counts section).
+    let mut bad = v2.to_vec();
+    bad[20] ^= 0x01;
+    assert_eq!(decode_flat(&bad), Err(CodecError::Corrupt("header")));
+    let mut bad = v2.to_vec();
+    bad[v2.len() - FOOTER_LEN - 1] ^= 0x80;
+    assert_eq!(decode_flat(&bad), Err(CodecError::Corrupt("counts")));
+    // Damage to the footer itself (its magic included) is still an error —
+    // a bit-flipped marker must not demote the file to unchecked parsing.
+    let mut bad = v2.to_vec();
+    bad[v2.len() - 1] ^= 0x01;
+    assert_eq!(decode_flat(&bad), Err(CodecError::Corrupt("footer")));
+
+    // Exhaustive: flipping any single bit anywhere in the file fails.
+    for at in 0..v2.len() {
+        let mut bad = v2.to_vec();
+        bad[at] ^= 0x04;
+        assert!(
+            decode_flat(&bad).is_err(),
+            "bit flip at byte {at} decoded silently"
+        );
+    }
+
+    // Compatibility floor: a footer-less v2 file (written before checksums
+    // existed) still decodes, bit-identical to the checksummed one.
+    let legacy = &v2[..v2.len() - FOOTER_LEN];
+    let decoded = decode_flat(legacy).expect("footer-less v2 stays decodable");
+    for s in g.vertices() {
+        for t in g.vertices() {
+            assert_eq!(decoded.query(s, t), flat.query(s, t));
+        }
+    }
+}
+
 /// Warm start: `save_flat` → boot an `EpochServer` straight from the file
 /// (the loaded columns are published as epoch 0 as-is, and the live engine
 /// is reconstructed via `thaw` + `DynamicSpc::from_parts`) → the server
@@ -184,8 +242,8 @@ fn warm_start_server_matches_live_built_server() {
         GraphUpdate::DeleteEdge(da, db),
         GraphUpdate::InsertEdge(ia, ib),
     ];
-    warm.submit(batch.clone());
-    live.submit(batch);
+    warm.submit(batch.clone()).expect("unjournaled submit");
+    live.submit(batch).expect("unjournaled submit");
     warm.rotate().expect("valid batch");
     live.rotate().expect("valid batch");
     assert_eq!(warm_reader.refresh(), 1);

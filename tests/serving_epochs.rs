@@ -92,6 +92,7 @@ fn run_harness<E, G, O>(
     key: impl Fn(<E::Snapshot as ServingSnapshot>::Answer) -> O::Key + Copy + Send + Sync,
 ) where
     E: ServingEngine,
+    E::Update: std::fmt::Debug,
     G: Sync,
     O: EpochOracle<G>,
 {
@@ -155,7 +156,9 @@ fn run_harness<E, G, O>(
             .collect();
 
         for batch in batches {
-            handle.submit(batch.clone());
+            handle
+                .submit(batch.clone())
+                .expect("writer thread is alive");
             let report = handle.rotate().expect("scripted batch is valid");
             assert_eq!(report.batched_updates, batch.len());
             std::thread::yield_now();
@@ -168,7 +171,7 @@ fn run_harness<E, G, O>(
         );
     });
 
-    let server = handle.shutdown();
+    let server = handle.shutdown().expect("writer thread exits cleanly");
     assert_eq!(server.epoch(), total_epochs);
     assert_eq!(server.stats().rotations, total_epochs);
     assert_eq!(server.stats().updates_applied, total_updates);

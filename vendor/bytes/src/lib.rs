@@ -90,6 +90,20 @@ impl BufMut for BytesMut {
     }
 }
 
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
 /// Little-endian consuming reads. Implemented for `&[u8]`, advancing the
 /// slice binding itself (as upstream `bytes` does).
 pub trait Buf {
