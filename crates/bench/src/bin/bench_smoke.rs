@@ -69,6 +69,8 @@ fn absorb(report: &mut BTreeMap<String, u64>, stats: &UpdateStats) {
     };
     add(report, "total_sweeps", stats.total_sweeps());
     add(report, "classify_sweeps", stats.classify_sweeps);
+    add(report, "multi_far_sweeps", stats.multi_far_sweeps);
+    add(report, "agenda_hubs", stats.agenda_hubs);
     add(report, "hubs_processed", stats.hubs_processed);
     add(report, "total_ops", stats.total_ops());
     add(report, "renew_count", stats.renew_count);
@@ -390,22 +392,31 @@ fn main() {
             } else {
                 (now as f64 - base as f64) / base as f64 * 100.0
             };
-            // Gated counters: maintenance work (total_sweeps), query
-            // kernel work (merge_steps), recovery coverage
-            // (recover_replayed_batches), and journal write amplification
-            // (journal_bytes_per_update). Everything else is informational.
+            // Gated counters: maintenance work (total_sweeps), shared-far
+            // classification drift (multi_far_sweeps), query kernel work
+            // (merge_steps), recovery coverage (recover_replayed_batches),
+            // and journal write amplification (journal_bytes_per_update).
+            // Everything else is informational.
             let gate = key == "total_sweeps"
+                || key == "multi_far_sweeps"
                 || key == "merge_steps"
                 || key == "recover_replayed_batches"
                 || key == "journal_bytes_per_update";
-            let verdict = if gate && delta > threshold {
+            // max_wave_width gates in the opposite direction: it is a max
+            // over epochs (rotation-agnostic by construction) and the
+            // regression is the wave schedule LOSING width — disjoint
+            // residual components that used to repair side by side
+            // serializing into narrow waves.
+            let width_gate = key == "max_wave_width";
+            let effective = if width_gate { -delta } else { delta };
+            let verdict = if (gate || width_gate) && effective > threshold {
                 failed = true;
                 "FAIL"
-            } else if gate && delta < -threshold {
+            } else if (gate || width_gate) && effective < -threshold {
                 // An improvement beyond the threshold silently widens the
                 // slack future regressions hide in — demand a refresh.
                 "IMPROVED — refresh BENCH_baseline.json to lock it in"
-            } else if gate {
+            } else if gate || width_gate {
                 "gate"
             } else {
                 "info"

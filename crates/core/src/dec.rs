@@ -33,81 +33,22 @@
 //! anywhere uses as a hub (tracked exactly by the index's hub-entry
 //! counts).
 
-use crate::engine::{OpCounters, RepairAgenda, UndirectedTopo, UpdateEngine, REPAIR_PRIMARY};
+use crate::engine::{
+    aggregate_far_columns, build_endpoint_tasks, FarAggregator, FarColumn, MaintenanceCounters,
+    RepairAgenda, UndirectedTopo, UpdateEngine, REPAIR_PRIMARY,
+};
 use crate::index::SpcIndex;
 use crate::label::Rank;
+use crate::parallel::{ClassifyMode, MaintenanceOptions, MaintenanceThreads};
 use crate::query::HubProbe;
 use dspc_graph::{UndirectedGraph, VertexId};
 
-/// Per-update label-operation counters (Figure 9's RenewC / RenewD /
-/// Insert / Remove series).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DecStats {
-    /// Labels whose count changed but distance did not (RenewC).
-    pub renew_count: usize,
-    /// Labels whose distance changed (RenewD).
-    pub renew_dist: usize,
-    /// Newly inserted labels (Insert).
-    pub inserted: usize,
-    /// Removed labels (Remove).
-    pub removed: usize,
-    /// Affected hubs processed (|SR|; one per `DecUPDATE` sweep).
-    pub hubs_processed: usize,
-    /// `SrrSEARCH` classification sweeps performed.
-    pub classify_sweeps: usize,
-    /// Total vertices dequeued across all update BFSs.
-    pub vertices_visited: usize,
-    /// Repair waves executed by the parallel scheduler (0 when the
-    /// sequential path ran).
-    pub waves: usize,
-    /// Width of the widest scheduled wave (0 when the sequential path
-    /// ran).
-    pub max_wave_width: usize,
-    /// Whether the isolated-vertex fast path handled the update.
-    pub isolated_fast_path: bool,
-}
-
-impl DecStats {
-    /// Total label operations.
-    pub fn total_ops(&self) -> usize {
-        self.renew_count + self.renew_dist + self.inserted + self.removed
-    }
-
-    /// Total engine sweeps (classification + repair).
-    pub fn total_sweeps(&self) -> usize {
-        self.classify_sweeps + self.hubs_processed
-    }
-
-    /// Merges counters (for streams).
-    pub fn absorb(&mut self, other: &DecStats) {
-        self.renew_count += other.renew_count;
-        self.renew_dist += other.renew_dist;
-        self.inserted += other.inserted;
-        self.removed += other.removed;
-        self.hubs_processed += other.hubs_processed;
-        self.classify_sweeps += other.classify_sweeps;
-        self.vertices_visited += other.vertices_visited;
-        self.waves += other.waves;
-        self.max_wave_width = self.max_wave_width.max(other.max_wave_width);
-    }
-}
-
-impl From<OpCounters> for DecStats {
-    fn from(c: OpCounters) -> Self {
-        DecStats {
-            renew_count: c.renew_count,
-            renew_dist: c.renew_dist,
-            inserted: c.inserted,
-            removed: c.removed,
-            hubs_processed: c.hubs_processed,
-            classify_sweeps: c.classify_sweeps,
-            vertices_visited: c.vertices_visited,
-            waves: c.waves,
-            max_wave_width: c.max_wave_width,
-            isolated_fast_path: false,
-        }
-    }
-}
+/// Former name of the deletion driver's counter block — now the unified
+/// [`MaintenanceCounters`] (the `isolated_fast_path` flag lives there).
+#[deprecated(
+    note = "renamed to `MaintenanceCounters` (one counter type across engine, drivers, and facades)"
+)]
+pub type DecStats = MaintenanceCounters;
 
 /// The affected-vertex sets computed by `SrrSEARCH` — Table 5 reports their
 /// cardinalities.
@@ -148,7 +89,11 @@ pub enum DecMode {
 pub struct DecSpc {
     engine: UpdateEngine<u32>,
     probe: HubProbe,
+    /// Probe pool for multi-far classification (one probe per pinned far
+    /// of the widest task seen), grown on demand.
+    probes: Vec<HubProbe>,
     agenda: RepairAgenda,
+    agg: FarAggregator,
 }
 
 impl DecSpc {
@@ -157,7 +102,9 @@ impl DecSpc {
         DecSpc {
             engine: UpdateEngine::new(capacity),
             probe: HubProbe::new(capacity),
+            probes: Vec::new(),
             agenda: RepairAgenda::new(capacity),
+            agg: FarAggregator::new(capacity),
         }
     }
 
@@ -172,7 +119,7 @@ impl DecSpc {
         index: &mut SpcIndex,
         a: VertexId,
         b: VertexId,
-    ) -> dspc_graph::Result<(DecStats, SrrOutcome)> {
+    ) -> dspc_graph::Result<(MaintenanceCounters, SrrOutcome)> {
         self.delete_edge_with_mode(g, index, a, b, DecMode::SrOnly)
     }
 
@@ -184,7 +131,7 @@ impl DecSpc {
         a: VertexId,
         b: VertexId,
         mode: DecMode,
-    ) -> dspc_graph::Result<(DecStats, SrrOutcome)> {
+    ) -> dspc_graph::Result<(MaintenanceCounters, SrrOutcome)> {
         if !g.has_edge(a, b) {
             return Err(dspc_graph::GraphError::MissingEdge(a, b));
         }
@@ -206,17 +153,17 @@ impl DecSpc {
                 && index.hub_entry_count(index.rank(x)) == 1
             {
                 g.delete_edge(a, b)?;
-                let stats = DecStats {
+                let stats = MaintenanceCounters {
                     removed: index.reset_vertex_to_self(x),
                     isolated_fast_path: true,
-                    ..DecStats::default()
+                    ..MaintenanceCounters::default()
                 };
                 return Ok((stats, SrrOutcome::default()));
             }
         }
 
         // Phase 1 — SrrSEARCH on G_i (edge still present).
-        let mut stats = OpCounters::default();
+        let mut stats = MaintenanceCounters::default();
         let srr = {
             let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
             let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1, &mut stats);
@@ -262,7 +209,39 @@ impl DecSpc {
         }
 
         self.engine.clear_marks();
-        Ok((DecStats::from(stats), srr))
+        Ok((stats, srr))
+    }
+
+    /// Multi-edge `SrrSEARCH` repair (the batch generalization of
+    /// Algorithm 4), sequential. Equivalent to [`DecSpc::delete_edges_with`]
+    /// with [`MaintenanceOptions::sequential`].
+    #[deprecated(note = "use `delete_edges_with` with `MaintenanceOptions::sequential()`")]
+    pub fn delete_edges(
+        &mut self,
+        g: &mut UndirectedGraph,
+        index: &mut SpcIndex,
+        edges: &[(VertexId, VertexId)],
+    ) -> dspc_graph::Result<MaintenanceCounters> {
+        self.delete_edges_with(g, index, edges, &MaintenanceOptions::sequential())
+    }
+
+    /// Multi-edge deletion with an explicit thread budget. Equivalent to
+    /// [`DecSpc::delete_edges_with`] with
+    /// [`MaintenanceOptions::with_threads`].
+    #[deprecated(note = "use `delete_edges_with` with `MaintenanceOptions::with_threads(..)`")]
+    pub fn delete_edges_with_threads(
+        &mut self,
+        g: &mut UndirectedGraph,
+        index: &mut SpcIndex,
+        edges: &[(VertexId, VertexId)],
+        threads: usize,
+    ) -> dspc_graph::Result<MaintenanceCounters> {
+        self.delete_edges_with(
+            g,
+            index,
+            edges,
+            &MaintenanceOptions::with_threads(MaintenanceThreads::Fixed(threads)),
+        )
     }
 
     /// Multi-edge `SrrSEARCH` repair (the batch generalization of
@@ -270,14 +249,30 @@ impl DecSpc {
     /// `index` with **one** `DecUPDATE` sweep per distinct affected hub,
     /// instead of one per edge per hub.
     ///
-    /// Phase 1 classifies each edge on the *group-pre* graph (all of
-    /// `edges` still present); the mutation then removes the whole set;
-    /// phase 2 sweeps each hub of `⋃ SR` (descending rank, deduplicated)
-    /// against the residual graph, so every repaired label is RenewC/RenewD
-    /// relative to the graph with the *entire* deleted set absent. The
-    /// receiver/removal candidate list is the union of every classified
-    /// vertex — a superset of each edge's opposite side, safe under the
-    /// unconditional removal pass (see [`crate::engine`] module docs).
+    /// Phase 1 classifies the whole set on the *group-pre* graph (all of
+    /// `edges` still present). Under the default
+    /// [`ClassifyMode::MultiFar`] this costs **one**
+    /// [`UpdateEngine::multi_far_pass`] sweep per *distinct endpoint* of
+    /// the set (not two per edge), with per-far count columns summed per
+    /// shared far endpoint — which also fixes the mixed-frontier
+    /// condition-**B** undercount the legacy per-edge comparison suffers
+    /// when several doomed edges share a far endpoint. The mutation then
+    /// removes the whole set; phase 2 sweeps each hub of `⋃ SR`
+    /// (descending rank, deduplicated) against the residual graph, so
+    /// every repaired label is RenewC/RenewD relative to the graph with
+    /// the *entire* deleted set absent. The receiver/removal candidate
+    /// list is the union of every classified vertex — a superset of each
+    /// edge's opposite side, safe under the unconditional removal pass
+    /// (see [`crate::engine`] module docs).
+    ///
+    /// A thread budget above 1 classifies endpoint tasks in parallel
+    /// (read-only on the pre-mutation graph) and runs the repair sweeps
+    /// as rank-independent waves on a persistent worker pool
+    /// ([`crate::engine::parallel::run_wave_pool`]). Results are
+    /// deterministic: the repaired index, query answers, and
+    /// label-operation counters are identical at every thread count —
+    /// only the `waves` / `max_wave_width` / `interference_probes` /
+    /// `steal_events` schedule counters distinguish the parallel path.
     ///
     /// Edges eligible for the §3.2.3 isolated-vertex fast path (a pendant
     /// endpoint no label uses as a hub) are peeled off the group first and
@@ -287,32 +282,15 @@ impl DecSpc {
     ///
     /// All edges are validated present (and pairwise distinct) before the
     /// first mutation; on error nothing is applied.
-    pub fn delete_edges(
+    pub fn delete_edges_with(
         &mut self,
         g: &mut UndirectedGraph,
         index: &mut SpcIndex,
         edges: &[(VertexId, VertexId)],
-    ) -> dspc_graph::Result<DecStats> {
-        self.delete_edges_with_threads(g, index, edges, 1)
-    }
-
-    /// [`DecSpc::delete_edges`] with an explicit maintenance thread
-    /// budget. `threads <= 1` is the sequential path exactly; larger
-    /// budgets classify the group's edges in parallel (read-only on the
-    /// pre-mutation graph) and run the repair sweeps as rank-independent
-    /// waves ([`crate::engine::parallel`]). Results are deterministic: the
-    /// repaired index, query answers, and label-operation counters are
-    /// identical at every thread count — only the `waves` /
-    /// `max_wave_width` schedule counters distinguish the parallel path.
-    pub fn delete_edges_with_threads(
-        &mut self,
-        g: &mut UndirectedGraph,
-        index: &mut SpcIndex,
-        edges: &[(VertexId, VertexId)],
-        threads: usize,
-    ) -> dspc_graph::Result<DecStats> {
+        options: &MaintenanceOptions,
+    ) -> dspc_graph::Result<MaintenanceCounters> {
         match edges {
-            [] => return Ok(DecStats::default()),
+            [] => return Ok(MaintenanceCounters::default()),
             &[(a, b)] => return self.delete_edge(g, index, a, b).map(|(s, _)| s),
             _ => {}
         }
@@ -333,7 +311,7 @@ impl DecSpc {
         // Peel fast-path-eligible edges off the group (checked against the
         // evolving graph, since each peeled deletion can strand the next
         // pendant).
-        let mut total = DecStats::default();
+        let mut total = MaintenanceCounters::default();
         let mut group: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len());
         for &(a, b) in edges {
             let eligible = [a, b].into_iter().any(|x| {
@@ -342,7 +320,6 @@ impl DecSpc {
             });
             if eligible {
                 let (s, _) = self.delete_edge(g, index, a, b)?;
-                total.isolated_fast_path |= s.isolated_fast_path;
                 total.absorb(&s);
             } else {
                 group.push((a, b));
@@ -352,7 +329,6 @@ impl DecSpc {
             [] => return Ok(total),
             [(a, b)] => {
                 let (s, _) = self.delete_edge(g, index, a, b)?;
-                total.isolated_fast_path |= s.isolated_fast_path;
                 total.absorb(&s);
                 return Ok(total);
             }
@@ -361,19 +337,57 @@ impl DecSpc {
 
         self.engine.ensure_capacity(g.capacity());
         self.agenda.ensure_capacity(g.capacity());
-        let mut stats = OpCounters::default();
+        self.agg.ensure_capacity(g.capacity());
+        let threads = options.threads.resolve();
+        let mut stats = MaintenanceCounters::default();
 
         if threads <= 1 {
-            // Phase 1 — per-edge SrrSEARCH on the group-pre graph, outcomes
+            // Phase 1 — classification on the group-pre graph, outcomes
             // merged into the shared agenda.
-            for &(a, b) in &group {
-                let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
-                let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1, &mut stats);
-                let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1, &mut stats);
-                self.agenda
-                    .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
-                self.agenda
-                    .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
+            match options.classify {
+                ClassifyMode::PerEdge => {
+                    for &(a, b) in &group {
+                        let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
+                        let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1, &mut stats);
+                        let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1, &mut stats);
+                        self.agenda
+                            .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
+                        self.agenda
+                            .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
+                    }
+                }
+                ClassifyMode::MultiFar => {
+                    let tasks = build_endpoint_tasks(
+                        group.iter().flat_map(|&(a, b)| [(a, b, 1u32), (b, a, 1)]),
+                    );
+                    let mut columns: Vec<FarColumn> = Vec::new();
+                    {
+                        use crate::engine::FrozenUndirected;
+                        let (g_ref, index_ref): (&UndirectedGraph, &SpcIndex) = (g, index);
+                        let engine = &mut self.engine;
+                        let probes = &mut self.probes;
+                        for task in &tasks {
+                            while probes.len() < task.fars.len() {
+                                probes.push(HubProbe::new(g_ref.capacity()));
+                            }
+                            let mut views: Vec<FrozenUndirected> = probes[..task.fars.len()]
+                                .iter_mut()
+                                .map(|p| FrozenUndirected::new(g_ref, index_ref, p))
+                                .collect();
+                            columns.extend(
+                                engine
+                                    .multi_far_pass(&mut views, task.near, &task.fars, &mut stats),
+                            );
+                        }
+                    }
+                    aggregate_far_columns(
+                        &mut self.agg,
+                        &columns,
+                        &mut self.agenda,
+                        REPAIR_PRIMARY,
+                        |v| index.rank(v),
+                    );
+                }
             }
             self.engine
                 .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
@@ -384,7 +398,9 @@ impl DecSpc {
             }
 
             // Phase 2 — one sweep per distinct hub on the residual graph.
-            for (h_rank, _) in self.agenda.take_hubs() {
+            let hubs = self.agenda.take_hubs();
+            stats.agenda_hubs += hubs.len();
+            for (h_rank, _) in hubs {
                 let h = index.vertex(h_rank);
                 stats.hubs_processed += 1;
                 let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
@@ -399,66 +415,110 @@ impl DecSpc {
 
             self.engine.clear_marks();
         } else {
-            self.delete_group_parallel(g, index, &group, threads, &mut stats)?;
+            self.delete_group_parallel(g, index, &group, threads, options.classify, &mut stats)?;
         }
         self.agenda.clear();
-        total.absorb(&DecStats::from(stats));
+        total.absorb(&stats);
         Ok(total)
     }
 
     /// The wave-parallel twin of the sequential group body: classification
-    /// fans out over the group's edges (read-only on the pre-mutation
-    /// graph and index), the whole set is deleted, and the deduplicated
-    /// hub agenda runs as rank-independent waves of frozen sweeps whose
-    /// buffered label writes commit at each wave boundary.
+    /// fans out over the group's endpoint tasks (read-only on the
+    /// pre-mutation graph and index), the whole set is deleted, and the
+    /// deduplicated hub agenda runs as rank-independent waves of frozen
+    /// sweeps on a persistent worker pool, with buffered label writes
+    /// committed at each wave boundary.
     fn delete_group_parallel(
         &mut self,
         g: &mut UndirectedGraph,
         index: &mut SpcIndex,
         group: &[(VertexId, VertexId)],
         threads: usize,
-        stats: &mut OpCounters,
+        classify: ClassifyMode,
+        stats: &mut MaintenanceCounters,
     ) -> dspc_graph::Result<()> {
         use crate::engine::parallel::{
-            components_from_edges, frozen_dec_sweep, note_schedule, plan_waves, Buffered,
-            Interference, LabelWriteLog, WorkerScratch,
+            agenda_components, frozen_dec_sweep, note_schedule, plan_waves, run_wave_pool,
+            Buffered, Interference, LabelWriteLog, WorkerScratch,
         };
         use crate::engine::FrozenUndirected;
 
         let cap = g.capacity();
 
-        // Phase 1 — parallel per-edge SrrSEARCH on the group-pre graph.
-        let outcomes = {
-            let (g_ref, index_ref): (&UndirectedGraph, &SpcIndex) = (g, index);
-            crate::parallel::fan_out(
-                group,
-                threads,
-                || {
-                    (
-                        UpdateEngine::<u32>::new(cap),
-                        HubProbe::new(cap),
-                        LabelWriteLog::<u32>::new(),
+        // Phase 1 — parallel classification on the group-pre graph, merged
+        // in task order so the agenda and counters end up exactly as the
+        // sequential classification would have left them.
+        match classify {
+            ClassifyMode::PerEdge => {
+                let outcomes = {
+                    let (g_ref, index_ref): (&UndirectedGraph, &SpcIndex) = (g, index);
+                    crate::parallel::fan_out(
+                        group,
+                        threads,
+                        || {
+                            (
+                                UpdateEngine::<u32>::new(cap),
+                                HubProbe::new(cap),
+                                LabelWriteLog::<u32>::new(),
+                            )
+                        },
+                        |(engine, probe, log), &(a, b)| {
+                            let mut c = MaintenanceCounters::default();
+                            let mut topo =
+                                Buffered::new(FrozenUndirected::new(g_ref, index_ref, probe), log);
+                            let (sr_a, r_a) = engine.srr_pass(&mut topo, a, b, 1, &mut c);
+                            let (sr_b, r_b) = engine.srr_pass(&mut topo, b, a, 1, &mut c);
+                            debug_assert!(log.is_empty(), "classification never writes");
+                            (sr_a, r_a, sr_b, r_b, c)
+                        },
                     )
-                },
-                |(engine, probe, log), &(a, b)| {
-                    let mut c = OpCounters::default();
-                    let mut topo =
-                        Buffered::new(FrozenUndirected::new(g_ref, index_ref, probe), log);
-                    let (sr_a, r_a) = engine.srr_pass(&mut topo, a, b, 1, &mut c);
-                    let (sr_b, r_b) = engine.srr_pass(&mut topo, b, a, 1, &mut c);
-                    debug_assert!(log.is_empty(), "classification never writes");
-                    (sr_a, r_a, sr_b, r_b, c)
-                },
-            )
-        };
-        // Merge in edge order — the agenda and counters end up exactly as
-        // the sequential classification loop would have left them.
-        for (sr_a, r_a, sr_b, r_b, c) in &outcomes {
-            stats.absorb(c);
-            self.agenda
-                .note_side(sr_a, r_a, REPAIR_PRIMARY, |v| index.rank(v));
-            self.agenda
-                .note_side(sr_b, r_b, REPAIR_PRIMARY, |v| index.rank(v));
+                };
+                for (sr_a, r_a, sr_b, r_b, c) in &outcomes {
+                    stats.absorb(c);
+                    self.agenda
+                        .note_side(sr_a, r_a, REPAIR_PRIMARY, |v| index.rank(v));
+                    self.agenda
+                        .note_side(sr_b, r_b, REPAIR_PRIMARY, |v| index.rank(v));
+                }
+            }
+            ClassifyMode::MultiFar => {
+                let tasks = build_endpoint_tasks(
+                    group.iter().flat_map(|&(a, b)| [(a, b, 1u32), (b, a, 1)]),
+                );
+                let outcomes = {
+                    let (g_ref, index_ref): (&UndirectedGraph, &SpcIndex) = (g, index);
+                    crate::parallel::fan_out(
+                        &tasks,
+                        threads,
+                        || (UpdateEngine::<u32>::new(cap), Vec::<HubProbe>::new()),
+                        |(engine, probes), task| {
+                            while probes.len() < task.fars.len() {
+                                probes.push(HubProbe::new(cap));
+                            }
+                            let mut c = MaintenanceCounters::default();
+                            let mut views: Vec<FrozenUndirected> = probes[..task.fars.len()]
+                                .iter_mut()
+                                .map(|p| FrozenUndirected::new(g_ref, index_ref, p))
+                                .collect();
+                            let cols =
+                                engine.multi_far_pass(&mut views, task.near, &task.fars, &mut c);
+                            (cols, c)
+                        },
+                    )
+                };
+                let mut columns: Vec<FarColumn> = Vec::new();
+                for (cols, c) in outcomes {
+                    stats.absorb(&c);
+                    columns.extend(cols);
+                }
+                aggregate_far_columns(
+                    &mut self.agg,
+                    &columns,
+                    &mut self.agenda,
+                    REPAIR_PRIMARY,
+                    |v| index.rank(v),
+                );
+            }
         }
 
         // Phase boundary — G_{i+1} ← G_i ⊖ group (the whole set at once).
@@ -467,14 +527,28 @@ impl DecSpc {
         }
 
         // Phase 2 — wave-scheduled repair on the residual graph. The
-        // interference model (a full-graph union-find) is only worth
-        // building when the agenda could actually share a wave.
+        // interference model is only worth building when the agenda could
+        // actually share a wave; its component labeling is a bounded BFS
+        // seeded at the agenda's hubs and receivers, so untouched residual
+        // components cost nothing.
         let hubs = self.agenda.take_hubs();
+        stats.agenda_hubs += hubs.len();
         let receivers = self.agenda.receivers();
         let schedule = if hubs.len() < 2 {
             plan_waves(hubs.len(), |_, _| false)
         } else {
-            let comp = components_from_edges(cap, g.edges().map(|(a, b)| (a.0, b.0)));
+            let (comp, probes) = agenda_components(
+                cap,
+                hubs.iter()
+                    .map(|&(r, _)| index.vertex(r))
+                    .chain(receivers.iter().copied()),
+                |v, f| {
+                    for &w in g.neighbors(VertexId(v)) {
+                        f(w);
+                    }
+                },
+            );
+            stats.interference_probes += probes;
             let inter = Interference::build(
                 &comp,
                 &hubs,
@@ -489,41 +563,49 @@ impl DecSpc {
             plan_waves(hubs.len(), |i, j| inter.conflicts(i, j))
         };
         note_schedule(stats, &schedule);
-        for wave in schedule.iter() {
-            let items: Vec<Rank> = wave.iter().map(|&i| hubs[i].0).collect();
-            let results = {
-                let (g_ref, index_ref): (&UndirectedGraph, &SpcIndex) = (g, index);
-                crate::parallel::fan_out(
-                    &items,
-                    threads,
-                    || WorkerScratch::for_group(cap, receivers, HubProbe::new(cap)),
-                    |scratch, &h_rank| {
-                        frozen_dec_sweep(
-                            &mut scratch.engine,
-                            FrozenUndirected::new(g_ref, index_ref, &mut scratch.probe),
-                            index_ref.vertex(h_rank),
-                            receivers,
-                        )
-                    },
+        let items: Vec<Rank> = hubs.iter().map(|&(r, _)| r).collect();
+        let waves: Vec<&[usize]> = schedule.iter().collect();
+        let g_ref: &UndirectedGraph = g;
+        let index_lock = std::sync::RwLock::new(&mut *index);
+        let steals = run_wave_pool(
+            threads,
+            &items,
+            &waves,
+            || WorkerScratch::for_group(cap, receivers, HubProbe::new(cap)),
+            |scratch, &h_rank| {
+                // A shared read lock per sweep: writes only ever happen in
+                // the commit closure below, between waves, when every
+                // worker is parked at the pool barrier.
+                let guard = index_lock.read().unwrap();
+                let index: &SpcIndex = &guard;
+                frozen_dec_sweep(
+                    &mut scratch.engine,
+                    FrozenUndirected::new(g_ref, index, &mut scratch.probe),
+                    index.vertex(h_rank),
+                    receivers,
                 )
-            };
-            // Commit in rank order. Distinct hubs write distinct label
-            // rows, so the order only matters for matching the sequential
-            // counter accumulation.
-            for (mut log, c) in results {
-                stats.absorb(&c);
-                for (v, hub, op) in log.drain() {
-                    match op {
-                        Some((d, cnt)) => {
-                            index.upsert_entry(v, crate::label::LabelEntry::new(hub, d, cnt));
-                        }
-                        None => {
-                            index.remove_entry(v, hub);
+            },
+            |results| {
+                // Commit in rank order. Distinct hubs write distinct label
+                // rows, so the order only matters for matching the
+                // sequential counter accumulation.
+                let mut guard = index_lock.write().unwrap();
+                for (mut log, c) in results {
+                    stats.absorb(&c);
+                    for (v, hub, op) in log.drain() {
+                        match op {
+                            Some((d, cnt)) => {
+                                guard.upsert_entry(v, crate::label::LabelEntry::new(hub, d, cnt));
+                            }
+                            None => {
+                                guard.remove_entry(v, hub);
+                            }
                         }
                     }
                 }
-            }
-        }
+            },
+        );
+        stats.steal_events += steals;
         Ok(())
     }
 
@@ -542,7 +624,7 @@ impl DecSpc {
         b: VertexId,
     ) -> SrrOutcome {
         self.engine.ensure_capacity(g.capacity());
-        let mut stats = OpCounters::default();
+        let mut stats = MaintenanceCounters::default();
         let mut topo = UndirectedTopo::new(g, index, &mut self.probe);
         let (sr_a, r_a) = self.engine.srr_pass(&mut topo, a, b, 1, &mut stats);
         let (sr_b, r_b) = self.engine.srr_pass(&mut topo, b, a, 1, &mut stats);
@@ -573,7 +655,7 @@ mod tests {
         engine: &mut DecSpc,
         a: u32,
         b: u32,
-    ) -> (DecStats, SrrOutcome) {
+    ) -> (MaintenanceCounters, SrrOutcome) {
         let out = engine
             .delete_edge(g, index, VertexId(a), VertexId(b))
             .unwrap();

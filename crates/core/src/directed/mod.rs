@@ -21,7 +21,7 @@ use crate::dynamic::{UpdateKind, UpdateStats};
 use crate::engine::EdgeCoalescer;
 use crate::label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
 use crate::order::OrderingStrategy;
-use crate::parallel::MaintenanceThreads;
+use crate::parallel::{AgendaScope, MaintenanceOptions, MaintenanceThreads};
 use crate::query::QueryResult;
 use dspc_graph::{DirectedGraph, VertexId};
 use serde::{Deserialize, Serialize};
@@ -327,8 +327,8 @@ impl DynamicDirectedSpc {
     }
 
     /// Sets the worker-thread budget for intra-batch repair
-    /// ([`DynamicDirectedSpc::delete_arcs`] and the deletion groups of
-    /// [`DynamicDirectedSpc::apply_batch`]). Every thread count produces
+    /// ([`DynamicDirectedSpc::delete_arcs_with`] and the deletion segments
+    /// of [`DynamicDirectedSpc::apply_batch`]). Every thread count produces
     /// the same index, queries, and counters.
     pub fn set_maintenance_threads(&mut self, threads: MaintenanceThreads) {
         self.maintenance_threads = threads;
@@ -337,6 +337,14 @@ impl DynamicDirectedSpc {
     /// The configured maintenance thread budget.
     pub fn maintenance_threads(&self) -> MaintenanceThreads {
         self.maintenance_threads
+    }
+
+    /// The default [`MaintenanceOptions`] this facade applies batches
+    /// with; pass a modified copy to
+    /// [`DynamicDirectedSpc::apply_batch_with`] /
+    /// [`DynamicDirectedSpc::delete_arcs_with`] to override per call.
+    pub fn maintenance_options(&self) -> MaintenanceOptions {
+        MaintenanceOptions::with_threads(self.maintenance_threads)
     }
 
     /// The underlying graph.
@@ -371,21 +379,30 @@ impl DynamicDirectedSpc {
         Ok(UpdateStats::from_counters(UpdateKind::DeleteEdge, c))
     }
 
-    /// Deletes a *set* of arcs as one epoch through the multi-arc
-    /// `SrrSEARCH` repair path ([`DirectedDecSpc::delete_arcs`]): one
-    /// repair sweep per distinct affected hub per label family, against the
-    /// residual graph with the whole set already absent. All arcs are
-    /// validated present before the first mutation.
+    /// Deletes a *set* of arcs as one epoch. Equivalent to
+    /// [`DynamicDirectedSpc::delete_arcs_with`] under this facade's
+    /// [`DynamicDirectedSpc::maintenance_options`].
+    #[deprecated(note = "use `delete_arcs_with` (same behavior under `maintenance_options()`)")]
     pub fn delete_arcs(
         &mut self,
         arcs: &[(VertexId, VertexId)],
     ) -> dspc_graph::Result<UpdateStats> {
-        let c = self.dec.delete_arcs_with_threads(
-            &mut self.graph,
-            &mut self.index,
-            arcs,
-            self.maintenance_threads.resolve(),
-        )?;
+        self.delete_arcs_with(arcs, &self.maintenance_options())
+    }
+
+    /// Deletes a *set* of arcs as one epoch through the multi-arc
+    /// `SrrSEARCH` repair path ([`DirectedDecSpc::delete_arcs_with`]): one
+    /// repair sweep per distinct affected hub per label family, against the
+    /// residual graph with the whole set already absent. All arcs are
+    /// validated present before the first mutation.
+    pub fn delete_arcs_with(
+        &mut self,
+        arcs: &[(VertexId, VertexId)],
+        options: &MaintenanceOptions,
+    ) -> dspc_graph::Result<UpdateStats> {
+        let c = self
+            .dec
+            .delete_arcs_with(&mut self.graph, &mut self.index, arcs, options)?;
         self.flat = None;
         Ok(UpdateStats::from_counters(UpdateKind::Batch, c))
     }
@@ -397,7 +414,23 @@ impl DynamicDirectedSpc {
     /// insertions, each ordered by the higher-ranked endpoint), and the
     /// aggregated counters come back as one [`UpdateStats`]. Validation
     /// mirrors applying the arcs one by one.
+    ///
+    /// Equivalent to [`DynamicDirectedSpc::apply_batch_with`] under this
+    /// facade's [`DynamicDirectedSpc::maintenance_options`].
     pub fn apply_batch(&mut self, updates: &[ArcUpdate]) -> dspc_graph::Result<UpdateStats> {
+        self.apply_batch_with(updates, &self.maintenance_options())
+    }
+
+    /// [`DynamicDirectedSpc::apply_batch`] with explicit
+    /// [`MaintenanceOptions`]. Under [`AgendaScope::Global`] (the default)
+    /// the whole net-deletion set is repaired through ONE agenda; under
+    /// [`AgendaScope::PerGroup`] it is split by higher-ranked endpoint
+    /// with one agenda per group.
+    pub fn apply_batch_with(
+        &mut self,
+        updates: &[ArcUpdate],
+        options: &MaintenanceOptions,
+    ) -> dspc_graph::Result<UpdateStats> {
         let mut co: EdgeCoalescer<()> = EdgeCoalescer::new();
         for &u in updates {
             match u {
@@ -416,8 +449,22 @@ impl DynamicDirectedSpc {
         let index = &self.index;
         let plan = crate::engine::NetPlan::build(co.drain(), |v| index.rank(VertexId(v)));
         let mut total = UpdateStats::empty(UpdateKind::Batch);
-        for group in plan.deletion_vertex_groups() {
-            total.absorb(&self.delete_arcs(&group)?);
+        match options.scope {
+            AgendaScope::Global => {
+                let deletions: Vec<(VertexId, VertexId)> = plan
+                    .deletions
+                    .iter()
+                    .map(|&(a, b)| (VertexId(a), VertexId(b)))
+                    .collect();
+                if !deletions.is_empty() {
+                    total.absorb(&self.delete_arcs_with(&deletions, options)?);
+                }
+            }
+            AgendaScope::PerGroup => {
+                for group in plan.deletion_vertex_groups() {
+                    total.absorb(&self.delete_arcs_with(&group, options)?);
+                }
+            }
         }
         for op in plan.into_post_deletion_ops() {
             total.absorb(&match op {
@@ -440,20 +487,21 @@ impl DynamicDirectedSpc {
         v
     }
 
-    /// Deletes vertex `v` — a cascade of arc deletions, then the id is
-    /// retired.
+    /// Deletes vertex `v` — the incident arcs are removed as one epoch
+    /// through the multi-arc repair path (one global agenda instead of a
+    /// per-arc DecSPC cascade), then the id is retired.
     pub fn delete_vertex(&mut self, v: VertexId) -> dspc_graph::Result<()> {
         if !self.graph.contains_vertex(v) {
             return Err(dspc_graph::GraphError::UnknownVertex(v));
         }
-        let outs: Vec<u32> = self.graph.out_neighbors(v).to_vec();
-        for w in outs {
-            self.delete_arc(v, VertexId(w))?;
-        }
-        let ins: Vec<u32> = self.graph.in_neighbors(v).to_vec();
-        for w in ins {
-            self.delete_arc(VertexId(w), v)?;
-        }
+        let mut arcs: Vec<(VertexId, VertexId)> = self
+            .graph
+            .out_neighbors(v)
+            .iter()
+            .map(|&w| (v, VertexId(w)))
+            .collect();
+        arcs.extend(self.graph.in_neighbors(v).iter().map(|&w| (VertexId(w), v)));
+        self.delete_arcs_with(&arcs, &self.maintenance_options())?;
         self.graph.delete_vertex(v)?;
         self.flat = None;
         Ok(())

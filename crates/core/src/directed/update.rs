@@ -19,10 +19,12 @@
 
 use super::{DirectedSpcIndex, Side};
 use crate::engine::{
-    merge_affected, DirectedTopo, OpCounters, RepairAgenda, UpdateEngine, MARK_A, MARK_B,
-    REPAIR_PRIMARY, REPAIR_SECONDARY,
+    aggregate_far_columns, build_endpoint_tasks, merge_affected, DirectedTopo, FarAggregator,
+    FarColumn, MaintenanceCounters, RepairAgenda, UpdateEngine, MARK_A, MARK_B, REPAIR_PRIMARY,
+    REPAIR_SECONDARY,
 };
 use crate::label::Rank;
+use crate::parallel::{ClassifyMode, MaintenanceOptions, MaintenanceThreads};
 use crate::query::HubProbe;
 use dspc_graph::{DirectedGraph, VertexId};
 
@@ -52,10 +54,10 @@ impl DirectedIncSpc {
         index: &mut DirectedSpcIndex,
         a: VertexId,
         b: VertexId,
-    ) -> OpCounters {
+    ) -> MaintenanceCounters {
         debug_assert!(g.has_arc(a, b));
         self.engine.ensure_capacity(g.capacity());
-        let mut stats = OpCounters::default();
+        let mut stats = MaintenanceCounters::default();
         // Snapshot AFF = hubs(L_in(a)) ∪ hubs(L_out(b)) with side flags,
         // merged in descending rank order.
         let aff = merge_affected(index.label_in(a).entries(), index.label_out(b).entries());
@@ -93,7 +95,9 @@ impl DirectedIncSpc {
 pub struct DirectedDecSpc {
     engine: UpdateEngine<u32>,
     probe: HubProbe,
+    probes: Vec<HubProbe>,
     agenda: RepairAgenda,
+    agg: FarAggregator,
 }
 
 impl DirectedDecSpc {
@@ -102,7 +106,9 @@ impl DirectedDecSpc {
         DirectedDecSpc {
             engine: UpdateEngine::new(capacity),
             probe: HubProbe::new(capacity),
+            probes: Vec::new(),
             agenda: RepairAgenda::new(capacity),
+            agg: FarAggregator::new(capacity),
         }
     }
 
@@ -114,12 +120,12 @@ impl DirectedDecSpc {
         index: &mut DirectedSpcIndex,
         a: VertexId,
         b: VertexId,
-    ) -> dspc_graph::Result<OpCounters> {
+    ) -> dspc_graph::Result<MaintenanceCounters> {
         if !g.has_arc(a, b) {
             return Err(dspc_graph::GraphError::MissingEdge(a, b));
         }
         self.engine.ensure_capacity(g.capacity());
-        let mut stats = OpCounters::default();
+        let mut stats = MaintenanceCounters::default();
 
         // Phase 1 on G_i: senders upstream of a (backward sweep from a over
         // in-arcs = the L_out view), receivers downstream of b (forward
@@ -163,45 +169,73 @@ impl DirectedDecSpc {
         Ok(stats)
     }
 
-    /// Multi-arc `SrrSEARCH` repair (the batch generalization of the
-    /// directed deletion): deletes every arc of `arcs` from `g` and repairs
-    /// `index` with at most one `DecUPDATE` sweep per distinct affected hub
-    /// *per label family*, instead of one per arc per hub.
-    ///
-    /// Classification runs per arc on the group-pre graph; hubs found
-    /// upstream (`SR_a`, backward sweep) are flagged to repair `L_in`,
-    /// downstream hubs (`SR_b`) to repair `L_out`, and a hub affected from
-    /// both directions across different arcs gets both flags merged into a
-    /// single agenda entry. The repair sweeps then run against the
-    /// residual graph with the union of all classified vertices as the
-    /// shared receiver/removal frontier.
-    ///
-    /// All arcs are validated present (and pairwise distinct) before the
-    /// first mutation; on error nothing is applied.
+    /// Multi-arc `SrrSEARCH` repair, sequential. Equivalent to
+    /// [`DirectedDecSpc::delete_arcs_with`] with
+    /// [`MaintenanceOptions::sequential`].
+    #[deprecated(note = "use `delete_arcs_with` with `MaintenanceOptions::sequential()`")]
     pub fn delete_arcs(
         &mut self,
         g: &mut DirectedGraph,
         index: &mut DirectedSpcIndex,
         arcs: &[(VertexId, VertexId)],
-    ) -> dspc_graph::Result<OpCounters> {
-        self.delete_arcs_with_threads(g, index, arcs, 1)
+    ) -> dspc_graph::Result<MaintenanceCounters> {
+        self.delete_arcs_with(g, index, arcs, &MaintenanceOptions::sequential())
     }
 
-    /// [`DirectedDecSpc::delete_arcs`] with an explicit maintenance thread
-    /// budget. `threads <= 1` is the sequential path exactly; larger
-    /// budgets classify arcs in parallel and run the per-family repair
-    /// sweeps as rank-independent waves over *weak* residual components
-    /// (conservative for both sweep directions). Deterministic at every
-    /// thread count.
+    /// Multi-arc deletion with an explicit thread budget. Equivalent to
+    /// [`DirectedDecSpc::delete_arcs_with`] with
+    /// [`MaintenanceOptions::with_threads`].
+    #[deprecated(note = "use `delete_arcs_with` with `MaintenanceOptions::with_threads(..)`")]
     pub fn delete_arcs_with_threads(
         &mut self,
         g: &mut DirectedGraph,
         index: &mut DirectedSpcIndex,
         arcs: &[(VertexId, VertexId)],
         threads: usize,
-    ) -> dspc_graph::Result<OpCounters> {
+    ) -> dspc_graph::Result<MaintenanceCounters> {
+        self.delete_arcs_with(
+            g,
+            index,
+            arcs,
+            &MaintenanceOptions::with_threads(MaintenanceThreads::Fixed(threads)),
+        )
+    }
+
+    /// Multi-arc `SrrSEARCH` repair (the batch generalization of the
+    /// directed deletion): deletes every arc of `arcs` from `g` and repairs
+    /// `index` with at most one `DecUPDATE` sweep per distinct affected hub
+    /// *per label family*, instead of one per arc per hub.
+    ///
+    /// Classification runs on the group-pre graph. Under the default
+    /// [`ClassifyMode::MultiFar`] it costs one
+    /// [`UpdateEngine::multi_far_pass`] per *distinct tail* (backward
+    /// sweep, heads as fars) plus one per *distinct head* (forward sweep,
+    /// tails as fars); the per-far count columns are summed per shared far
+    /// endpoint, which fixes the mixed-frontier condition-**B** undercount
+    /// when several doomed arcs share a head (or tail). Hubs found
+    /// upstream are flagged to repair `L_in`, downstream hubs to repair
+    /// `L_out`, and a hub affected from both directions across different
+    /// arcs gets both flags merged into a single agenda entry. The repair
+    /// sweeps then run against the residual graph with the union of all
+    /// classified vertices as the shared receiver/removal frontier.
+    ///
+    /// A thread budget above 1 classifies endpoint tasks in parallel and
+    /// runs the per-family repair sweeps as rank-independent waves over
+    /// *weak* residual components (conservative for both sweep
+    /// directions) on a persistent worker pool. Deterministic at every
+    /// thread count.
+    ///
+    /// All arcs are validated present (and pairwise distinct) before the
+    /// first mutation; on error nothing is applied.
+    pub fn delete_arcs_with(
+        &mut self,
+        g: &mut DirectedGraph,
+        index: &mut DirectedSpcIndex,
+        arcs: &[(VertexId, VertexId)],
+        options: &MaintenanceOptions,
+    ) -> dspc_graph::Result<MaintenanceCounters> {
         match arcs {
-            [] => return Ok(OpCounters::default()),
+            [] => return Ok(MaintenanceCounters::default()),
             &[(a, b)] => return self.delete_arc(g, index, a, b),
             _ => {}
         }
@@ -220,24 +254,77 @@ impl DirectedDecSpc {
         }
         self.engine.ensure_capacity(g.capacity());
         self.agenda.ensure_capacity(g.capacity());
-        let mut stats = OpCounters::default();
+        self.agg.ensure_capacity(g.capacity());
+        let threads = options.threads.resolve();
+        let mut stats = MaintenanceCounters::default();
 
         if threads <= 1 {
-            for &(a, b) in arcs {
-                let (sr_a, r_a) = {
-                    let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::Out);
-                    self.engine.srr_pass(&mut topo, a, b, 1, &mut stats)
-                };
-                let (sr_b, r_b) = {
-                    let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::In);
-                    self.engine.srr_pass(&mut topo, b, a, 1, &mut stats)
-                };
-                // Upstream hubs top paths h → … → a → b and repair L_in;
-                // downstream hubs the mirror image.
-                self.agenda
-                    .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
-                self.agenda
-                    .note_side(&sr_b, &r_b, REPAIR_SECONDARY, |v| index.rank(v));
+            match options.classify {
+                ClassifyMode::PerEdge => {
+                    for &(a, b) in arcs {
+                        let (sr_a, r_a) = {
+                            let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::Out);
+                            self.engine.srr_pass(&mut topo, a, b, 1, &mut stats)
+                        };
+                        let (sr_b, r_b) = {
+                            let mut topo = DirectedTopo::new(g, index, &mut self.probe, Side::In);
+                            self.engine.srr_pass(&mut topo, b, a, 1, &mut stats)
+                        };
+                        // Upstream hubs top paths h → … → a → b and repair
+                        // L_in; downstream hubs the mirror image.
+                        self.agenda
+                            .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
+                        self.agenda
+                            .note_side(&sr_b, &r_b, REPAIR_SECONDARY, |v| index.rank(v));
+                    }
+                }
+                ClassifyMode::MultiFar => {
+                    use crate::engine::FrozenDirected;
+                    // Tail tasks sweep backward (Side::Out views, heads as
+                    // fars) and feed the L_in repair family; head tasks the
+                    // mirror image.
+                    for (side, family, tasks) in [
+                        (
+                            Side::Out,
+                            REPAIR_PRIMARY,
+                            build_endpoint_tasks(arcs.iter().map(|&(a, b)| (a, b, 1u32))),
+                        ),
+                        (
+                            Side::In,
+                            REPAIR_SECONDARY,
+                            build_endpoint_tasks(arcs.iter().map(|&(a, b)| (b, a, 1u32))),
+                        ),
+                    ] {
+                        let mut columns: Vec<FarColumn> = Vec::new();
+                        {
+                            let (g_ref, index_ref): (&DirectedGraph, &DirectedSpcIndex) =
+                                (g, index);
+                            let engine = &mut self.engine;
+                            let probes = &mut self.probes;
+                            for task in &tasks {
+                                while probes.len() < task.fars.len() {
+                                    probes.push(HubProbe::new(g_ref.capacity()));
+                                }
+                                let mut views: Vec<FrozenDirected> = probes[..task.fars.len()]
+                                    .iter_mut()
+                                    .map(|p| FrozenDirected::new(g_ref, index_ref, p, side))
+                                    .collect();
+                                columns.extend(
+                                    engine.multi_far_pass(
+                                        &mut views, task.near, &task.fars, &mut stats,
+                                    ),
+                                );
+                            }
+                        }
+                        aggregate_far_columns(
+                            &mut self.agg,
+                            &columns,
+                            &mut self.agenda,
+                            family,
+                            |v| index.rank(v),
+                        );
+                    }
+                }
             }
             self.engine
                 .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
@@ -246,7 +333,9 @@ impl DirectedDecSpc {
                 g.delete_arc(a, b)?;
             }
 
-            for (h_rank, families) in self.agenda.take_hubs() {
+            let hubs = self.agenda.take_hubs();
+            stats.agenda_hubs += hubs.len();
+            for (h_rank, families) in hubs {
                 let h = index.vertex(h_rank);
                 for (flag, repair) in [(REPAIR_PRIMARY, Side::In), (REPAIR_SECONDARY, Side::Out)] {
                     if families & flag == 0 {
@@ -266,70 +355,120 @@ impl DirectedDecSpc {
 
             self.engine.clear_marks();
         } else {
-            self.delete_group_parallel(g, index, arcs, threads, &mut stats)?;
+            self.delete_group_parallel(g, index, arcs, threads, options.classify, &mut stats)?;
         }
         self.agenda.clear();
         Ok(stats)
     }
 
     /// Wave-parallel twin of the sequential multi-arc body: classification
-    /// fans out over the arcs, the set is deleted, and each agenda hub's
-    /// family sweeps run as frozen sweeps inside rank-independent waves.
-    /// Both sweeps of one hub (`L_in` then `L_out`) stay on one worker in
-    /// the sequential order — they touch disjoint label families, so the
-    /// frozen reads match the sequential interleaving exactly.
+    /// fans out over the group's endpoint tasks, the set is deleted, and
+    /// each agenda hub's family sweeps run as frozen sweeps inside
+    /// rank-independent waves on a persistent worker pool. Both sweeps of
+    /// one hub (`L_in` then `L_out`) stay on one worker in the sequential
+    /// order — they touch disjoint label families, so the frozen reads
+    /// match the sequential interleaving exactly.
     fn delete_group_parallel(
         &mut self,
         g: &mut DirectedGraph,
         index: &mut DirectedSpcIndex,
         arcs: &[(VertexId, VertexId)],
         threads: usize,
-        stats: &mut OpCounters,
+        classify: ClassifyMode,
+        stats: &mut MaintenanceCounters,
     ) -> dspc_graph::Result<()> {
         use crate::engine::parallel::{
-            components_from_edges, family_sweeps, frozen_dec_sweep, note_schedule, plan_waves,
-            Buffered, Interference, LabelWriteLog, WorkerScratch,
+            agenda_components, family_sweeps, frozen_dec_sweep, note_schedule, plan_waves,
+            run_wave_pool, Buffered, Interference, LabelWriteLog, WorkerScratch,
         };
         use crate::engine::FrozenDirected;
         use crate::label::LabelEntry;
 
         let cap = g.capacity();
 
-        let outcomes = {
-            let (g_ref, index_ref): (&DirectedGraph, &DirectedSpcIndex) = (g, index);
-            crate::parallel::fan_out(
-                arcs,
-                threads,
-                || {
-                    (
-                        UpdateEngine::<u32>::new(cap),
-                        HubProbe::new(cap),
-                        LabelWriteLog::<u32>::new(),
+        match classify {
+            ClassifyMode::PerEdge => {
+                let outcomes = {
+                    let (g_ref, index_ref): (&DirectedGraph, &DirectedSpcIndex) = (g, index);
+                    crate::parallel::fan_out(
+                        arcs,
+                        threads,
+                        || {
+                            (
+                                UpdateEngine::<u32>::new(cap),
+                                HubProbe::new(cap),
+                                LabelWriteLog::<u32>::new(),
+                            )
+                        },
+                        |(engine, probe, log), &(a, b)| {
+                            let mut c = MaintenanceCounters::default();
+                            let (sr_a, r_a) = {
+                                let base = FrozenDirected::new(g_ref, index_ref, probe, Side::Out);
+                                let mut topo = Buffered::new(base, log);
+                                engine.srr_pass(&mut topo, a, b, 1, &mut c)
+                            };
+                            let (sr_b, r_b) = {
+                                let base = FrozenDirected::new(g_ref, index_ref, probe, Side::In);
+                                let mut topo = Buffered::new(base, log);
+                                engine.srr_pass(&mut topo, b, a, 1, &mut c)
+                            };
+                            debug_assert!(log.is_empty(), "classification never writes");
+                            (sr_a, r_a, sr_b, r_b, c)
+                        },
                     )
-                },
-                |(engine, probe, log), &(a, b)| {
-                    let mut c = OpCounters::default();
-                    let (sr_a, r_a) = {
-                        let base = FrozenDirected::new(g_ref, index_ref, probe, Side::Out);
-                        let mut topo = Buffered::new(base, log);
-                        engine.srr_pass(&mut topo, a, b, 1, &mut c)
+                };
+                for (sr_a, r_a, sr_b, r_b, c) in &outcomes {
+                    stats.absorb(c);
+                    self.agenda
+                        .note_side(sr_a, r_a, REPAIR_PRIMARY, |v| index.rank(v));
+                    self.agenda
+                        .note_side(sr_b, r_b, REPAIR_SECONDARY, |v| index.rank(v));
+                }
+            }
+            ClassifyMode::MultiFar => {
+                for (side, family, tasks) in [
+                    (
+                        Side::Out,
+                        REPAIR_PRIMARY,
+                        build_endpoint_tasks(arcs.iter().map(|&(a, b)| (a, b, 1u32))),
+                    ),
+                    (
+                        Side::In,
+                        REPAIR_SECONDARY,
+                        build_endpoint_tasks(arcs.iter().map(|&(a, b)| (b, a, 1u32))),
+                    ),
+                ] {
+                    let outcomes = {
+                        let (g_ref, index_ref): (&DirectedGraph, &DirectedSpcIndex) = (g, index);
+                        crate::parallel::fan_out(
+                            &tasks,
+                            threads,
+                            || (UpdateEngine::<u32>::new(cap), Vec::<HubProbe>::new()),
+                            |(engine, probes), task| {
+                                while probes.len() < task.fars.len() {
+                                    probes.push(HubProbe::new(cap));
+                                }
+                                let mut c = MaintenanceCounters::default();
+                                let mut views: Vec<FrozenDirected> = probes[..task.fars.len()]
+                                    .iter_mut()
+                                    .map(|p| FrozenDirected::new(g_ref, index_ref, p, side))
+                                    .collect();
+                                let cols = engine
+                                    .multi_far_pass(&mut views, task.near, &task.fars, &mut c);
+                                (cols, c)
+                            },
+                        )
                     };
-                    let (sr_b, r_b) = {
-                        let base = FrozenDirected::new(g_ref, index_ref, probe, Side::In);
-                        let mut topo = Buffered::new(base, log);
-                        engine.srr_pass(&mut topo, b, a, 1, &mut c)
-                    };
-                    debug_assert!(log.is_empty(), "classification never writes");
-                    (sr_a, r_a, sr_b, r_b, c)
-                },
-            )
-        };
-        for (sr_a, r_a, sr_b, r_b, c) in &outcomes {
-            stats.absorb(c);
-            self.agenda
-                .note_side(sr_a, r_a, REPAIR_PRIMARY, |v| index.rank(v));
-            self.agenda
-                .note_side(sr_b, r_b, REPAIR_SECONDARY, |v| index.rank(v));
+                    let mut columns: Vec<FarColumn> = Vec::new();
+                    for (cols, c) in outcomes {
+                        stats.absorb(&c);
+                        columns.extend(cols);
+                    }
+                    aggregate_far_columns(&mut self.agg, &columns, &mut self.agenda, family, |v| {
+                        index.rank(v)
+                    });
+                }
+            }
         }
 
         for &(a, b) in arcs {
@@ -337,12 +476,28 @@ impl DirectedDecSpc {
         }
 
         let hubs = self.agenda.take_hubs();
+        stats.agenda_hubs += hubs.len();
         let receivers = self.agenda.receivers();
         let schedule = if hubs.len() < 2 {
             plan_waves(hubs.len(), |_, _| false)
         } else {
-            // Weak components of the residual digraph.
-            let comp = components_from_edges(cap, g.arcs().map(|(a, b)| (a.0, b.0)));
+            // Weak components of the residual digraph, labeled only where
+            // the agenda actually reaches.
+            let (comp, probes) = agenda_components(
+                cap,
+                hubs.iter()
+                    .map(|&(r, _)| index.vertex(r))
+                    .chain(receivers.iter().copied()),
+                |v, f| {
+                    for &w in g.out_neighbors(VertexId(v)) {
+                        f(w);
+                    }
+                    for &w in g.in_neighbors(VertexId(v)) {
+                        f(w);
+                    }
+                },
+            );
+            stats.interference_probes += probes;
             let inter = Interference::build(
                 &comp,
                 &hubs,
@@ -360,56 +515,56 @@ impl DirectedDecSpc {
             plan_waves(hubs.len(), |i, j| inter.conflicts(i, j))
         };
         note_schedule(stats, &schedule);
-        type SweepResult = (Side, LabelWriteLog<u32>, OpCounters);
-        for wave in schedule.iter() {
-            let items: Vec<(crate::label::Rank, u8)> = wave.iter().map(|&i| hubs[i]).collect();
-            let results: Vec<Vec<SweepResult>> = {
-                let (g_ref, index_ref): (&DirectedGraph, &DirectedSpcIndex) = (g, index);
-                crate::parallel::fan_out(
-                    &items,
-                    threads,
-                    || WorkerScratch::for_group(cap, receivers, HubProbe::new(cap)),
-                    |scratch, &(h_rank, families)| {
-                        let h = index_ref.vertex(h_rank);
-                        family_sweeps(families)
-                            .map(|flag| {
-                                let repair = if flag == REPAIR_PRIMARY {
-                                    Side::In
-                                } else {
-                                    Side::Out
-                                };
-                                let base = FrozenDirected::new(
-                                    g_ref,
-                                    index_ref,
-                                    &mut scratch.probe,
-                                    repair,
-                                );
-                                let (log, c) =
-                                    frozen_dec_sweep(&mut scratch.engine, base, h, receivers);
-                                (repair, log, c)
-                            })
-                            .collect()
-                    },
-                )
-            };
-            for sweeps in results {
-                for (repair, mut log, c) in sweeps {
-                    stats.absorb(&c);
-                    for (v, hub, op) in log.drain() {
-                        match op {
-                            Some((d, cnt)) => {
-                                index
-                                    .label_mut(repair, v)
-                                    .upsert(LabelEntry::new(hub, d, cnt));
-                            }
-                            None => {
-                                index.label_mut(repair, v).remove(hub);
+        type SweepResult = (Side, LabelWriteLog<u32>, MaintenanceCounters);
+        let items: Vec<(Rank, u8)> = hubs;
+        let waves: Vec<&[usize]> = schedule.iter().collect();
+        let g_ref: &DirectedGraph = g;
+        let index_lock = std::sync::RwLock::new(&mut *index);
+        let steals = run_wave_pool(
+            threads,
+            &items,
+            &waves,
+            || WorkerScratch::for_group(cap, receivers, HubProbe::new(cap)),
+            |scratch, &(h_rank, families)| {
+                let guard = index_lock.read().unwrap();
+                let index: &DirectedSpcIndex = &guard;
+                let h = index.vertex(h_rank);
+                let sweeps: Vec<SweepResult> = family_sweeps(families)
+                    .map(|flag| {
+                        let repair = if flag == REPAIR_PRIMARY {
+                            Side::In
+                        } else {
+                            Side::Out
+                        };
+                        let base = FrozenDirected::new(g_ref, index, &mut scratch.probe, repair);
+                        let (log, c) = frozen_dec_sweep(&mut scratch.engine, base, h, receivers);
+                        (repair, log, c)
+                    })
+                    .collect();
+                sweeps
+            },
+            |results| {
+                let mut guard = index_lock.write().unwrap();
+                for sweeps in results {
+                    for (repair, mut log, c) in sweeps {
+                        stats.absorb(&c);
+                        for (v, hub, op) in log.drain() {
+                            match op {
+                                Some((d, cnt)) => {
+                                    guard
+                                        .label_mut(repair, v)
+                                        .upsert(LabelEntry::new(hub, d, cnt));
+                                }
+                                None => {
+                                    guard.label_mut(repair, v).remove(hub);
+                                }
                             }
                         }
                     }
                 }
-            }
-        }
+            },
+        );
+        stats.steal_events += steals;
         Ok(())
     }
 }

@@ -52,16 +52,17 @@
 //! ```
 
 use crate::build::HpSpcBuilder;
-use crate::dec::{DecSpc, DecStats, SrrOutcome};
-use crate::engine::{ordered_key, OpCounters};
+use crate::dec::{DecSpc, SrrOutcome};
+use crate::engine::{ordered_key, MaintenanceCounters};
 use crate::flat::FlatIndex;
 use crate::inc::{IncSpc, IncStats};
 use crate::index::{IndexStats, SpcIndex};
 use crate::label::Count;
 use crate::order::OrderingStrategy;
-use crate::parallel::MaintenanceThreads;
+use crate::parallel::{AgendaScope, MaintenanceOptions, MaintenanceThreads};
 use crate::query::spc_query;
 use dspc_graph::{Result, UndirectedGraph, VertexId};
+use std::ops::{Deref, DerefMut};
 
 /// What kind of update produced an [`UpdateStats`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,33 +83,34 @@ pub enum UpdateKind {
     Batch,
 }
 
-/// Unified per-update label-operation counters.
+/// Per-update label-operation counters: the unified
+/// [`MaintenanceCounters`] tagged with which algorithm ran.
+///
+/// Derefs to [`MaintenanceCounters`], so every counter field
+/// (`renew_count`, `classify_sweeps`, `agenda_hubs`, …) and derived metric
+/// ([`MaintenanceCounters::total_ops`], [`MaintenanceCounters::total_sweeps`],
+/// [`MaintenanceCounters::entry_delta`]) reads directly off an
+/// `UpdateStats`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct UpdateStats {
     /// Which algorithm ran.
     pub kind: UpdateKind,
-    /// Labels whose count changed at unchanged distance (RenewC).
-    pub renew_count: usize,
-    /// Labels whose distance changed (RenewD).
-    pub renew_dist: usize,
-    /// Newly inserted labels (Insert).
-    pub inserted: usize,
-    /// Removed labels (Remove; always 0 for insertions).
-    pub removed: usize,
-    /// Affected hubs processed (one per repair sweep).
-    pub hubs_processed: usize,
-    /// `SrrSEARCH` classification sweeps performed (deletions only).
-    pub classify_sweeps: usize,
-    /// Vertices dequeued across update BFSs.
-    pub vertices_visited: usize,
-    /// Repair waves executed by the parallel maintenance scheduler
-    /// ([`crate::engine::parallel`]); 0 when the sequential path ran.
-    pub waves: usize,
-    /// Width of the widest scheduled wave — ≥ 2 means at least two hub
-    /// repair sweeps ran concurrently; 0 when the sequential path ran.
-    pub max_wave_width: usize,
-    /// Whether the §3.2.3 fast path short-circuited a deletion.
-    pub isolated_fast_path: bool,
+    /// The unified engine counters.
+    pub counters: MaintenanceCounters,
+}
+
+impl Deref for UpdateStats {
+    type Target = MaintenanceCounters;
+
+    fn deref(&self) -> &MaintenanceCounters {
+        &self.counters
+    }
+}
+
+impl DerefMut for UpdateStats {
+    fn deref_mut(&mut self) -> &mut MaintenanceCounters {
+        &mut self.counters
+    }
 }
 
 impl UpdateStats {
@@ -117,100 +119,31 @@ impl UpdateStats {
     pub fn empty(kind: UpdateKind) -> Self {
         UpdateStats {
             kind,
-            renew_count: 0,
-            renew_dist: 0,
-            inserted: 0,
-            removed: 0,
-            hubs_processed: 0,
-            classify_sweeps: 0,
-            vertices_visited: 0,
-            waves: 0,
-            max_wave_width: 0,
-            isolated_fast_path: false,
+            counters: MaintenanceCounters::default(),
         }
     }
 
     /// Wraps raw engine counters.
-    pub(crate) fn from_counters(kind: UpdateKind, c: OpCounters) -> Self {
-        UpdateStats {
-            kind,
-            renew_count: c.renew_count,
-            renew_dist: c.renew_dist,
-            inserted: c.inserted,
-            removed: c.removed,
-            hubs_processed: c.hubs_processed,
-            classify_sweeps: c.classify_sweeps,
-            vertices_visited: c.vertices_visited,
-            waves: c.waves,
-            max_wave_width: c.max_wave_width,
-            isolated_fast_path: false,
-        }
+    pub(crate) fn from_counters(kind: UpdateKind, counters: MaintenanceCounters) -> Self {
+        UpdateStats { kind, counters }
     }
 
     fn from_inc(s: IncStats) -> Self {
         UpdateStats {
             kind: UpdateKind::InsertEdge,
-            renew_count: s.renew_count,
-            renew_dist: s.renew_dist,
-            inserted: s.inserted,
-            removed: 0,
-            hubs_processed: s.hubs_processed,
-            classify_sweeps: 0,
-            vertices_visited: s.vertices_visited,
-            waves: 0,
-            max_wave_width: 0,
-            isolated_fast_path: false,
+            counters: s.into(),
         }
     }
 
-    fn from_dec(s: DecStats) -> Self {
-        UpdateStats {
-            kind: UpdateKind::DeleteEdge,
-            renew_count: s.renew_count,
-            renew_dist: s.renew_dist,
-            inserted: s.inserted,
-            removed: s.removed,
-            hubs_processed: s.hubs_processed,
-            classify_sweeps: s.classify_sweeps,
-            vertices_visited: s.vertices_visited,
-            waves: s.waves,
-            max_wave_width: s.max_wave_width,
-            isolated_fast_path: s.isolated_fast_path,
-        }
+    fn from_dec(c: MaintenanceCounters) -> Self {
+        UpdateStats::from_counters(UpdateKind::DeleteEdge, c)
     }
 
-    /// Accumulates another update's counters (kind and the fast-path flag
-    /// keep the receiver's values except that the flag ORs; wave counts
-    /// sum, the wave width maxes).
+    /// Accumulates another update's counters (the kind keeps the
+    /// receiver's value; see [`MaintenanceCounters::absorb`] for the
+    /// per-field semantics).
     pub fn absorb(&mut self, other: &UpdateStats) {
-        self.renew_count += other.renew_count;
-        self.renew_dist += other.renew_dist;
-        self.inserted += other.inserted;
-        self.removed += other.removed;
-        self.hubs_processed += other.hubs_processed;
-        self.classify_sweeps += other.classify_sweeps;
-        self.vertices_visited += other.vertices_visited;
-        self.waves += other.waves;
-        self.max_wave_width = self.max_wave_width.max(other.max_wave_width);
-        self.isolated_fast_path |= other.isolated_fast_path;
-    }
-
-    /// Total label operations performed.
-    pub fn total_ops(&self) -> usize {
-        self.renew_count + self.renew_dist + self.inserted + self.removed
-    }
-
-    /// Total engine sweeps (classification + repair) — the amortization
-    /// metric the batch deletion path minimizes: a coalesced batch runs one
-    /// repair sweep per distinct affected hub per group, where the same
-    /// updates applied one by one re-sweep a shared hub once per edge.
-    pub fn total_sweeps(&self) -> usize {
-        self.classify_sweeps + self.hubs_processed
-    }
-
-    /// Signed change in index entry count (`inserted - removed`).
-    pub fn entry_delta(&self) -> isize {
-        self.inserted as isize - self.removed as isize
+        self.counters.absorb(&other.counters);
     }
 }
 
@@ -312,7 +245,7 @@ impl DynamicSpc {
     }
 
     /// Sets the worker-thread budget for intra-batch repair
-    /// ([`DynamicSpc::delete_edges`] and the deletion groups of
+    /// ([`DynamicSpc::delete_edges_with`] and the deletion segments of
     /// [`DynamicSpc::apply_batch`]). [`MaintenanceThreads::Fixed`]`(1)`
     /// degenerates to the sequential repair path exactly; every thread
     /// count produces the same index, queries, and counters.
@@ -323,6 +256,15 @@ impl DynamicSpc {
     /// The configured maintenance thread budget.
     pub fn maintenance_threads(&self) -> MaintenanceThreads {
         self.maintenance_threads
+    }
+
+    /// The default [`MaintenanceOptions`] this facade applies batches with:
+    /// the configured thread budget plus the default classification mode
+    /// and agenda scope. Pass a modified copy to
+    /// [`DynamicSpc::apply_batch_with`] / [`DynamicSpc::delete_edges_with`]
+    /// to override per call.
+    pub fn maintenance_options(&self) -> MaintenanceOptions {
+        MaintenanceOptions::with_threads(self.maintenance_threads)
     }
 
     /// The underlying graph (read-only; mutations must flow through this
@@ -393,29 +335,38 @@ impl DynamicSpc {
         Ok((UpdateStats::from_dec(stats), srr))
     }
 
+    /// Deletes a *set* of edges as one epoch. Equivalent to
+    /// [`DynamicSpc::delete_edges_with`] under this facade's
+    /// [`DynamicSpc::maintenance_options`].
+    #[deprecated(note = "use `delete_edges_with` (same behavior under `maintenance_options()`)")]
+    pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> Result<UpdateStats> {
+        self.delete_edges_with(edges, &self.maintenance_options())
+    }
+
     /// Deletes a *set* of edges as one epoch through the multi-edge
-    /// `SrrSEARCH` repair path ([`crate::dec::DecSpc::delete_edges`]):
-    /// every edge is classified against the pre-mutation graph, the whole
-    /// set is removed at once, and each distinct affected hub is repaired
-    /// with a single sweep of the residual graph — strictly fewer engine
-    /// sweeps than deleting the edges one by one whenever their affected
-    /// hub sets overlap.
+    /// `SrrSEARCH` repair path ([`crate::dec::DecSpc::delete_edges_with`]):
+    /// every edge is classified against the pre-mutation graph (one
+    /// multi-far sweep per distinct endpoint under the default
+    /// [`crate::parallel::ClassifyMode::MultiFar`]), the whole set is
+    /// removed at once, and each distinct affected hub is repaired with a
+    /// single sweep of the residual graph — strictly fewer engine sweeps
+    /// than deleting the edges one by one whenever their affected hub sets
+    /// overlap.
     ///
     /// All edges are validated present before the first mutation; on error
     /// nothing is applied. Returns aggregated counters tagged
     /// [`UpdateKind::Batch`].
-    pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> Result<UpdateStats> {
-        let stats = self.dec.delete_edges_with_threads(
-            &mut self.graph,
-            &mut self.index,
-            edges,
-            self.maintenance_threads.resolve(),
-        )?;
+    pub fn delete_edges_with(
+        &mut self,
+        edges: &[(VertexId, VertexId)],
+        options: &MaintenanceOptions,
+    ) -> Result<UpdateStats> {
+        let stats = self
+            .dec
+            .delete_edges_with(&mut self.graph, &mut self.index, edges, options)?;
         self.flat = None;
         self.updates_since_build += edges.len();
-        let mut total = UpdateStats::from_dec(stats);
-        total.kind = UpdateKind::Batch;
-        Ok(total)
+        Ok(UpdateStats::from_counters(UpdateKind::Batch, stats))
     }
 
     /// Adds an isolated vertex: O(1) on the index (§3 — only an empty label
@@ -442,21 +393,24 @@ impl DynamicSpc {
         Ok((v, total))
     }
 
-    /// Deletes vertex `v` — per §3, a sequence of DecSPC edge deletions
-    /// followed by retiring the id.
+    /// Deletes vertex `v` — the incident edges are removed as one epoch
+    /// through the multi-edge repair path (one global agenda instead of a
+    /// per-edge DecSPC cascade), then the id is retired.
     pub fn delete_vertex(&mut self, v: VertexId) -> Result<UpdateStats> {
         if !self.graph.contains_vertex(v) {
             return Err(dspc_graph::GraphError::UnknownVertex(v));
         }
-        let mut total = UpdateStats::empty(UpdateKind::DeleteVertex);
-        // Delete incident edges one at a time (neighbor list snapshot).
-        let neighbors: Vec<u32> = self.graph.neighbors(v).to_vec();
-        for u in neighbors {
-            total.absorb(&self.delete_edge(v, VertexId(u))?);
-        }
-        // The cascade's fast-path flag describes sub-deletions, not the
+        let edges: Vec<(VertexId, VertexId)> = self
+            .graph
+            .neighbors(v)
+            .iter()
+            .map(|&u| (v, VertexId(u)))
+            .collect();
+        let mut total = self.delete_edges_with(&edges, &self.maintenance_options())?;
+        total.kind = UpdateKind::DeleteVertex;
+        // The batch's fast-path flag describes sub-deletions, not the
         // vertex deletion itself.
-        total.isolated_fast_path = false;
+        total.counters.isolated_fast_path = false;
         // Retire the now-isolated vertex; its self label stays (harmless)
         // so that the id space and rank map remain aligned.
         self.graph.delete_vertex(v)?;
@@ -502,7 +456,26 @@ impl DynamicSpc {
     /// a segment is validated before the first one is applied. Vertex
     /// operations act as barriers: pending edge ops flush first, then the
     /// vertex op applies, preserving sequential meaning.
+    ///
+    /// Equivalent to [`DynamicSpc::apply_batch_with`] under this facade's
+    /// [`DynamicSpc::maintenance_options`].
     pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<UpdateStats> {
+        self.apply_batch_with(updates, &self.maintenance_options())
+    }
+
+    /// [`DynamicSpc::apply_batch`] with explicit [`MaintenanceOptions`]:
+    /// the thread budget, classification mode, and agenda scope of every
+    /// deletion segment in the batch come from `options` instead of the
+    /// facade defaults. Under [`AgendaScope::Global`] (the default) each
+    /// segment's whole net-deletion set is repaired through ONE agenda —
+    /// hubs and receivers deduplicated across former per-endpoint groups,
+    /// waves spanning group boundaries; [`AgendaScope::PerGroup`] restores
+    /// the legacy per-higher-ranked-endpoint grouping.
+    pub fn apply_batch_with(
+        &mut self,
+        updates: &[GraphUpdate],
+        options: &MaintenanceOptions,
+    ) -> Result<UpdateStats> {
         let mut total = UpdateStats::empty(UpdateKind::Batch);
         let mut co: crate::engine::EdgeCoalescer<()> = crate::engine::EdgeCoalescer::new();
         for &u in updates {
@@ -518,34 +491,51 @@ impl DynamicSpc {
                     co.fold_remove(key, || graph.has_edge(a, b).then_some(()))?;
                 }
                 GraphUpdate::InsertVertex | GraphUpdate::DeleteVertex(_) => {
-                    self.flush_batch_segment(&mut co, &mut total)?;
+                    self.flush_batch_segment(&mut co, &mut total, options)?;
                     total.absorb(&self.apply(u)?);
                 }
             }
         }
-        self.flush_batch_segment(&mut co, &mut total)?;
+        self.flush_batch_segment(&mut co, &mut total, options)?;
         Ok(total)
     }
 
-    /// Applies one coalesced segment: net deletions first — grouped by
-    /// their higher-ranked endpoint and handed as whole sets to the
-    /// multi-edge `SrrSEARCH` repair path, groups ordered rank-friendly —
-    /// then net insertions ordered by the higher-ranked endpoint (ascending
-    /// rank position), a heuristic that settles the labels of top hubs
-    /// before lower-ranked updates consult them, trimming repeat renewals.
-    /// Per-group [`UpdateStats`] are aggregated into `total`.
+    /// Applies one coalesced segment: net deletions first — under
+    /// [`AgendaScope::Global`] the whole net-deletion set goes to the
+    /// multi-edge `SrrSEARCH` repair path as ONE batch (one global agenda);
+    /// under [`AgendaScope::PerGroup`] it is split by higher-ranked
+    /// endpoint with one agenda per group — then net insertions ordered by
+    /// the higher-ranked endpoint (ascending rank position), a heuristic
+    /// that settles the labels of top hubs before lower-ranked updates
+    /// consult them, trimming repeat renewals. Per-call [`UpdateStats`]
+    /// are aggregated into `total`.
     fn flush_batch_segment(
         &mut self,
         co: &mut crate::engine::EdgeCoalescer<()>,
         total: &mut UpdateStats,
+        options: &MaintenanceOptions,
     ) -> Result<()> {
         if co.is_empty() {
             return Ok(());
         }
         let index = &self.index;
         let plan = crate::engine::NetPlan::build(co.drain(), |v| index.rank(VertexId(v)));
-        for group in plan.deletion_vertex_groups() {
-            total.absorb(&self.delete_edges(&group)?);
+        match options.scope {
+            AgendaScope::Global => {
+                let deletions: Vec<(VertexId, VertexId)> = plan
+                    .deletions
+                    .iter()
+                    .map(|&(a, b)| (VertexId(a), VertexId(b)))
+                    .collect();
+                if !deletions.is_empty() {
+                    total.absorb(&self.delete_edges_with(&deletions, options)?);
+                }
+            }
+            AgendaScope::PerGroup => {
+                for group in plan.deletion_vertex_groups() {
+                    total.absorb(&self.delete_edges_with(&group, options)?);
+                }
+            }
         }
         for op in plan.into_post_deletion_ops() {
             total.absorb(&match op {
@@ -555,7 +545,7 @@ impl DynamicSpc {
                 }
             });
         }
-        total.isolated_fast_path = false;
+        total.counters.isolated_fast_path = false;
         Ok(())
     }
 

@@ -26,7 +26,7 @@
 //! heap), and the hub-membership test behind condition **A**. The engine
 //! owns every piece of scratch state (distance/count arrays, frontier,
 //! side marks, visited flags) plus the RenewC/RenewD/Insert/Remove
-//! counters ([`OpCounters`]) feeding Figures 8–9.
+//! counters ([`MaintenanceCounters`]) feeding Figures 8–9.
 //!
 //! ## Departure from the paper: the removal pass is unconditional
 //!
@@ -134,10 +134,15 @@ pub trait LabelTopology {
     fn is_common_hub(&self, hub: Rank, near: VertexId, far: VertexId) -> bool;
 }
 
-/// Label-operation counters shared by every variant (the RenewC / RenewD /
-/// Insert / Remove series of Figures 8–9).
+/// The unified maintenance counter block: the RenewC / RenewD / Insert /
+/// Remove label-operation series of Figures 8–9 plus the sweep, schedule,
+/// and agenda counters every batch path reports. One type serves every
+/// layer — the engine passes it to its sweeps, the per-variant drivers
+/// return it, and the facades wrap it in
+/// [`crate::dynamic::UpdateStats`] — replacing the former
+/// `OpCounters` / `DecStats` / flat-`UpdateStats` triplet.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct OpCounters {
+pub struct MaintenanceCounters {
     /// Labels whose count changed at unchanged distance (RenewC).
     pub renew_count: usize,
     /// Labels whose distance changed (RenewD).
@@ -149,19 +154,37 @@ pub struct OpCounters {
     /// Affected hubs processed (one per repair sweep: `inc_pass` or
     /// `dec_pass`).
     pub hubs_processed: usize,
-    /// Classification sweeps performed (`srr_pass` invocations).
+    /// Classification sweeps performed (`srr_pass` /
+    /// [`UpdateEngine::multi_far_pass`] invocations).
     pub classify_sweeps: usize,
+    /// Classification sweeps that classified against two or more far
+    /// endpoints at once (the multi-far amortization win: always
+    /// `<= classify_sweeps`).
+    pub multi_far_sweeps: usize,
     /// Vertices dequeued across update sweeps.
     pub vertices_visited: usize,
+    /// Distinct hubs drained from the global repair agenda (after
+    /// cross-group deduplication).
+    pub agenda_hubs: usize,
     /// Repair waves executed by the parallel scheduler
     /// ([`parallel::plan_waves`]); 0 on the sequential path.
     pub waves: usize,
     /// Width of the widest wave scheduled (≥ 2 means at least two hub
     /// sweeps were found rank-independent); 0 on the sequential path.
     pub max_wave_width: usize,
+    /// Vertices labeled by the bounded interference BFS
+    /// ([`parallel::agenda_components`]); 0 on the sequential path.
+    pub interference_probes: usize,
+    /// Successful work-steal events in the persistent worker pool
+    /// ([`parallel::run_wave_pool`]). Scheduling-dependent — excluded
+    /// from determinism comparisons and CI gates.
+    pub steal_events: usize,
+    /// Whether the §3.2.3 isolated-vertex fast path handled (part of)
+    /// the update.
+    pub isolated_fast_path: bool,
 }
 
-impl OpCounters {
+impl MaintenanceCounters {
     /// Total label operations.
     pub fn total_ops(&self) -> usize {
         self.renew_count + self.renew_dist + self.inserted + self.removed
@@ -173,19 +196,35 @@ impl OpCounters {
         self.classify_sweeps + self.hubs_processed
     }
 
+    /// Signed change in index entry count (`inserted - removed`).
+    pub fn entry_delta(&self) -> isize {
+        self.inserted as isize - self.removed as isize
+    }
+
     /// Merges counters (for streams and batches).
-    pub fn absorb(&mut self, other: &OpCounters) {
+    pub fn absorb(&mut self, other: &MaintenanceCounters) {
         self.renew_count += other.renew_count;
         self.renew_dist += other.renew_dist;
         self.inserted += other.inserted;
         self.removed += other.removed;
         self.hubs_processed += other.hubs_processed;
         self.classify_sweeps += other.classify_sweeps;
+        self.multi_far_sweeps += other.multi_far_sweeps;
         self.vertices_visited += other.vertices_visited;
+        self.agenda_hubs += other.agenda_hubs;
         self.waves += other.waves;
         self.max_wave_width = self.max_wave_width.max(other.max_wave_width);
+        self.interference_probes += other.interference_probes;
+        self.steal_events += other.steal_events;
+        self.isolated_fast_path |= other.isolated_fast_path;
     }
 }
+
+/// Former name of [`MaintenanceCounters`].
+#[deprecated(
+    note = "renamed to `MaintenanceCounters` (one counter type across engine, drivers, and facades)"
+)]
+pub type OpCounters = MaintenanceCounters;
 
 /// An entry that knows its hub rank — lets [`merge_affected`] run over both
 /// unweighted [`crate::label::LabelEntry`] and weighted
@@ -367,6 +406,178 @@ impl RepairAgenda {
     }
 }
 
+/// One candidate row of a [`FarColumn`]: a vertex with a shortest path to
+/// the column's far endpoint crossing the classified edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FarCandidate {
+    /// The classified vertex.
+    pub v: VertexId,
+    /// `spc(near, v)` — shortest-path count from the sweep origin, i.e.
+    /// the number of shortest `v`–`far` paths whose last hop before `far`
+    /// is this edge's `near` endpoint.
+    pub through: Count,
+    /// `SpcQUERY(v, far)` — total shortest-path count to the far endpoint
+    /// on the pre-deletion index.
+    pub qc: Count,
+    /// Condition **A**: `v` is a common hub of `near` and `far`.
+    pub common_hub: bool,
+}
+
+/// One far endpoint's classification column from
+/// [`UpdateEngine::multi_far_pass`], in sweep settle order.
+#[derive(Clone, Debug)]
+pub struct FarColumn {
+    /// The far endpoint this column classifies against.
+    pub far: VertexId,
+    /// Candidates in the order the sweep settled them.
+    pub candidates: Vec<FarCandidate>,
+}
+
+/// One endpoint's classification task: a single
+/// [`UpdateEngine::multi_far_pass`] sweep from `near` against every doomed
+/// partner endpoint.
+#[derive(Clone, Debug)]
+pub struct MultiFarTask<D> {
+    /// The shared endpoint the sweep is seeded at.
+    pub near: VertexId,
+    /// The doomed partner endpoints with their edge lengths, in
+    /// deterministic (group-noted) order.
+    pub fars: Vec<(VertexId, D)>,
+}
+
+/// Groups a stream of directed `(near, far, len)` doomed-edge sides into
+/// one [`MultiFarTask`] per distinct `near` endpoint, sorted by endpoint
+/// id (deterministic across thread counts). Undirected callers pass each
+/// edge twice (once per direction); directed callers pass tails and heads
+/// through separate invocations.
+pub fn build_endpoint_tasks<D: EngineDist>(
+    sides: impl Iterator<Item = (VertexId, VertexId, D)>,
+) -> Vec<MultiFarTask<D>> {
+    let mut by_near: std::collections::BTreeMap<u32, Vec<(VertexId, D)>> =
+        std::collections::BTreeMap::new();
+    for (near, far, len) in sides {
+        by_near.entry(near.0).or_default().push((far, len));
+    }
+    by_near
+        .into_iter()
+        .map(|(near, fars)| MultiFarTask {
+            near: VertexId(near),
+            fars,
+        })
+        .collect()
+}
+
+/// Epoch-stamped scratch for summing [`FarColumn`]s that share a far
+/// endpoint: per-vertex `through` totals, the (consistent) `qc`, and the
+/// OR of condition-**A** flags, in first-contribution order.
+#[derive(Debug)]
+pub struct FarAggregator {
+    stamp: Vec<u64>,
+    epoch: u64,
+    through: Vec<Count>,
+    qc: Vec<Count>,
+    common: Vec<bool>,
+    order: Vec<VertexId>,
+}
+
+impl FarAggregator {
+    /// An aggregator for graphs up to `capacity` ids.
+    pub fn new(capacity: usize) -> Self {
+        FarAggregator {
+            stamp: vec![0; capacity],
+            epoch: 0,
+            through: vec![0; capacity],
+            qc: vec![0; capacity],
+            common: vec![false; capacity],
+            order: Vec::new(),
+        }
+    }
+
+    /// Grows the scratch when the id space expanded.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.stamp.len() < capacity {
+            self.stamp.resize(capacity, 0);
+            self.through.resize(capacity, 0);
+            self.qc.resize(capacity, 0);
+            self.common.resize(capacity, false);
+        }
+    }
+
+    /// Starts a new far group.
+    fn begin(&mut self) {
+        self.epoch += 1;
+        self.order.clear();
+    }
+
+    /// Folds one column of the current far group in.
+    fn add_column(&mut self, col: &FarColumn) {
+        for c in &col.candidates {
+            let i = c.v.index();
+            if self.stamp[i] != self.epoch {
+                self.stamp[i] = self.epoch;
+                self.through[i] = c.through;
+                self.qc[i] = c.qc;
+                self.common[i] = c.common_hub;
+                self.order.push(c.v);
+            } else {
+                self.through[i] = self.through[i].saturating_add(c.through);
+                debug_assert_eq!(self.qc[i], c.qc, "inconsistent SpcQUERY across columns");
+                self.common[i] |= c.common_hub;
+            }
+        }
+    }
+
+    /// Classifies the current group into `(SR, R)`: condition **A**, or
+    /// condition **B** with the *summed* through-count — every shortest
+    /// path to the far endpoint crosses some doomed edge of the group.
+    fn finish(&mut self, sr: &mut Vec<VertexId>, r: &mut Vec<VertexId>) {
+        sr.clear();
+        r.clear();
+        for &v in &self.order {
+            let i = v.index();
+            if self.common[i] || self.through[i] == self.qc[i] {
+                sr.push(v);
+            } else {
+                r.push(v);
+            }
+        }
+    }
+}
+
+/// Merges every [`FarColumn`] of one classification role into the agenda:
+/// columns are grouped by far endpoint (ascending id — deterministic
+/// regardless of task execution order), each group's through-counts are
+/// summed per vertex, and the resulting `(SR, R)` classification is noted
+/// with `family` repair flags.
+///
+/// Summing is exact because columns of one far group count *disjoint*
+/// path sets (each fixes a different doomed last hop into the same far),
+/// so `Σ through ≤ qc` always, with equality exactly when every shortest
+/// path is doomed. Any vertex the old per-edge test classified SR stays
+/// SR here; vertices whose doom was split across edges are newly caught.
+pub fn aggregate_far_columns(
+    agg: &mut FarAggregator,
+    columns: &[FarColumn],
+    agenda: &mut RepairAgenda,
+    family: u8,
+    mut rank_of: impl FnMut(VertexId) -> Rank,
+) {
+    let mut groups: std::collections::BTreeMap<u32, Vec<&FarColumn>> =
+        std::collections::BTreeMap::new();
+    for col in columns {
+        groups.entry(col.far.0).or_default().push(col);
+    }
+    let (mut sr, mut r) = (Vec::new(), Vec::new());
+    for (_, cols) in groups {
+        agg.begin();
+        for col in cols {
+            agg.add_column(col);
+        }
+        agg.finish(&mut sr, &mut r);
+        agenda.note_side(&sr, &r, family, &mut rank_of);
+    }
+}
+
 /// The generic maintenance engine: scratch state + the three traversal
 /// passes, parameterized over a [`LabelTopology`] view per call.
 #[derive(Debug)]
@@ -507,7 +718,7 @@ impl<D: EngineDist> UpdateEngine<D> {
         start: VertexId,
         seed_dist: D,
         seed_count: Count,
-        stats: &mut OpCounters,
+        stats: &mut MaintenanceCounters,
     ) {
         let h_rank = topo.rank(h.0);
         topo.load_probe(h);
@@ -552,7 +763,7 @@ impl<D: EngineDist> UpdateEngine<D> {
         near: VertexId,
         far: VertexId,
         edge_len: D,
-        stats: &mut OpCounters,
+        stats: &mut MaintenanceCounters,
     ) -> (Vec<VertexId>, Vec<VertexId>) {
         let mut sr = Vec::new();
         let mut r = Vec::new();
@@ -583,6 +794,83 @@ impl<D: EngineDist> UpdateEngine<D> {
         (sr, r)
     }
 
+    /// The multi-far generalization of [`srr_pass`](Self::srr_pass): one
+    /// counting sweep from `near` classifying against *every* doomed
+    /// partner endpoint in `fars` at once, instead of one sweep per edge.
+    ///
+    /// `views[j]` answers `SpcQUERY(fars[j], ·)` (each view gets its own
+    /// pinned probe); rank, adjacency, and the condition-**A** test are
+    /// read through `views[0]` — all three are probe-independent on every
+    /// frozen view. A popped vertex `v` is a *candidate* for far `j` when
+    /// `D[v] + len_j = SpcQUERY(v, far_j) ≠ ∞` (some shortest `v`–`far_j`
+    /// path crosses edge `j`), and the sweep expands `v` iff it is a
+    /// candidate for at least one far. The candidate set of each far is
+    /// closed under shortest-path predecessors toward `near` (if
+    /// `D[u] + w(u,v) = D[v]` then `sd(u, far_j) = D[u] + len_j` by the
+    /// triangle inequality both ways), so the union cone contains every
+    /// far's complete shortest-path DAG and `C[v] = spc(near, v)` is exact
+    /// for every candidate — single-far calls traverse bit-identically to
+    /// `srr_pass`.
+    ///
+    /// Rather than classifying into `(SR, R)` directly, the sweep returns
+    /// one [`FarColumn`] per far so [`aggregate_far_columns`] can sum
+    /// `through`-counts across *all* edges doomed into the same far —
+    /// the per-edge condition-**B** comparison `spc(v, near) = spc(v, far)`
+    /// undercounts when several doomed last hops share `far`, misreading
+    /// SR as R (see `tests/mixed_frontier.rs`).
+    pub fn multi_far_pass<T: parallel::FrozenTopology<Dist = D>>(
+        &mut self,
+        views: &mut [T],
+        near: VertexId,
+        fars: &[(VertexId, D)],
+        stats: &mut MaintenanceCounters,
+    ) -> Vec<FarColumn> {
+        debug_assert_eq!(views.len(), fars.len());
+        stats.classify_sweeps += 1;
+        if fars.len() > 1 {
+            stats.multi_far_sweeps += 1;
+        }
+        for (view, &(far, _)) in views.iter_mut().zip(fars) {
+            view.load_probe(far);
+        }
+        let mut columns: Vec<FarColumn> = fars
+            .iter()
+            .map(|&(far, _)| FarColumn {
+                far,
+                candidates: Vec::new(),
+            })
+            .collect();
+        self.reset_sweep();
+        self.seed(T::DIJKSTRA, near, D::ZERO, 1);
+        let mut head = 0usize;
+        while let Some(v) = self.pop_frontier(T::DIJKSTRA, &mut head) {
+            stats.vertices_visited += 1;
+            let dv = self.dist[v as usize];
+            let cv = self.count[v as usize];
+            let vr = views[0].rank(v);
+            let mut expand = false;
+            for (j, &(far, edge_len)) in fars.iter().enumerate() {
+                let (qd, qc) = views[j].probe_query(VertexId(v));
+                // Prune per far: no shortest path from v to far_j crosses
+                // edge j.
+                if qd == D::INF || dv.extend(edge_len) != qd {
+                    continue;
+                }
+                expand = true;
+                columns[j].candidates.push(FarCandidate {
+                    v: VertexId(v),
+                    through: cv,
+                    qc,
+                    common_hub: views[0].is_common_hub(vr, near, far),
+                });
+            }
+            if expand {
+                self.expand_all_frozen(&views[0], v, dv, cv);
+            }
+        }
+        columns
+    }
+
     /// Algorithm 6 — one decremental repair sweep for hub `h` on the
     /// post-mutation graph, repairing labels of vertices carrying
     /// `opposite_mark`, then removing every never-reached candidate's
@@ -593,7 +881,7 @@ impl<D: EngineDist> UpdateEngine<D> {
         h: VertexId,
         opposite_mark: u8,
         removal_candidates: [&[VertexId]; 2],
-        stats: &mut OpCounters,
+        stats: &mut MaintenanceCounters,
     ) {
         let h_rank = topo.rank(h.0);
         topo.load_probe(h);
@@ -668,6 +956,22 @@ impl<D: EngineDist> UpdateEngine<D> {
     /// graph).
     #[inline]
     fn expand_all<T: LabelTopology<Dist = D>>(&mut self, topo: &T, v: u32, dv: D, cv: Count) {
+        topo.for_each_neighbor(v, |w, len| {
+            self.relax(T::DIJKSTRA, w, dv.extend(len), cv);
+        });
+    }
+
+    /// [`expand_all`](Self::expand_all) against a read-only frozen view
+    /// (multi-far classification never writes, so it needs no
+    /// [`LabelTopology`] write half).
+    #[inline]
+    fn expand_all_frozen<T: parallel::FrozenTopology<Dist = D>>(
+        &mut self,
+        topo: &T,
+        v: u32,
+        dv: D,
+        cv: Count,
+    ) {
         topo.for_each_neighbor(v, |w, len| {
             self.relax(T::DIJKSTRA, w, dv.extend(len), cv);
         });

@@ -27,17 +27,27 @@
 //!    read/write intersection (see [`Interference`]); whenever it reports
 //!    independence, the frozen sweep observes exactly the state the
 //!    sequential schedule would have shown it.
-//! 3. **Deterministic merge.** Logs and [`super::OpCounters`] are merged
-//!    in rank order. Because every sweep is bit-identical to its
-//!    sequential counterpart, the committed index, query answers, and
+//! 3. **Deterministic merge.** Logs and [`super::MaintenanceCounters`]
+//!    are merged in rank order. Because every sweep is bit-identical to
+//!    its sequential counterpart, the committed index, query answers, and
 //!    merged counters are independent of the thread count — which is what
 //!    lets CI gate on sweep counters instead of flaky wall-clock numbers.
+//!    Hub sweeps of one wave run on a **persistent worker pool**
+//!    ([`run_wave_pool`]): workers and their engine arenas are created
+//!    once per batch and reused across every wave, with idle workers
+//!    back-stealing queued hubs from their neighbors — only the
+//!    (scheduling-dependent) `steal_events` counter can tell the
+//!    difference.
 //!
 //! ## The interference test
 //!
 //! Let `comp(v)` be `v`'s connected component in the *residual* graph (the
-//! graph with the whole net-deletion group removed; weak components for
-//! the directed variant). A sweep for hub `h`:
+//! graph with the whole net-deletion set removed; weak components for
+//! the directed variant). Components are labeled by [`agenda_components`],
+//! a bounded BFS seeded only at the agenda's hubs and receivers — vertices
+//! in components the agenda never touches are left unlabeled and never
+//! visited, unlike the former full-graph union-find over every residual
+//! edge. A sweep for hub `h`:
 //!
 //! * **writes** row `h` at vertices it visits (all inside `comp(h)`, by
 //!   connectivity) and *removes* row `h` at unreached receivers — which
@@ -55,10 +65,14 @@
 //! stays conservative for every later wave.
 
 use super::{
-    EngineDist, LabelTopology, OpCounters, UpdateEngine, MARK_A, REPAIR_PRIMARY, REPAIR_SECONDARY,
+    EngineDist, LabelTopology, MaintenanceCounters, UpdateEngine, MARK_A, REPAIR_PRIMARY,
+    REPAIR_SECONDARY,
 };
 use crate::label::{Count, Rank};
 use dspc_graph::VertexId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 
 /// A recorded label mutation: `Some((d, c))` upserts `(hub, d, c)` at the
 /// vertex, `None` removes the `(hub, ·, ·)` entry.
@@ -193,27 +207,50 @@ impl<T: FrozenTopology> LabelTopology for Buffered<'_, T> {
     }
 }
 
-/// Connected components by union-find over an edge stream: `comp[v]` is a
-/// canonical component id (the DSU root). Directed callers pass arcs as
-/// undirected pairs, yielding weak components — a conservative
-/// over-approximation of both sweep directions' reach.
-pub fn components_from_edges(capacity: usize, edges: impl Iterator<Item = (u32, u32)>) -> Vec<u32> {
-    let mut parent: Vec<u32> = (0..capacity as u32).collect();
-    fn find(parent: &mut [u32], mut v: u32) -> u32 {
-        while parent[v as usize] != v {
-            let g = parent[parent[v as usize] as usize];
-            parent[v as usize] = g;
-            v = g;
+/// Labels the residual components *touched by the agenda* with a bounded
+/// BFS: each unlabeled seed floods its component (via `neighbors`, which
+/// visits a vertex's residual adjacency; directed callers visit out- and
+/// in-neighbors for weak components), labeling every member with the
+/// seed's vertex id. Vertices in components no seed reaches keep the
+/// `u32::MAX` sentinel and are never visited — [`Interference`] only ever
+/// compares labels of agenda members, so the partition is equivalent to a
+/// full-graph union-find restricted to the components that matter, at a
+/// cost bounded by their total size instead of the whole residual edge
+/// set.
+///
+/// Returns `(comp, probes)` where `probes` counts labeled vertices (the
+/// `interference_probes` counter).
+pub fn agenda_components(
+    capacity: usize,
+    seeds: impl Iterator<Item = VertexId>,
+    mut neighbors: impl FnMut(u32, &mut dyn FnMut(u32)),
+) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; capacity];
+    let mut probes = 0usize;
+    let mut queue: Vec<u32> = Vec::new();
+    for seed in seeds {
+        if comp[seed.index()] != u32::MAX {
+            continue;
         }
-        v
-    }
-    for (a, b) in edges {
-        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
-        if ra != rb {
-            parent[ra.max(rb) as usize] = ra.min(rb);
+        let label = seed.0;
+        comp[seed.index()] = label;
+        probes += 1;
+        queue.clear();
+        queue.push(seed.0);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            neighbors(v, &mut |w| {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = label;
+                    probes += 1;
+                    queue.push(w);
+                }
+            });
         }
     }
-    (0..capacity as u32).map(|v| find(&mut parent, v)).collect()
+    (comp, probes)
 }
 
 /// The conservative pairwise interference model over one group's hub
@@ -339,9 +376,117 @@ pub fn plan_waves(n: usize, mut conflicts: impl FnMut(usize, usize) -> bool) -> 
 
 /// Records a schedule's shape into the group's counters (sequential
 /// repair leaves both fields at zero).
-pub fn note_schedule(stats: &mut OpCounters, schedule: &WaveSchedule) {
+pub fn note_schedule(stats: &mut MaintenanceCounters, schedule: &WaveSchedule) {
     stats.waves += schedule.waves();
     stats.max_wave_width = stats.max_wave_width.max(schedule.max_wave_width());
+}
+
+/// Runs a wave schedule on a persistent worker pool with work stealing.
+///
+/// `threads` workers are spawned **once** (one [`std::thread::scope`]
+/// spans every wave) and each creates its scratch **once** — the arena
+/// allocations the former per-wave `fan_out` paid per wave are paid per
+/// batch. For each wave, the coordinating thread splits the wave's item
+/// indices into contiguous per-worker runs, releases the pool through a
+/// barrier, and waits on a second barrier while workers drain their own
+/// runs front-to-back and, when empty, *steal from the back* of the next
+/// non-empty neighbor (fixed scan order). Each item's result lands in its
+/// own slot, so `commit` always observes a wave's results in item order —
+/// stealing changes *which worker* computes a result, never the committed
+/// outcome. The commit closure runs on the coordinating thread between
+/// barriers, when no worker touches shared state.
+///
+/// Returns the number of successful steals (the `steal_events` counter —
+/// scheduling-dependent, excluded from determinism checks).
+pub fn run_wave_pool<I, S, R>(
+    threads: usize,
+    items: &[I],
+    waves: &[&[usize]],
+    make_scratch: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, &I) -> R + Sync,
+    mut commit: impl FnMut(Vec<R>),
+) -> usize
+where
+    I: Sync,
+    R: Send,
+{
+    if threads <= 1 || items.len() <= 1 {
+        let mut scratch = make_scratch();
+        for wave in waves {
+            let results: Vec<R> = wave
+                .iter()
+                .map(|&i| work(&mut scratch, &items[i]))
+                .collect();
+            commit(results);
+        }
+        return 0;
+    }
+    let workers = threads.min(items.len());
+    let steals = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let barrier = Barrier::new(workers + 1);
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for k in 0..workers {
+            let (barrier, done, deques, results, steals) =
+                (&barrier, &done, &deques, &results, &steals);
+            let (make_scratch, work) = (&make_scratch, &work);
+            scope.spawn(move || {
+                let mut scratch = make_scratch();
+                loop {
+                    barrier.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    loop {
+                        let mut item = deques[k].lock().unwrap().pop_front();
+                        if item.is_none() {
+                            for off in 1..workers {
+                                let victim = (k + off) % workers;
+                                if let Some(i) = deques[victim].lock().unwrap().pop_back() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    item = Some(i);
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(i) = item else { break };
+                        let r = work(&mut scratch, &items[i]);
+                        *results[i].lock().unwrap() = Some(r);
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+        for wave in waves {
+            let mut pos = 0usize;
+            for (k, len) in crate::parallel::chunk_lengths(wave.len(), workers).enumerate() {
+                let mut dq = deques[k].lock().unwrap();
+                for &i in &wave[pos..pos + len] {
+                    dq.push_back(i);
+                }
+                pos += len;
+            }
+            barrier.wait(); // release the pool into this wave
+            barrier.wait(); // wait for the wave to drain
+            let collected: Vec<R> = wave
+                .iter()
+                .map(|&i| {
+                    results[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("every wave item produces a result")
+                })
+                .collect();
+            commit(collected);
+        }
+        done.store(true, Ordering::Release);
+        barrier.wait();
+    });
+    steals.into_inner()
 }
 
 /// One worker's reusable scratch: an engine arena (with the group's
@@ -371,10 +516,10 @@ pub fn frozen_dec_sweep<T: FrozenTopology>(
     base: T,
     h: VertexId,
     receivers: &[VertexId],
-) -> (LabelWriteLog<T::Dist>, OpCounters) {
-    let mut counters = OpCounters {
+) -> (LabelWriteLog<T::Dist>, MaintenanceCounters) {
+    let mut counters = MaintenanceCounters {
         hubs_processed: 1,
-        ..OpCounters::default()
+        ..MaintenanceCounters::default()
     };
     let mut log = LabelWriteLog::new();
     {
@@ -397,14 +542,83 @@ mod tests {
     use super::*;
 
     #[test]
-    fn dsu_components() {
-        let comp = components_from_edges(6, [(0, 1), (1, 2), (4, 5)].into_iter());
+    fn bounded_bfs_labels_only_touched_components() {
+        // Adjacency: {0,1,2} form a path, {4,5} an edge, 3 and 6 isolated.
+        let adj: Vec<Vec<u32>> = vec![
+            vec![1],
+            vec![0, 2],
+            vec![1],
+            vec![],
+            vec![5],
+            vec![4],
+            vec![],
+        ];
+        // Seeds touch the path and the edge but never vertex 3 or 6.
+        let (comp, probes) =
+            agenda_components(7, [VertexId(0), VertexId(5)].into_iter(), |v, f| {
+                for &w in &adj[v as usize] {
+                    f(w);
+                }
+            });
         assert_eq!(comp[0], comp[1]);
         assert_eq!(comp[1], comp[2]);
         assert_eq!(comp[4], comp[5]);
-        assert_ne!(comp[0], comp[3]);
         assert_ne!(comp[0], comp[4]);
-        assert_ne!(comp[3], comp[4]);
+        // Untouched components stay unlabeled and unvisited.
+        assert_eq!(comp[3], u32::MAX);
+        assert_eq!(comp[6], u32::MAX);
+        assert_eq!(probes, 5);
+
+        // A second seed inside an already-labeled component floods nothing.
+        let (comp2, probes2) = agenda_components(
+            7,
+            [VertexId(0), VertexId(2), VertexId(5)].into_iter(),
+            |v, f| {
+                for &w in &adj[v as usize] {
+                    f(w);
+                }
+            },
+        );
+        assert_eq!(comp2[..6], comp[..6]);
+        assert_eq!(probes2, 5);
+    }
+
+    #[test]
+    fn wave_pool_matches_inline_execution_and_reuses_scratch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<usize> = (0..23).collect();
+        let all: Vec<usize> = (0..items.len()).collect();
+        let waves: Vec<&[usize]> = vec![&all[..7], &all[7..8], &all[8..]];
+        for threads in [1usize, 2, 4, 8] {
+            let scratches = AtomicUsize::new(0);
+            let mut committed: Vec<Vec<usize>> = Vec::new();
+            let steals = run_wave_pool(
+                threads,
+                &items,
+                &waves,
+                || {
+                    scratches.fetch_add(1, Ordering::Relaxed);
+                },
+                |_s, &i| i * 10,
+                |r| committed.push(r),
+            );
+            // Results arrive per wave, in item order, at every thread count.
+            let expect: Vec<Vec<usize>> = waves
+                .iter()
+                .map(|w| w.iter().map(|&i| i * 10).collect())
+                .collect();
+            assert_eq!(committed, expect, "threads={threads}");
+            // One scratch per pool worker for the whole schedule — not per
+            // wave.
+            let max_workers = threads.min(items.len()).max(1);
+            assert!(
+                scratches.load(Ordering::Relaxed) <= max_workers,
+                "threads={threads}"
+            );
+            if threads <= 1 {
+                assert_eq!(steals, 0);
+            }
+        }
     }
 
     #[test]

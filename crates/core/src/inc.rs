@@ -20,7 +20,7 @@
 //! distance is now an overestimate loses every query to some fresher hub,
 //! so correctness survives and update time drops.
 
-use crate::engine::{merge_affected, OpCounters, UndirectedTopo, UpdateEngine};
+use crate::engine::{merge_affected, MaintenanceCounters, UndirectedTopo, UpdateEngine};
 use crate::index::SpcIndex;
 use crate::query::HubProbe;
 use dspc_graph::{UndirectedGraph, VertexId};
@@ -57,14 +57,27 @@ impl IncStats {
     }
 }
 
-impl From<OpCounters> for IncStats {
-    fn from(c: OpCounters) -> Self {
+impl From<MaintenanceCounters> for IncStats {
+    fn from(c: MaintenanceCounters) -> Self {
         IncStats {
             renew_count: c.renew_count,
             renew_dist: c.renew_dist,
             inserted: c.inserted,
             hubs_processed: c.hubs_processed,
             vertices_visited: c.vertices_visited,
+        }
+    }
+}
+
+impl From<IncStats> for MaintenanceCounters {
+    fn from(s: IncStats) -> Self {
+        MaintenanceCounters {
+            renew_count: s.renew_count,
+            renew_dist: s.renew_dist,
+            inserted: s.inserted,
+            hubs_processed: s.hubs_processed,
+            vertices_visited: s.vertices_visited,
+            ..MaintenanceCounters::default()
         }
     }
 }
@@ -100,7 +113,7 @@ impl IncSpc {
     ) -> IncStats {
         debug_assert!(g.has_edge(a, b), "IncSPC runs after the graph mutation");
         self.engine.ensure_capacity(g.capacity());
-        let mut stats = OpCounters::default();
+        let mut stats = MaintenanceCounters::default();
 
         // AFF = {h | h ∈ L_i(a) ∪ L_i(b)}, membership snapshotted *before*
         // any label mutation, processed in descending rank order (ascending

@@ -78,10 +78,13 @@ pub mod weighted;
 
 pub use build::{build_index, rebuild_index, HpSpcBuilder};
 pub use dynamic::{DynamicSpc, GraphUpdate, UpdateStats};
+pub use engine::MaintenanceCounters;
 pub use flat::{DirectedFlatIndex, FlatIndex, FlatScratch, KernelCounters, WeightedFlatIndex};
 pub use index::{IndexStats, SpcIndex};
 pub use label::{Count, LabelEntry, LabelSet, Rank, INF_DIST};
 pub use order::{OrderingStrategy, RankMap};
-pub use parallel::{MaintenanceThreads, QueryEngine};
+pub use parallel::{
+    AgendaScope, ClassifyMode, MaintenanceOptions, MaintenanceThreads, QueryEngine,
+};
 pub use query::{pre_query, spc_query, QueryResult};
 pub use shard::{EpochSnapshot, ShardedFlatIndex};

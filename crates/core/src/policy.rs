@@ -10,6 +10,7 @@
 
 use crate::dynamic::{DynamicSpc, GraphUpdate, UpdateStats};
 use crate::order::degree_order_staleness;
+use crate::parallel::MaintenanceOptions;
 use dspc_graph::Result;
 
 /// When to trigger a full rebuild with a fresh ordering.
@@ -120,9 +121,24 @@ impl ManagedSpc {
     /// cache is dropped, so the next [`ManagedSpc::frozen_queries`] freezes
     /// the post-epoch index.
     pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<UpdateStats> {
-        let stats = self.inner.apply_batch(updates)?;
+        self.apply_batch_with(updates, &self.inner.maintenance_options())
+    }
+
+    /// [`ManagedSpc::apply_batch`] with explicit [`MaintenanceOptions`]
+    /// (see [`DynamicSpc::apply_batch_with`]).
+    pub fn apply_batch_with(
+        &mut self,
+        updates: &[GraphUpdate],
+        options: &MaintenanceOptions,
+    ) -> Result<UpdateStats> {
+        let stats = self.inner.apply_batch_with(updates, options)?;
         self.maybe_rebuild();
         Ok(stats)
+    }
+
+    /// The wrapped facade's default [`MaintenanceOptions`].
+    pub fn maintenance_options(&self) -> MaintenanceOptions {
+        self.inner.maintenance_options()
     }
 
     fn maybe_rebuild(&mut self) {

@@ -20,7 +20,7 @@ use crate::dynamic::{UpdateKind, UpdateStats};
 use crate::engine::{ordered_key, EdgeCoalescer};
 use crate::label::{Count, Rank};
 use crate::order::OrderingStrategy;
-use crate::parallel::MaintenanceThreads;
+use crate::parallel::{AgendaScope, MaintenanceOptions, MaintenanceThreads};
 use dspc_graph::weighted::{WDist, Weight, WeightedGraph, WDIST_INF};
 use dspc_graph::VertexId;
 use serde::{Deserialize, Serialize};
@@ -378,9 +378,9 @@ impl DynamicWeightedSpc {
     }
 
     /// Sets the worker-thread budget for intra-batch repair
-    /// ([`DynamicWeightedSpc::delete_edges`] and the deletion groups of
-    /// [`DynamicWeightedSpc::apply_batch`]). Every thread count produces
-    /// the same index, queries, and counters.
+    /// ([`DynamicWeightedSpc::delete_edges_with`] and the deletion
+    /// segments of [`DynamicWeightedSpc::apply_batch`]). Every thread
+    /// count produces the same index, queries, and counters.
     pub fn set_maintenance_threads(&mut self, threads: MaintenanceThreads) {
         self.maintenance_threads = threads;
     }
@@ -388,6 +388,14 @@ impl DynamicWeightedSpc {
     /// The configured maintenance thread budget.
     pub fn maintenance_threads(&self) -> MaintenanceThreads {
         self.maintenance_threads
+    }
+
+    /// The default [`MaintenanceOptions`] this facade applies batches
+    /// with; pass a modified copy to
+    /// [`DynamicWeightedSpc::apply_batch_with`] /
+    /// [`DynamicWeightedSpc::delete_edges_with`] to override per call.
+    pub fn maintenance_options(&self) -> MaintenanceOptions {
+        MaintenanceOptions::with_threads(self.maintenance_threads)
     }
 
     /// The underlying graph.
@@ -427,21 +435,30 @@ impl DynamicWeightedSpc {
         Ok(UpdateStats::from_counters(UpdateKind::DeleteEdge, c))
     }
 
-    /// Deletes a *set* of edges as one epoch through the multi-edge
-    /// `SrrSEARCH` repair path ([`WeightedDecSpc::delete_edges`]): one
-    /// rank-pruned Dijkstra per distinct affected hub against the residual
-    /// graph with the whole set already absent. All edges are validated
-    /// present before the first mutation.
+    /// Deletes a *set* of edges as one epoch. Equivalent to
+    /// [`DynamicWeightedSpc::delete_edges_with`] under this facade's
+    /// [`DynamicWeightedSpc::maintenance_options`].
+    #[deprecated(note = "use `delete_edges_with` (same behavior under `maintenance_options()`)")]
     pub fn delete_edges(
         &mut self,
         edges: &[(VertexId, VertexId)],
     ) -> dspc_graph::Result<UpdateStats> {
-        let c = self.dec.delete_edges_with_threads(
-            &mut self.graph,
-            &mut self.index,
-            edges,
-            self.maintenance_threads.resolve(),
-        )?;
+        self.delete_edges_with(edges, &self.maintenance_options())
+    }
+
+    /// Deletes a *set* of edges as one epoch through the multi-edge
+    /// `SrrSEARCH` repair path ([`WeightedDecSpc::delete_edges_with`]):
+    /// one rank-pruned Dijkstra per distinct affected hub against the
+    /// residual graph with the whole set already absent. All edges are
+    /// validated present before the first mutation.
+    pub fn delete_edges_with(
+        &mut self,
+        edges: &[(VertexId, VertexId)],
+        options: &MaintenanceOptions,
+    ) -> dspc_graph::Result<UpdateStats> {
+        let c = self
+            .dec
+            .delete_edges_with(&mut self.graph, &mut self.index, edges, options)?;
         self.flat = None;
         Ok(UpdateStats::from_counters(UpdateKind::Batch, c))
     }
@@ -454,15 +471,20 @@ impl DynamicWeightedSpc {
         v
     }
 
-    /// Deletes vertex `v` as a cascade of edge deletions.
+    /// Deletes vertex `v` — the incident edges are removed as one epoch
+    /// through the multi-edge repair path (one global agenda instead of a
+    /// per-edge DecSPC cascade), then the id is retired.
     pub fn delete_vertex(&mut self, v: VertexId) -> dspc_graph::Result<()> {
         if !self.graph.contains_vertex(v) {
             return Err(dspc_graph::GraphError::UnknownVertex(v));
         }
-        let neighbors: Vec<u32> = self.graph.neighbors(v).iter().map(|&(n, _)| n).collect();
-        for u in neighbors {
-            self.delete_edge(v, VertexId(u))?;
-        }
+        let edges: Vec<(VertexId, VertexId)> = self
+            .graph
+            .neighbors(v)
+            .iter()
+            .map(|&(n, _)| (v, VertexId(n)))
+            .collect();
+        self.delete_edges_with(&edges, &self.maintenance_options())?;
         self.graph.delete_vertex(v)?;
         self.flat = None;
         Ok(())
@@ -506,6 +528,20 @@ impl DynamicWeightedSpc {
     /// endpoint. Returns the aggregated [`UpdateStats`]. Validation
     /// mirrors applying the operations one by one.
     pub fn apply_batch(&mut self, updates: &[WeightedUpdate]) -> dspc_graph::Result<UpdateStats> {
+        self.apply_batch_with(updates, &self.maintenance_options())
+    }
+
+    /// [`DynamicWeightedSpc::apply_batch`] with explicit
+    /// [`MaintenanceOptions`]: `options.scope` selects whether the net
+    /// deletion set repairs under one global agenda
+    /// ([`AgendaScope::Global`], the default) or as per-component groups
+    /// ([`AgendaScope::PerGroup`]); `options.threads` / `options.classify`
+    /// flow through to the repair drivers.
+    pub fn apply_batch_with(
+        &mut self,
+        updates: &[WeightedUpdate],
+        options: &MaintenanceOptions,
+    ) -> dspc_graph::Result<UpdateStats> {
         let mut co: EdgeCoalescer<Weight> = EdgeCoalescer::new();
         for &u in updates {
             match u {
@@ -529,8 +565,22 @@ impl DynamicWeightedSpc {
         let index = &self.index;
         let plan = crate::engine::NetPlan::build(co.drain(), |v| index.rank(VertexId(v)));
         let mut total = UpdateStats::empty(UpdateKind::Batch);
-        for group in plan.deletion_vertex_groups() {
-            total.absorb(&self.delete_edges(&group)?);
+        match options.scope {
+            AgendaScope::Global => {
+                let deletions: Vec<(VertexId, VertexId)> = plan
+                    .deletions
+                    .iter()
+                    .map(|&(a, b)| (VertexId(a), VertexId(b)))
+                    .collect();
+                if !deletions.is_empty() {
+                    total.absorb(&self.delete_edges_with(&deletions, options)?);
+                }
+            }
+            AgendaScope::PerGroup => {
+                for group in plan.deletion_vertex_groups() {
+                    total.absorb(&self.delete_edges_with(&group, options)?);
+                }
+            }
         }
         for op in plan.into_post_deletion_ops() {
             total.absorb(&match op {

@@ -14,10 +14,11 @@
 
 use super::{WHubProbe, WeightedSpcIndex};
 use crate::engine::{
-    merge_affected, OpCounters, RepairAgenda, UpdateEngine, WeightedTopo, MARK_A, MARK_B,
-    REPAIR_PRIMARY,
+    aggregate_far_columns, build_endpoint_tasks, merge_affected, FarAggregator, FarColumn,
+    MaintenanceCounters, RepairAgenda, UpdateEngine, WeightedTopo, MARK_A, MARK_B, REPAIR_PRIMARY,
 };
 use crate::label::Rank;
+use crate::parallel::{ClassifyMode, MaintenanceOptions, MaintenanceThreads};
 use dspc_graph::weighted::{WDist, Weight, WeightedGraph};
 use dspc_graph::VertexId;
 
@@ -49,10 +50,10 @@ impl WeightedIncSpc {
         a: VertexId,
         b: VertexId,
         w: Weight,
-    ) -> OpCounters {
+    ) -> MaintenanceCounters {
         debug_assert_eq!(g.weight(a, b), Some(w));
         self.engine.ensure_capacity(g.capacity());
-        let mut stats = OpCounters::default();
+        let mut stats = MaintenanceCounters::default();
         let aff = merge_affected(index.label_set(a).entries(), index.label_set(b).entries());
         let (rank_a, rank_b) = (index.rank(a), index.rank(b));
         for (h_rank, in_a, in_b) in aff {
@@ -95,7 +96,9 @@ impl WeightedIncSpc {
 pub struct WeightedDecSpc {
     engine: UpdateEngine<WDist>,
     probe: WHubProbe,
+    probes: Vec<WHubProbe>,
     agenda: RepairAgenda,
+    agg: FarAggregator,
 }
 
 impl WeightedDecSpc {
@@ -104,41 +107,73 @@ impl WeightedDecSpc {
         WeightedDecSpc {
             engine: UpdateEngine::new(capacity),
             probe: WHubProbe::new(capacity),
+            probes: Vec::new(),
             agenda: RepairAgenda::new(capacity),
+            agg: FarAggregator::new(capacity),
         }
     }
 
-    /// Multi-edge `SrrSEARCH` repair (the batch generalization of the
-    /// weighted deletion): deletes every edge of `edges` from `g` and
-    /// repairs `index` with one rank-pruned Dijkstra per distinct affected
-    /// hub, instead of one per edge per hub. Each edge is classified on
-    /// the group-pre graph with its own weight as the affected-condition
-    /// length; the repair sweeps then run against the residual graph with
-    /// the whole set absent. All edges are validated present (and pairwise
-    /// distinct) before the first mutation.
+    /// Multi-edge `SrrSEARCH` repair, sequential. Equivalent to
+    /// [`WeightedDecSpc::delete_edges_with`] with
+    /// [`MaintenanceOptions::sequential`].
+    #[deprecated(note = "use `delete_edges_with` with `MaintenanceOptions::sequential()`")]
     pub fn delete_edges(
         &mut self,
         g: &mut WeightedGraph,
         index: &mut WeightedSpcIndex,
         edges: &[(VertexId, VertexId)],
-    ) -> dspc_graph::Result<OpCounters> {
-        self.delete_edges_with_threads(g, index, edges, 1)
+    ) -> dspc_graph::Result<MaintenanceCounters> {
+        self.delete_edges_with(g, index, edges, &MaintenanceOptions::sequential())
     }
 
-    /// [`WeightedDecSpc::delete_edges`] with an explicit maintenance
-    /// thread budget. `threads <= 1` is the sequential path exactly;
-    /// larger budgets classify edges in parallel and run the rank-pruned
-    /// repair Dijkstras as rank-independent waves. Deterministic at every
-    /// thread count.
+    /// Multi-edge deletion with an explicit thread budget. Equivalent to
+    /// [`WeightedDecSpc::delete_edges_with`] with
+    /// [`MaintenanceOptions::with_threads`].
+    #[deprecated(note = "use `delete_edges_with` with `MaintenanceOptions::with_threads(..)`")]
     pub fn delete_edges_with_threads(
         &mut self,
         g: &mut WeightedGraph,
         index: &mut WeightedSpcIndex,
         edges: &[(VertexId, VertexId)],
         threads: usize,
-    ) -> dspc_graph::Result<OpCounters> {
+    ) -> dspc_graph::Result<MaintenanceCounters> {
+        self.delete_edges_with(
+            g,
+            index,
+            edges,
+            &MaintenanceOptions::with_threads(MaintenanceThreads::Fixed(threads)),
+        )
+    }
+
+    /// Multi-edge `SrrSEARCH` repair (the batch generalization of the
+    /// weighted deletion): deletes every edge of `edges` from `g` and
+    /// repairs `index` with one rank-pruned Dijkstra per distinct affected
+    /// hub, instead of one per edge per hub.
+    ///
+    /// Classification runs on the group-pre graph with each edge's
+    /// pre-deletion weight as the affected-condition length. Under the
+    /// default [`ClassifyMode::MultiFar`] it costs one
+    /// [`UpdateEngine::multi_far_pass`] Dijkstra per *distinct endpoint*
+    /// of the set, with per-far count columns summed per shared far
+    /// endpoint — fixing the mixed-frontier condition-**B** undercount
+    /// when several doomed edges share a far endpoint. The repair sweeps
+    /// then run against the residual graph with the whole set absent.
+    ///
+    /// A thread budget above 1 classifies endpoint tasks in parallel and
+    /// runs the rank-pruned repair Dijkstras as rank-independent waves on
+    /// a persistent worker pool. Deterministic at every thread count.
+    ///
+    /// All edges are validated present (and pairwise distinct) before the
+    /// first mutation.
+    pub fn delete_edges_with(
+        &mut self,
+        g: &mut WeightedGraph,
+        index: &mut WeightedSpcIndex,
+        edges: &[(VertexId, VertexId)],
+        options: &MaintenanceOptions,
+    ) -> dspc_graph::Result<MaintenanceCounters> {
         match edges {
-            [] => return Ok(OpCounters::default()),
+            [] => return Ok(MaintenanceCounters::default()),
             &[(a, b)] => return self.delete_edge(g, index, a, b),
             _ => {}
         }
@@ -159,24 +194,65 @@ impl WeightedDecSpc {
         }
         self.engine.ensure_capacity(g.capacity());
         self.agenda.ensure_capacity(g.capacity());
-        let mut stats = OpCounters::default();
+        self.agg.ensure_capacity(g.capacity());
+        let threads = options.threads.resolve();
+        let mut stats = MaintenanceCounters::default();
 
         if threads <= 1 {
-            for (&(a, b), &w) in edges.iter().zip(&weights) {
-                let (sr_a, r_a) = {
-                    let mut topo = WeightedTopo::new(g, index, &mut self.probe);
-                    self.engine
-                        .srr_pass(&mut topo, a, b, w as WDist, &mut stats)
-                };
-                let (sr_b, r_b) = {
-                    let mut topo = WeightedTopo::new(g, index, &mut self.probe);
-                    self.engine
-                        .srr_pass(&mut topo, b, a, w as WDist, &mut stats)
-                };
-                self.agenda
-                    .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
-                self.agenda
-                    .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
+            match options.classify {
+                ClassifyMode::PerEdge => {
+                    for (&(a, b), &w) in edges.iter().zip(&weights) {
+                        let (sr_a, r_a) = {
+                            let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+                            self.engine
+                                .srr_pass(&mut topo, a, b, w as WDist, &mut stats)
+                        };
+                        let (sr_b, r_b) = {
+                            let mut topo = WeightedTopo::new(g, index, &mut self.probe);
+                            self.engine
+                                .srr_pass(&mut topo, b, a, w as WDist, &mut stats)
+                        };
+                        self.agenda
+                            .note_side(&sr_a, &r_a, REPAIR_PRIMARY, |v| index.rank(v));
+                        self.agenda
+                            .note_side(&sr_b, &r_b, REPAIR_PRIMARY, |v| index.rank(v));
+                    }
+                }
+                ClassifyMode::MultiFar => {
+                    use crate::engine::FrozenWeighted;
+                    let tasks = build_endpoint_tasks(
+                        edges
+                            .iter()
+                            .zip(&weights)
+                            .flat_map(|(&(a, b), &w)| [(a, b, w as WDist), (b, a, w as WDist)]),
+                    );
+                    let mut columns: Vec<FarColumn> = Vec::new();
+                    {
+                        let (g_ref, index_ref): (&WeightedGraph, &WeightedSpcIndex) = (g, index);
+                        let engine = &mut self.engine;
+                        let probes = &mut self.probes;
+                        for task in &tasks {
+                            while probes.len() < task.fars.len() {
+                                probes.push(WHubProbe::new(g_ref.capacity()));
+                            }
+                            let mut views: Vec<FrozenWeighted> = probes[..task.fars.len()]
+                                .iter_mut()
+                                .map(|p| FrozenWeighted::new(g_ref, index_ref, p))
+                                .collect();
+                            columns.extend(
+                                engine
+                                    .multi_far_pass(&mut views, task.near, &task.fars, &mut stats),
+                            );
+                        }
+                    }
+                    aggregate_far_columns(
+                        &mut self.agg,
+                        &columns,
+                        &mut self.agenda,
+                        REPAIR_PRIMARY,
+                        |v| index.rank(v),
+                    );
+                }
             }
             self.engine
                 .set_marks([self.agenda.receivers(), &[]], [&[], &[]]);
@@ -185,7 +261,9 @@ impl WeightedDecSpc {
                 g.delete_edge(a, b)?;
             }
 
-            for (h_rank, _) in self.agenda.take_hubs() {
+            let hubs = self.agenda.take_hubs();
+            stats.agenda_hubs += hubs.len();
+            for (h_rank, _) in hubs {
                 let h = index.vertex(h_rank);
                 stats.hubs_processed += 1;
                 let mut topo = WeightedTopo::new(g, index, &mut self.probe);
@@ -200,16 +278,26 @@ impl WeightedDecSpc {
 
             self.engine.clear_marks();
         } else {
-            self.delete_group_parallel(g, index, edges, &weights, threads, &mut stats)?;
+            self.delete_group_parallel(
+                g,
+                index,
+                edges,
+                &weights,
+                threads,
+                options.classify,
+                &mut stats,
+            )?;
         }
         self.agenda.clear();
         Ok(stats)
     }
 
-    /// Wave-parallel twin of the sequential multi-edge body: per-edge
-    /// classification Dijkstras fan out (read-only on the pre-mutation
-    /// graph), then the deduplicated hub agenda runs as rank-independent
-    /// waves of frozen repair Dijkstras on the residual graph.
+    /// Wave-parallel twin of the sequential multi-edge body: the
+    /// classification Dijkstras fan out over the group's endpoint tasks
+    /// (read-only on the pre-mutation graph), then the deduplicated hub
+    /// agenda runs as rank-independent waves of frozen repair Dijkstras
+    /// on the residual graph, on a persistent worker pool.
+    #[allow(clippy::too_many_arguments)]
     fn delete_group_parallel(
         &mut self,
         g: &mut WeightedGraph,
@@ -217,57 +305,107 @@ impl WeightedDecSpc {
         edges: &[(VertexId, VertexId)],
         weights: &[Weight],
         threads: usize,
-        stats: &mut OpCounters,
+        classify: ClassifyMode,
+        stats: &mut MaintenanceCounters,
     ) -> dspc_graph::Result<()> {
         use crate::engine::parallel::{
-            components_from_edges, frozen_dec_sweep, note_schedule, plan_waves, Buffered,
-            Interference, LabelWriteLog, WorkerScratch,
+            agenda_components, frozen_dec_sweep, note_schedule, plan_waves, run_wave_pool,
+            Buffered, Interference, LabelWriteLog, WorkerScratch,
         };
         use crate::engine::FrozenWeighted;
         use crate::weighted::WLabelEntry;
 
         let cap = g.capacity();
-        let items: Vec<(VertexId, VertexId, Weight)> = edges
-            .iter()
-            .zip(weights)
-            .map(|(&(a, b), &w)| (a, b, w))
-            .collect();
 
-        let outcomes = {
-            let (g_ref, index_ref): (&WeightedGraph, &WeightedSpcIndex) = (g, index);
-            crate::parallel::fan_out(
-                &items,
-                threads,
-                || {
-                    (
-                        UpdateEngine::<WDist>::new(cap),
-                        WHubProbe::new(cap),
-                        LabelWriteLog::<WDist>::new(),
+        match classify {
+            ClassifyMode::PerEdge => {
+                let items: Vec<(VertexId, VertexId, Weight)> = edges
+                    .iter()
+                    .zip(weights)
+                    .map(|(&(a, b), &w)| (a, b, w))
+                    .collect();
+                let outcomes = {
+                    let (g_ref, index_ref): (&WeightedGraph, &WeightedSpcIndex) = (g, index);
+                    crate::parallel::fan_out(
+                        &items,
+                        threads,
+                        || {
+                            (
+                                UpdateEngine::<WDist>::new(cap),
+                                WHubProbe::new(cap),
+                                LabelWriteLog::<WDist>::new(),
+                            )
+                        },
+                        |(engine, probe, log), &(a, b, w)| {
+                            let mut c = MaintenanceCounters::default();
+                            let (sr_a, r_a) = {
+                                let mut topo = Buffered::new(
+                                    FrozenWeighted::new(g_ref, index_ref, probe),
+                                    log,
+                                );
+                                engine.srr_pass(&mut topo, a, b, w as WDist, &mut c)
+                            };
+                            let (sr_b, r_b) = {
+                                let mut topo = Buffered::new(
+                                    FrozenWeighted::new(g_ref, index_ref, probe),
+                                    log,
+                                );
+                                engine.srr_pass(&mut topo, b, a, w as WDist, &mut c)
+                            };
+                            debug_assert!(log.is_empty(), "classification never writes");
+                            (sr_a, r_a, sr_b, r_b, c)
+                        },
                     )
-                },
-                |(engine, probe, log), &(a, b, w)| {
-                    let mut c = OpCounters::default();
-                    let (sr_a, r_a) = {
-                        let mut topo =
-                            Buffered::new(FrozenWeighted::new(g_ref, index_ref, probe), log);
-                        engine.srr_pass(&mut topo, a, b, w as WDist, &mut c)
-                    };
-                    let (sr_b, r_b) = {
-                        let mut topo =
-                            Buffered::new(FrozenWeighted::new(g_ref, index_ref, probe), log);
-                        engine.srr_pass(&mut topo, b, a, w as WDist, &mut c)
-                    };
-                    debug_assert!(log.is_empty(), "classification never writes");
-                    (sr_a, r_a, sr_b, r_b, c)
-                },
-            )
-        };
-        for (sr_a, r_a, sr_b, r_b, c) in &outcomes {
-            stats.absorb(c);
-            self.agenda
-                .note_side(sr_a, r_a, REPAIR_PRIMARY, |v| index.rank(v));
-            self.agenda
-                .note_side(sr_b, r_b, REPAIR_PRIMARY, |v| index.rank(v));
+                };
+                for (sr_a, r_a, sr_b, r_b, c) in &outcomes {
+                    stats.absorb(c);
+                    self.agenda
+                        .note_side(sr_a, r_a, REPAIR_PRIMARY, |v| index.rank(v));
+                    self.agenda
+                        .note_side(sr_b, r_b, REPAIR_PRIMARY, |v| index.rank(v));
+                }
+            }
+            ClassifyMode::MultiFar => {
+                let tasks = build_endpoint_tasks(
+                    edges
+                        .iter()
+                        .zip(weights)
+                        .flat_map(|(&(a, b), &w)| [(a, b, w as WDist), (b, a, w as WDist)]),
+                );
+                let outcomes = {
+                    let (g_ref, index_ref): (&WeightedGraph, &WeightedSpcIndex) = (g, index);
+                    crate::parallel::fan_out(
+                        &tasks,
+                        threads,
+                        || (UpdateEngine::<WDist>::new(cap), Vec::<WHubProbe>::new()),
+                        |(engine, probes), task| {
+                            while probes.len() < task.fars.len() {
+                                probes.push(WHubProbe::new(cap));
+                            }
+                            let mut c = MaintenanceCounters::default();
+                            let mut views: Vec<FrozenWeighted> = probes[..task.fars.len()]
+                                .iter_mut()
+                                .map(|p| FrozenWeighted::new(g_ref, index_ref, p))
+                                .collect();
+                            let cols =
+                                engine.multi_far_pass(&mut views, task.near, &task.fars, &mut c);
+                            (cols, c)
+                        },
+                    )
+                };
+                let mut columns: Vec<FarColumn> = Vec::new();
+                for (cols, c) in outcomes {
+                    stats.absorb(&c);
+                    columns.extend(cols);
+                }
+                aggregate_far_columns(
+                    &mut self.agg,
+                    &columns,
+                    &mut self.agenda,
+                    REPAIR_PRIMARY,
+                    |v| index.rank(v),
+                );
+            }
         }
 
         for &(a, b) in edges {
@@ -275,11 +413,23 @@ impl WeightedDecSpc {
         }
 
         let hubs = self.agenda.take_hubs();
+        stats.agenda_hubs += hubs.len();
         let receivers = self.agenda.receivers();
         let schedule = if hubs.len() < 2 {
             plan_waves(hubs.len(), |_, _| false)
         } else {
-            let comp = components_from_edges(cap, g.edges().map(|(a, b, _)| (a.0, b.0)));
+            let (comp, probes) = agenda_components(
+                cap,
+                hubs.iter()
+                    .map(|&(r, _)| index.vertex(r))
+                    .chain(receivers.iter().copied()),
+                |v, f| {
+                    for &(w, _) in g.neighbors(VertexId(v)) {
+                        f(w);
+                    }
+                },
+            );
+            stats.interference_probes += probes;
             let inter = Interference::build(
                 &comp,
                 &hubs,
@@ -294,38 +444,43 @@ impl WeightedDecSpc {
             plan_waves(hubs.len(), |i, j| inter.conflicts(i, j))
         };
         note_schedule(stats, &schedule);
-        for wave in schedule.iter() {
-            let wave_hubs: Vec<crate::label::Rank> = wave.iter().map(|&i| hubs[i].0).collect();
-            let results = {
-                let (g_ref, index_ref): (&WeightedGraph, &WeightedSpcIndex) = (g, index);
-                crate::parallel::fan_out(
-                    &wave_hubs,
-                    threads,
-                    || WorkerScratch::for_group(cap, receivers, WHubProbe::new(cap)),
-                    |scratch, &h_rank| {
-                        frozen_dec_sweep(
-                            &mut scratch.engine,
-                            FrozenWeighted::new(g_ref, index_ref, &mut scratch.probe),
-                            index_ref.vertex(h_rank),
-                            receivers,
-                        )
-                    },
+        let items: Vec<Rank> = hubs.iter().map(|&(r, _)| r).collect();
+        let waves: Vec<&[usize]> = schedule.iter().collect();
+        let g_ref: &WeightedGraph = g;
+        let index_lock = std::sync::RwLock::new(&mut *index);
+        let steals = run_wave_pool(
+            threads,
+            &items,
+            &waves,
+            || WorkerScratch::for_group(cap, receivers, WHubProbe::new(cap)),
+            |scratch, &h_rank| {
+                let guard = index_lock.read().unwrap();
+                let index: &WeightedSpcIndex = &guard;
+                frozen_dec_sweep(
+                    &mut scratch.engine,
+                    FrozenWeighted::new(g_ref, index, &mut scratch.probe),
+                    index.vertex(h_rank),
+                    receivers,
                 )
-            };
-            for (mut log, c) in results {
-                stats.absorb(&c);
-                for (v, hub, op) in log.drain() {
-                    match op {
-                        Some((d, cnt)) => {
-                            index.label_set_mut(v).upsert(WLabelEntry::new(hub, d, cnt));
-                        }
-                        None => {
-                            index.label_set_mut(v).remove(hub);
+            },
+            |results| {
+                let mut guard = index_lock.write().unwrap();
+                for (mut log, c) in results {
+                    stats.absorb(&c);
+                    for (v, hub, op) in log.drain() {
+                        match op {
+                            Some((d, cnt)) => {
+                                guard.label_set_mut(v).upsert(WLabelEntry::new(hub, d, cnt));
+                            }
+                            None => {
+                                guard.label_set_mut(v).remove(hub);
+                            }
                         }
                     }
                 }
-            }
-        }
+            },
+        );
+        stats.steal_events += steals;
         Ok(())
     }
 
@@ -336,7 +491,7 @@ impl WeightedDecSpc {
         index: &mut WeightedSpcIndex,
         a: VertexId,
         b: VertexId,
-    ) -> dspc_graph::Result<OpCounters> {
+    ) -> dspc_graph::Result<MaintenanceCounters> {
         let w = g
             .weight(a, b)
             .ok_or(dspc_graph::GraphError::MissingEdge(a, b))?;
@@ -352,7 +507,7 @@ impl WeightedDecSpc {
         a: VertexId,
         b: VertexId,
         new_w: Weight,
-    ) -> dspc_graph::Result<OpCounters> {
+    ) -> dspc_graph::Result<MaintenanceCounters> {
         let w = g
             .weight(a, b)
             .ok_or(dspc_graph::GraphError::MissingEdge(a, b))?;
@@ -374,9 +529,9 @@ impl WeightedDecSpc {
         b: VertexId,
         old_w: Weight,
         new_w: Option<Weight>,
-    ) -> dspc_graph::Result<OpCounters> {
+    ) -> dspc_graph::Result<MaintenanceCounters> {
         self.engine.ensure_capacity(g.capacity());
-        let mut stats = OpCounters::default();
+        let mut stats = MaintenanceCounters::default();
 
         // Phase 1 — SrrSEARCH with the weighted affected condition
         // (`D[v] + old_w = sd_i(v, far)` replaces the hop condition).

@@ -126,8 +126,11 @@ pub trait ServingEngine: Send + 'static {
     type Update: Clone + Send + 'static + crate::journal::JournalUpdate;
 
     /// Applies one epoch's updates as a single coalesced batch (the
-    /// `apply_batch` epoch contract: net effect only, exact index on
-    /// return).
+    /// `apply_batch_with` epoch contract: net effect only, exact index on
+    /// return). Implementations route through the facade's
+    /// `apply_batch_with` under its configured
+    /// [`dspc::MaintenanceOptions`], so the serving write path inherits
+    /// the global-agenda repair pipeline and its thread budget.
     fn apply_batch(&mut self, updates: &[Self::Update]) -> dspc_graph::Result<UpdateStats>;
 
     /// Freezes the current epoch's serving snapshot, fanned out over
@@ -145,7 +148,8 @@ impl ServingEngine for DynamicSpc {
     type Update = GraphUpdate;
 
     fn apply_batch(&mut self, updates: &[GraphUpdate]) -> dspc_graph::Result<UpdateStats> {
-        DynamicSpc::apply_batch(self, updates)
+        let options = self.maintenance_options();
+        DynamicSpc::apply_batch_with(self, updates, &options)
     }
 
     fn freeze(&self, shards: usize) -> ShardedFlatIndex {
@@ -166,7 +170,8 @@ impl ServingEngine for ManagedSpc {
     type Update = GraphUpdate;
 
     fn apply_batch(&mut self, updates: &[GraphUpdate]) -> dspc_graph::Result<UpdateStats> {
-        ManagedSpc::apply_batch(self, updates)
+        let options = self.maintenance_options();
+        ManagedSpc::apply_batch_with(self, updates, &options)
     }
 
     fn freeze(&self, shards: usize) -> ShardedFlatIndex {
@@ -186,7 +191,8 @@ impl ServingEngine for DynamicDirectedSpc {
         &mut self,
         updates: &[dspc::directed::ArcUpdate],
     ) -> dspc_graph::Result<UpdateStats> {
-        DynamicDirectedSpc::apply_batch(self, updates)
+        let options = self.maintenance_options();
+        DynamicDirectedSpc::apply_batch_with(self, updates, &options)
     }
 
     fn freeze(&self, _shards: usize) -> DirectedFlatIndex {
@@ -203,7 +209,8 @@ impl ServingEngine for DynamicWeightedSpc {
     type Update = WeightedUpdate;
 
     fn apply_batch(&mut self, updates: &[WeightedUpdate]) -> dspc_graph::Result<UpdateStats> {
-        DynamicWeightedSpc::apply_batch(self, updates)
+        let options = self.maintenance_options();
+        DynamicWeightedSpc::apply_batch_with(self, updates, &options)
     }
 
     fn freeze(&self, _shards: usize) -> WeightedFlatIndex {

@@ -56,9 +56,13 @@ fn pure_deletion_batch_uses_strictly_fewer_sweeps_than_sequential() {
         "batch {} sweeps, sequential {seq_sweeps}",
         batch_stats.total_sweeps()
     );
-    // Classification work is identical (two sweeps per deleted edge); the
-    // entire win comes from deduplicated repair sweeps.
-    assert_eq!(batch_stats.classify_sweeps, 2 * spokes.len());
+    // Classification runs one multi-far sweep per distinct affected
+    // endpoint — the three spokes share the center, so 4 endpoints beat
+    // the 2-per-edge cost (6) of per-edge classification.
+    assert_eq!(batch_stats.classify_sweeps, 4);
+    assert!(batch_stats.classify_sweeps < 2 * spokes.len());
+    // The center classifies against all three doomed spokes in one sweep.
+    assert!(batch_stats.multi_far_sweeps >= 1);
     assert!(batch_stats.hubs_processed < seq_sweeps - batch_stats.classify_sweeps);
 
     // And the amortized path still lands on the exact same index behavior.
@@ -313,18 +317,25 @@ fn random_weighted_pure_deletion_batches_match_oracle() {
 fn facade_delete_edges_validates_before_mutating() {
     let g = wheel(5);
     let mut d = DynamicSpc::build(g, OrderingStrategy::Degree);
+    let opts = d.maintenance_options();
     let edges_before = d.graph().num_edges();
     // Second edge missing: nothing at all may be applied.
-    let err = d.delete_edges(&[(VertexId(0), VertexId(1)), (VertexId(2), VertexId(5))]);
+    let err = d.delete_edges_with(
+        &[(VertexId(0), VertexId(1)), (VertexId(2), VertexId(5))],
+        &opts,
+    );
     assert!(err.is_err());
     assert_eq!(d.graph().num_edges(), edges_before);
     // Duplicate edge in one set: rejected up front, naming the actual
     // duplicated edge — not an arbitrary member of the set.
-    let err = d.delete_edges(&[
-        (VertexId(1), VertexId(2)),
-        (VertexId(0), VertexId(1)),
-        (VertexId(1), VertexId(0)),
-    ]);
+    let err = d.delete_edges_with(
+        &[
+            (VertexId(1), VertexId(2)),
+            (VertexId(0), VertexId(1)),
+            (VertexId(1), VertexId(0)),
+        ],
+        &opts,
+    );
     match err {
         Err(dspc_graph::GraphError::MissingEdge(a, b)) => {
             assert_eq!((a, b), (VertexId(0), VertexId(1)));

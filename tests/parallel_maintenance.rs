@@ -25,6 +25,11 @@ fn assert_same_counters(seq: &UpdateStats, par: &UpdateStats, ctx: &str) {
     assert_eq!(seq.hubs_processed, par.hubs_processed, "{ctx}: hubs");
     assert_eq!(seq.classify_sweeps, par.classify_sweeps, "{ctx}: classify");
     assert_eq!(
+        seq.multi_far_sweeps, par.multi_far_sweeps,
+        "{ctx}: multi_far_sweeps"
+    );
+    assert_eq!(seq.agenda_hubs, par.agenda_hubs, "{ctx}: agenda_hubs");
+    assert_eq!(
         seq.vertices_visited, par.vertices_visited,
         "{ctx}: vertices_visited"
     );
@@ -97,12 +102,15 @@ fn two_wheels_repair_in_the_same_wave() {
     }
 }
 
-/// The wave stats surface through the plain `delete_edges` epoch API too.
+/// The wave stats surface through the deprecated `delete_edges` shim too —
+/// shim coverage: the old name must keep delegating to `delete_edges_with`
+/// under the facade's configured options.
 #[test]
 fn delete_edges_reports_schedule_shape() {
     let g = double_wheel_bridge();
     let mut d = DynamicSpc::build(g, OrderingStrategy::Identity);
     d.set_maintenance_threads(MaintenanceThreads::Fixed(4));
+    #[allow(deprecated)]
     let stats = d
         .delete_edges(&[(VertexId(0), VertexId(1)), (VertexId(0), VertexId(6))])
         .unwrap();
