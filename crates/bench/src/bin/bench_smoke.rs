@@ -41,6 +41,7 @@
 
 use dspc::directed::{directed_spc_query, ArcUpdate, DynamicDirectedSpc};
 use dspc::dynamic::GraphUpdate;
+use dspc::policy::{MaintenancePolicy, ManagedSpc};
 use dspc::query::spc_query_counted;
 use dspc::weighted::{weighted_spc_query, DynamicWeightedSpc, WeightedUpdate};
 use dspc::{
@@ -273,6 +274,66 @@ fn bridged(report: &mut BTreeMap<String, u64>) {
     *report.entry("label_entries".to_string()).or_insert(0) += d.index().num_entries() as u64;
 }
 
+/// Churn phase: a long degree-migrating update stream driven through
+/// three twins — a tiered re-rank policy, a rebuild-after-every-epoch
+/// baseline, and the NEVER policy. The phase hard-fails unless the tiered
+/// maintainer (a) never full-rebuilds and (b) holds its index within 5%
+/// of the rebuild-fresh twin's label entries, while its whole response is
+/// bounded re-rank work (`churn_rerank_swaps` / `churn_rerank_sweeps`).
+/// The NEVER twin's entry count is reported alongside as the bloat the
+/// re-ranks avoided.
+fn churn(report: &mut BTreeMap<String, u64>) {
+    let mut rng = StdRng::seed_from_u64(0xC4DE);
+    let g = barabasi_albert(300, 3, &mut rng);
+    let epochs = dspc_bench::workload::churn_stream(&g, 30, 6, &mut rng);
+
+    let managed = |policy: MaintenancePolicy| {
+        let mut d = DynamicSpc::build(g.clone(), OrderingStrategy::Degree);
+        d.set_maintenance_threads(THREADS);
+        ManagedSpc::new(d, policy)
+    };
+    // The churn displaces rising vertices by ~100 rank positions per epoch
+    // (each must bubble past the whole degree-tie band), so the batched
+    // tier needs a budget on the order of the total displacement — the
+    // replan loop stops early once staleness drops under the threshold.
+    let mut tiered = managed(MaintenancePolicy {
+        batched_swap_budget: 4096,
+        ..MaintenancePolicy::tiered(0.02, 0.08, 0.95)
+    });
+    let mut never = managed(MaintenancePolicy::NEVER);
+    let mut fresh = DynamicSpc::build(g.clone(), OrderingStrategy::Degree);
+    fresh.set_maintenance_threads(THREADS);
+    for batch in &epochs {
+        tiered.apply_batch(batch).expect("valid churn epoch");
+        never.apply_batch(batch).expect("valid churn epoch");
+        fresh.apply_batch(batch).expect("valid churn epoch");
+        fresh.rebuild();
+    }
+    let entries_tiered = tiered.inner().index().num_entries() as u64;
+    let entries_never = never.inner().index().num_entries() as u64;
+    let entries_fresh = fresh.index().num_entries() as u64;
+    assert_eq!(
+        tiered.rebuilds(),
+        0,
+        "tiered policy must absorb the churn without a full rebuild"
+    );
+    let drift = (entries_tiered as f64 - entries_fresh as f64) / entries_fresh as f64 * 100.0;
+    assert!(
+        drift <= 5.0,
+        "tiered index drifted {drift:.2}% above rebuild-fresh ({entries_tiered} vs {entries_fresh})"
+    );
+    eprintln!(
+        "[bench_smoke] churn: tiered {entries_tiered} vs fresh {entries_fresh} ({drift:+.2}%), never {entries_never}"
+    );
+    let rr = tiered.rerank_totals();
+    report.insert("churn_rerank_swaps".to_string(), rr.rerank_swaps as u64);
+    report.insert("churn_rerank_sweeps".to_string(), rr.rerank_sweeps as u64);
+    report.insert("churn_rebuilds".to_string(), tiered.rebuilds() as u64);
+    report.insert("churn_entries_tiered".to_string(), entries_tiered);
+    report.insert("churn_entries_fresh".to_string(), entries_fresh);
+    report.insert("churn_entries_never".to_string(), entries_never);
+}
+
 /// Serving phase: the deterministic epoch-rotation replay. Counters land
 /// under the `serve_` prefix; per-shard kernel work is reported per shard
 /// so a partitioning skew shows up in the lane output.
@@ -374,6 +435,7 @@ fn main() {
     directed(&mut report);
     weighted(&mut report);
     bridged(&mut report);
+    churn(&mut report);
     serving(&mut report);
     recovery(&mut report);
 
@@ -401,7 +463,9 @@ fn main() {
                 || key == "multi_far_sweeps"
                 || key == "merge_steps"
                 || key == "recover_replayed_batches"
-                || key == "journal_bytes_per_update";
+                || key == "journal_bytes_per_update"
+                || key == "churn_rerank_sweeps"
+                || key == "churn_entries_tiered";
             // max_wave_width gates in the opposite direction: it is a max
             // over epochs (rotation-agnostic by construction) and the
             // regression is the wave schedule LOSING width — disjoint

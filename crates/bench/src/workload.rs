@@ -166,6 +166,73 @@ pub fn hybrid_stream<R: Rng>(
     stream
 }
 
+/// A churn stream: `epochs` update batches that steadily migrate edges
+/// away from the graph's initially high-degree vertices toward its
+/// initially low-degree ones, so the build-time degree order goes stale
+/// the way §6 worries about — yesterday's hubs decay while fringe
+/// vertices grow into hubs the old order ranks near the bottom.
+///
+/// Each batch performs `per_epoch` *moves*; a move deletes one edge
+/// incident to a declining vertex (initial top-third by degree) and
+/// inserts one fresh edge between two rising vertices (initial
+/// bottom-third). Batches are generated against a live copy of the graph,
+/// so each one is valid when applied in sequence after its predecessors.
+pub fn churn_stream<R: Rng>(
+    g: &UndirectedGraph,
+    epochs: usize,
+    per_epoch: usize,
+    rng: &mut R,
+) -> Vec<Vec<dspc::dynamic::GraphUpdate>> {
+    use dspc::dynamic::GraphUpdate;
+    let mut live = g.clone();
+    let mut by_degree: Vec<VertexId> = live.vertices().collect();
+    by_degree.sort_by_key(|&v| (live.degree(v), v.0));
+    let third = by_degree.len() / 3;
+    let rising: Vec<VertexId> = by_degree[..third].to_vec();
+    let declining: Vec<VertexId> = by_degree[by_degree.len() - third..].to_vec();
+    let mut out = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let mut batch = Vec::with_capacity(2 * per_epoch);
+        for _ in 0..per_epoch {
+            // Delete an edge off a declining vertex that still has one.
+            let mut guard = 0;
+            loop {
+                guard += 1;
+                if guard > 10_000 {
+                    break;
+                }
+                let d = declining[rng.gen_range(0..declining.len())];
+                if live.degree(d) == 0 {
+                    continue;
+                }
+                let nbrs = live.neighbors(d);
+                let u = VertexId(nbrs[rng.gen_range(0..nbrs.len())]);
+                live.delete_edge(d, u).expect("live edge");
+                batch.push(GraphUpdate::DeleteEdge(d, u));
+                break;
+            }
+            // Insert a fresh edge between two rising vertices.
+            let mut guard = 0;
+            loop {
+                guard += 1;
+                if guard > 10_000 {
+                    break;
+                }
+                let a = rising[rng.gen_range(0..rising.len())];
+                let b = rising[rng.gen_range(0..rising.len())];
+                if a == b || live.has_edge(a, b) {
+                    continue;
+                }
+                live.insert_edge(a, b).expect("fresh non-edge");
+                batch.push(GraphUpdate::InsertEdge(a, b));
+                break;
+            }
+        }
+        out.push(batch);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +306,25 @@ mod tests {
         for u in stream {
             d.apply(u).unwrap();
         }
+    }
+
+    #[test]
+    fn churn_stream_applies_cleanly_and_inverts_the_order() {
+        use dspc::order::degree_order_staleness;
+        use dspc::{DynamicSpc, OrderingStrategy};
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(7);
+        let epochs = churn_stream(&g, 12, 5, &mut rng);
+        assert_eq!(epochs.len(), 12);
+        let mut d = DynamicSpc::build(g, OrderingStrategy::Degree);
+        let before = degree_order_staleness(d.graph(), d.index().ranks());
+        for batch in &epochs {
+            d.apply_batch(batch).unwrap();
+        }
+        let after = degree_order_staleness(d.graph(), d.index().ranks());
+        assert!(
+            after > before,
+            "churn must increase staleness ({before} -> {after})"
+        );
     }
 }

@@ -1,0 +1,77 @@
+//! AgendaScope ablation on the churn workload: replays the same churn
+//! stream through two tiered [`ManagedSpc`] twins that differ only in
+//! [`AgendaScope`], and checks the global agenda never does more
+//! classification or repair work than the legacy per-group agenda.
+//!
+//! The counter deltas this test prints are the numbers recorded in
+//! `docs/PAPER_MAP.md` (run with `--nocapture` to regenerate them).
+
+use dspc::policy::{MaintenancePolicy, ManagedSpc};
+use dspc::{
+    AgendaScope, DynamicSpc, MaintenanceCounters, MaintenanceOptions, MaintenanceThreads,
+    OrderingStrategy,
+};
+use dspc_graph::generators::random::barabasi_albert;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn replay(scope: AgendaScope) -> (MaintenanceCounters, usize) {
+    let mut rng = StdRng::seed_from_u64(0xC4DE);
+    let g = barabasi_albert(300, 3, &mut rng);
+    let epochs = dspc_bench::workload::churn_stream(&g, 30, 6, &mut rng);
+    let d = DynamicSpc::build(g, OrderingStrategy::Degree);
+    let policy = MaintenancePolicy {
+        batched_swap_budget: 4096,
+        ..MaintenancePolicy::tiered(0.02, 0.08, 0.95)
+    };
+    let mut managed = ManagedSpc::new(d, policy);
+    let options = MaintenanceOptions {
+        threads: MaintenanceThreads::Fixed(2),
+        scope,
+        ..MaintenanceOptions::default()
+    };
+    let mut totals = MaintenanceCounters::default();
+    for batch in &epochs {
+        let stats = managed
+            .apply_batch_with(batch, &options)
+            .expect("valid churn epoch");
+        totals.absorb(&stats.counters);
+    }
+    let entries = managed.inner().index().num_entries();
+    (totals, entries)
+}
+
+#[test]
+fn global_agenda_dominates_per_group_on_churn() {
+    let (global, entries_global) = replay(AgendaScope::Global);
+    let (per_group, entries_per_group) = replay(AgendaScope::PerGroup);
+
+    eprintln!(
+        "global:    classify={} hubs={} agenda_hubs={} waves={} total={} entries={}",
+        global.classify_sweeps,
+        global.hubs_processed,
+        global.agenda_hubs,
+        global.waves,
+        global.total_sweeps(),
+        entries_global,
+    );
+    eprintln!(
+        "per_group: classify={} hubs={} agenda_hubs={} waves={} total={} entries={}",
+        per_group.classify_sweeps,
+        per_group.hubs_processed,
+        per_group.agenda_hubs,
+        per_group.waves,
+        per_group.total_sweeps(),
+        entries_per_group,
+    );
+
+    // Both scopes repair to a correct index, but deletion repair may keep
+    // different (correct, slightly non-minimal) leftover labels, so the
+    // entry counts only have to agree within a hair.
+    assert!(entries_global.abs_diff(entries_per_group) * 1000 <= entries_global);
+    // The global agenda deduplicates hubs across deletion groups, so it
+    // can only do less (or equal) classification and repair work.
+    assert!(global.classify_sweeps <= per_group.classify_sweeps);
+    assert!(global.hubs_processed <= per_group.hubs_processed);
+    assert!(global.total_sweeps() <= per_group.total_sweeps());
+}

@@ -45,13 +45,23 @@ impl DirectedBuilder {
 
     /// Builds the directed SPC-Index of `g`.
     pub fn build(&mut self, g: &DirectedGraph, strategy: OrderingStrategy) -> DirectedSpcIndex {
+        self.build_with_ranks(g, DirectedRankMap::build(g, strategy))
+    }
+
+    /// Builds the directed SPC-Index of `g` over an explicit rank map —
+    /// the comparison target for [`crate::reorder`]'s directed swap repair.
+    pub fn build_with_ranks(
+        &mut self,
+        g: &DirectedGraph,
+        ranks: DirectedRankMap,
+    ) -> DirectedSpcIndex {
         let cap = g.capacity();
+        assert_eq!(ranks.len(), cap, "rank map does not cover the graph");
         if self.dist.len() < cap {
             self.dist.resize(cap, INF_DIST);
             self.count.resize(cap, 0);
         }
         self.probe.ensure_capacity(cap);
-        let ranks = DirectedRankMap::build(g, strategy);
         let mut index = DirectedSpcIndex::self_labeled(ranks);
         for v in 0..cap {
             index.label_mut(Side::In, VertexId(v as u32)).clear_all();
@@ -139,6 +149,11 @@ impl DirectedBuilder {
 /// One-shot directed build.
 pub fn build_directed_index(g: &DirectedGraph, strategy: OrderingStrategy) -> DirectedSpcIndex {
     DirectedBuilder::new(g.capacity()).build(g, strategy)
+}
+
+/// One-shot directed build over an explicit rank map.
+pub fn rebuild_directed_index(g: &DirectedGraph, ranks: DirectedRankMap) -> DirectedSpcIndex {
+    DirectedBuilder::new(g.capacity()).build_with_ranks(g, ranks)
 }
 
 #[cfg(test)]

@@ -103,6 +103,35 @@ impl DirectedRankMap {
         self.vertex_at.len()
     }
 
+    /// Builds a map from an explicit rank order (`order[r]` = vertex id at
+    /// rank `r`); must be a permutation of `0..order.len()`.
+    pub fn from_rank_order(order: &[u32]) -> Self {
+        let n = order.len();
+        let mut rank_of = vec![u32::MAX; n];
+        for (r, &v) in order.iter().enumerate() {
+            assert!(
+                (v as usize) < n && rank_of[v as usize] == u32::MAX,
+                "not a permutation"
+            );
+            rank_of[v as usize] = r as u32;
+        }
+        DirectedRankMap {
+            rank_of,
+            vertex_at: order.to_vec(),
+        }
+    }
+
+    /// Swaps the vertices at ranks `r` and `r + 1` (see
+    /// [`crate::order::RankMap::swap_adjacent`]).
+    pub fn swap_adjacent(&mut self, r: Rank) {
+        let hi = r.index();
+        let lo = hi + 1;
+        assert!(lo < self.vertex_at.len(), "swap_adjacent out of range");
+        self.vertex_at.swap(hi, lo);
+        self.rank_of[self.vertex_at[hi] as usize] = hi as u32;
+        self.rank_of[self.vertex_at[lo] as usize] = lo as u32;
+    }
+
     /// Appends a fresh vertex at the lowest rank; `v` must be the next
     /// dense id.
     pub fn append_vertex(&mut self, v: VertexId) -> Rank {
@@ -189,6 +218,14 @@ impl DirectedSpcIndex {
             Side::In => &mut self.labels_in[v.index()],
             Side::Out => &mut self.labels_out[v.index()],
         }
+    }
+
+    /// Swaps the vertices at ranks `r` and `r + 1` without touching either
+    /// label family — the directed twin of
+    /// [`crate::index::SpcIndex::swap_adjacent_ranks`]; the caller
+    /// ([`crate::reorder`]) purges both ranks' entries around the remap.
+    pub fn swap_adjacent_ranks(&mut self, r: Rank) {
+        self.ranks.swap_adjacent(r);
     }
 
     /// Registers a freshly added isolated vertex at the lowest rank with

@@ -554,6 +554,31 @@ impl DynamicSpc {
         self.index.stats()
     }
 
+    /// Plans up to `budget` non-overlapping adjacent rank swaps against
+    /// the current degree order, largest inversions first
+    /// ([`crate::order::plan_adjacent_swaps`]).
+    pub fn plan_rerank(&self, budget: usize) -> Vec<crate::label::Rank> {
+        crate::order::plan_adjacent_swaps(&self.graph, self.index.ranks(), budget)
+    }
+
+    /// Applies a sorted, non-overlapping run of adjacent rank swaps and
+    /// repairs the index in place ([`crate::reorder::rerank_adjacent`]) —
+    /// the bounded middle ground between per-update repair and
+    /// [`DynamicSpc::rebuild`]. The post-repair index is bit-identical to
+    /// a fresh build at the swapped order; like every mutation, a
+    /// non-empty re-rank drops the cached frozen snapshot.
+    pub fn rerank_adjacent(
+        &mut self,
+        swaps: &[crate::label::Rank],
+        threads: usize,
+    ) -> MaintenanceCounters {
+        if swaps.is_empty() {
+            return MaintenanceCounters::default();
+        }
+        self.flat = None;
+        crate::reorder::rerank_adjacent(&self.graph, &mut self.index, swaps, threads)
+    }
+
     /// Rebuilds from scratch with a *fresh* ordering — the paper's lazy
     /// answer to ordering staleness (§6).
     pub fn rebuild(&mut self) {

@@ -182,6 +182,12 @@ pub struct MaintenanceCounters {
     /// Whether the §3.2.3 isolated-vertex fast path handled (part of)
     /// the update.
     pub isolated_fast_path: bool,
+    /// Adjacent rank swaps repaired by [`crate::reorder`] (one per
+    /// demote/promote pair).
+    pub rerank_swaps: usize,
+    /// Hub re-push sweeps run by swap repair (two per undirected/weighted
+    /// swap, four per directed swap — both families).
+    pub rerank_sweeps: usize,
 }
 
 impl MaintenanceCounters {
@@ -190,10 +196,10 @@ impl MaintenanceCounters {
         self.renew_count + self.renew_dist + self.inserted + self.removed
     }
 
-    /// Total engine sweeps (classification + repair) — the amortization
-    /// metric batch deletion optimizes.
+    /// Total engine sweeps (classification + repair + re-rank re-pushes) —
+    /// the amortization metric batch deletion optimizes.
     pub fn total_sweeps(&self) -> usize {
-        self.classify_sweeps + self.hubs_processed
+        self.classify_sweeps + self.hubs_processed + self.rerank_sweeps
     }
 
     /// Signed change in index entry count (`inserted - removed`).
@@ -217,6 +223,8 @@ impl MaintenanceCounters {
         self.interference_probes += other.interference_probes;
         self.steal_events += other.steal_events;
         self.isolated_fast_path |= other.isolated_fast_path;
+        self.rerank_swaps += other.rerank_swaps;
+        self.rerank_sweeps += other.rerank_sweeps;
     }
 }
 

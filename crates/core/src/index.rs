@@ -176,6 +176,18 @@ impl SpcIndex {
         self.ranks.vertex(r)
     }
 
+    /// Swaps the vertices at ranks `r` and `r + 1` **without touching any
+    /// label storage**: the rank map's two positions trade occupants. Both
+    /// label entries and hub-entry counts are keyed by *rank*, so neither
+    /// moves — but every entry at the two ranks now attributes its paths
+    /// to the wrong hub vertex, which is why the caller
+    /// ([`crate::reorder`]) purges both ranks' entries before the swap and
+    /// re-pushes both hubs after it. This method only performs the O(1)
+    /// order remap.
+    pub fn swap_adjacent_ranks(&mut self, r: Rank) {
+        self.ranks.swap_adjacent(r);
+    }
+
     /// Registers a freshly added isolated vertex: appends it at the lowest
     /// rank with a self label. This is the paper's entire incremental
     /// handling of vertex insertion (§3): an isolated vertex affects no

@@ -71,6 +71,7 @@ pub mod parallel;
 pub mod paths;
 pub mod policy;
 pub mod query;
+pub mod reorder;
 pub mod serialize;
 pub mod shard;
 pub mod verify;
@@ -87,4 +88,7 @@ pub use parallel::{
     AgendaScope, ClassifyMode, MaintenanceOptions, MaintenanceThreads, QueryEngine,
 };
 pub use query::{pre_query, spc_query, QueryResult};
+pub use reorder::{
+    rerank_adjacent, rerank_adjacent_directed, rerank_adjacent_weighted, swap_and_repair,
+};
 pub use shard::{EpochSnapshot, ShardedFlatIndex};

@@ -175,6 +175,18 @@ impl RankMap {
         self.rank_of[a.index()] <= self.rank_of[b.index()]
     }
 
+    /// Swaps the vertices at ranks `r` and `r + 1` — the primitive
+    /// [`crate::reorder`] repairs around. The map stays a bijection; only
+    /// the two adjacent positions change.
+    pub fn swap_adjacent(&mut self, r: Rank) {
+        let hi = r.index();
+        let lo = hi + 1;
+        assert!(lo < self.vertex_at.len(), "swap_adjacent out of range");
+        self.vertex_at.swap(hi, lo);
+        self.rank_of[self.vertex_at[hi] as usize] = hi as u32;
+        self.rank_of[self.vertex_at[lo] as usize] = lo as u32;
+    }
+
     /// Validates the bijection.
     pub fn validate(&self) -> bool {
         self.rank_of.len() == self.vertex_at.len()
@@ -211,6 +223,195 @@ pub fn degree_order_staleness(g: &UndirectedGraph, ranks: &RankMap) -> f64 {
         0.0
     } else {
         inversions as f64 / pairs as f64
+    }
+}
+
+/// Enumerates the adjacent rank pairs currently inverted w.r.t. degree:
+/// every `r` with `deg(vertex(r)) < deg(vertex(r + 1))`, together with the
+/// degree gap. These are exactly the pairs [`degree_order_staleness`]
+/// counts, and the candidate set [`plan_adjacent_swaps`] chooses from.
+pub fn adjacent_inversions(g: &UndirectedGraph, ranks: &RankMap) -> Vec<(Rank, usize)> {
+    let n = ranks.len();
+    let mut out = Vec::new();
+    for r in 0..n.saturating_sub(1) {
+        let u = ranks.vertex(Rank(r as u32));
+        let v = ranks.vertex(Rank(r as u32 + 1));
+        if u.index() >= g.capacity() || v.index() >= g.capacity() {
+            continue;
+        }
+        let (du, dv) = (g.degree(u), g.degree(v));
+        if du < dv {
+            out.push((Rank(r as u32), dv - du));
+        }
+    }
+    out
+}
+
+/// Picks up to `budget` **non-overlapping** adjacent swaps, greedily by
+/// largest degree gap (ties to the higher rank position). Non-overlap —
+/// no two chosen positions differ by less than 2 — makes the swaps
+/// mutually independent: each touches only its own pair of ranks, so a
+/// batched repair can run them under one agenda. Returned sorted by rank.
+pub fn plan_adjacent_swaps(g: &UndirectedGraph, ranks: &RankMap, budget: usize) -> Vec<Rank> {
+    if budget == 0 {
+        return Vec::new();
+    }
+    let mut candidates = adjacent_inversions(g, ranks);
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut chosen: Vec<Rank> = Vec::new();
+    for (r, _) in candidates {
+        if chosen.len() >= budget {
+            break;
+        }
+        if chosen.iter().all(|&c| c.0.abs_diff(r.0) >= 2) {
+            chosen.push(r);
+        }
+    }
+    chosen.sort();
+    chosen
+}
+
+/// Incremental twin of [`degree_order_staleness`]: caches the degree
+/// sequence and the per-pair inversion flags so a policy check is O(1)
+/// and an update refreshes only the ≤ 2 rank pairs each touched vertex
+/// participates in — instead of walking all `n` pairs on every
+/// `apply_batch` the way the one-shot function does.
+///
+/// The tracker reports **exactly** the same value as the one-shot scan as
+/// long as it is told about every vertex whose degree may have changed
+/// ([`StalenessTracker::note_vertex`]), every executed swap
+/// ([`StalenessTracker::note_swap`]), and every rank-space growth
+/// ([`StalenessTracker::sync`]); spurious notifications are harmless.
+#[derive(Clone, Debug)]
+pub struct StalenessTracker {
+    /// Cached `degree(vertex)` by vertex id; 0 for ids outside the graph.
+    degrees: Vec<usize>,
+    /// `inverted[r]` = is the pair `(r, r + 1)` inverted? One slot per
+    /// adjacent pair (`len = n - 1` for `n ≥ 1` ranks).
+    inverted: Vec<bool>,
+    /// Running count of `true` flags in `inverted`.
+    inversions: usize,
+}
+
+impl StalenessTracker {
+    /// Builds the tracker from the current graph + order (one full scan).
+    pub fn new(g: &UndirectedGraph, ranks: &RankMap) -> Self {
+        let mut t = StalenessTracker {
+            degrees: Vec::new(),
+            inverted: Vec::new(),
+            inversions: 0,
+        };
+        t.rebuild(g, ranks);
+        t
+    }
+
+    /// Re-seeds from scratch (after a full index rebuild with a new order).
+    pub fn rebuild(&mut self, g: &UndirectedGraph, ranks: &RankMap) {
+        let n = ranks.len();
+        self.degrees.clear();
+        self.degrees.extend((0..n).map(|v| {
+            if v < g.capacity() {
+                g.degree(VertexId(v as u32))
+            } else {
+                0
+            }
+        }));
+        self.inverted.clear();
+        self.inverted.resize(n.saturating_sub(1), false);
+        self.inversions = 0;
+        for r in 0..n.saturating_sub(1) {
+            self.refresh_pair(ranks, r);
+        }
+    }
+
+    /// Current staleness — same definition as [`degree_order_staleness`]:
+    /// inverted adjacent pairs over total adjacent pairs.
+    pub fn staleness(&self) -> f64 {
+        if self.inverted.is_empty() {
+            0.0
+        } else {
+            self.inversions as f64 / self.inverted.len() as f64
+        }
+    }
+
+    /// Re-reads `degree(v)` from the graph and refreshes the two rank
+    /// pairs `v` participates in. Call for every endpoint of an applied
+    /// update (including former neighbors of a deleted vertex).
+    pub fn note_vertex(&mut self, g: &UndirectedGraph, ranks: &RankMap, v: VertexId) {
+        if v.index() >= self.degrees.len() {
+            return; // not yet synced; `sync` will pick it up
+        }
+        let deg = if v.index() < g.capacity() {
+            g.degree(v)
+        } else {
+            0
+        };
+        if self.degrees[v.index()] == deg {
+            return;
+        }
+        self.degrees[v.index()] = deg;
+        let r = ranks.rank(v).index();
+        if r > 0 {
+            self.refresh_pair(ranks, r - 1);
+        }
+        self.refresh_pair(ranks, r);
+    }
+
+    /// Refreshes the pairs around an executed adjacent swap at `r`
+    /// (positions `r - 1`, `r`, `r + 1`): degrees are unchanged, but the
+    /// occupants of the two positions traded places.
+    pub fn note_swap(&mut self, ranks: &RankMap, r: Rank) {
+        let r = r.index();
+        if r > 0 {
+            self.refresh_pair(ranks, r - 1);
+        }
+        self.refresh_pair(ranks, r);
+        self.refresh_pair(ranks, r + 1);
+    }
+
+    /// Grows the tracker to cover ranks appended since the last call
+    /// (vertex insertion extends the order at the tail).
+    pub fn sync(&mut self, g: &UndirectedGraph, ranks: &RankMap) {
+        let n = ranks.len();
+        let old_n = self.degrees.len();
+        if old_n == n {
+            return;
+        }
+        for v in old_n..n {
+            self.degrees.push(if v < g.capacity() {
+                g.degree(VertexId(v as u32))
+            } else {
+                0
+            });
+        }
+        self.inverted.resize(n.saturating_sub(1), false);
+        // Appends extend the order at the tail: the affected pairs are the
+        // one joining the old last rank to the first new one, plus every
+        // pair among the new tail ranks.
+        for r in old_n.saturating_sub(1)..n.saturating_sub(1) {
+            self.refresh_pair(ranks, r);
+        }
+    }
+
+    /// Recomputes the inversion flag of pair `(r, r + 1)` from cached
+    /// degrees, adjusting the running count.
+    fn refresh_pair(&mut self, ranks: &RankMap, r: usize) {
+        if r >= self.inverted.len() {
+            return;
+        }
+        let u = ranks.vertex(Rank(r as u32));
+        let v = ranks.vertex(Rank(r as u32 + 1));
+        let du = self.degrees.get(u.index()).copied().unwrap_or(0);
+        let dv = self.degrees.get(v.index()).copied().unwrap_or(0);
+        let now = du < dv;
+        if now != self.inverted[r] {
+            self.inverted[r] = now;
+            if now {
+                self.inversions += 1;
+            } else {
+                self.inversions -= 1;
+            }
+        }
     }
 }
 

@@ -78,7 +78,15 @@ impl WeightedBuilder {
                 ids.sort_by_key(|&v| (key(v), v));
             }
         }
-        let ranks = RankMap::from_rank_order(&ids, strategy);
+        self.build_with_ranks(g, RankMap::from_rank_order(&ids, strategy))
+    }
+
+    /// Builds the weighted SPC-Index of `g` over an explicit rank map —
+    /// the comparison target for [`crate::reorder`]'s weighted swap repair.
+    pub fn build_with_ranks(&mut self, g: &WeightedGraph, ranks: RankMap) -> WeightedSpcIndex {
+        let cap = g.capacity();
+        assert_eq!(ranks.len(), cap, "rank map does not cover the graph");
+        self.ensure_capacity(cap);
         let mut index = WeightedSpcIndex::new(vec![WLabelSet::default(); cap], ranks);
         for r in 0..cap as u32 {
             let h = index.vertex(Rank(r));
@@ -144,6 +152,11 @@ impl WeightedBuilder {
 /// One-shot weighted build.
 pub fn build_weighted_index(g: &WeightedGraph, strategy: OrderingStrategy) -> WeightedSpcIndex {
     WeightedBuilder::new(g.capacity()).build(g, strategy)
+}
+
+/// One-shot weighted build over an explicit rank map.
+pub fn rebuild_weighted_index(g: &WeightedGraph, ranks: RankMap) -> WeightedSpcIndex {
+    WeightedBuilder::new(g.capacity()).build_with_ranks(g, ranks)
 }
 
 #[cfg(test)]

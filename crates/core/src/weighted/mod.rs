@@ -170,6 +170,14 @@ impl WeightedSpcIndex {
         r
     }
 
+    /// Swaps the vertices at ranks `r` and `r + 1` without touching the
+    /// label sets — the weighted twin of
+    /// [`crate::index::SpcIndex::swap_adjacent_ranks`]; the caller
+    /// ([`crate::reorder`]) purges both ranks' entries around the remap.
+    pub fn swap_adjacent_ranks(&mut self, r: Rank) {
+        self.ranks.swap_adjacent(r);
+    }
+
     /// Structural invariants (sorted, self labels, upward hubs).
     pub fn check_invariants(&self) -> Result<(), String> {
         for (vi, ls) in self.labels.iter().enumerate() {

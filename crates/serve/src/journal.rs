@@ -67,7 +67,9 @@ use std::path::{Path, PathBuf};
 
 const MANIFEST_MAGIC: &[u8; 8] = b"DSPCMANI";
 const STATE_MAGIC: &[u8; 8] = b"DSPCSTAT";
-const STATE_VERSION: u32 = 1;
+// v2: the managed-policy section gained the tiered re-rank fields
+// (batched/local staleness thresholds and swap budgets).
+const STATE_VERSION: u32 = 2;
 const OP_CHECKPOINT: u8 = 1;
 const OP_BATCH: u8 = 2;
 const OP_EPOCH: u8 = 3;
@@ -409,16 +411,24 @@ fn encode_dynamic_state(d: &DynamicSpc, managed: Option<(MaintenancePolicy, usiz
                 buf.put_u64_le(0);
             }
         }
-        match policy.max_staleness {
-            Some(x) => {
-                buf.put_u8(1);
-                buf.put_u64_le(x.to_bits());
-            }
-            None => {
-                buf.put_u8(0);
-                buf.put_u64_le(0);
+        for threshold in [
+            policy.max_staleness,
+            policy.batched_staleness,
+            policy.local_staleness,
+        ] {
+            match threshold {
+                Some(x) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(x.to_bits());
+                }
+                None => {
+                    buf.put_u8(0);
+                    buf.put_u64_le(0);
+                }
             }
         }
+        buf.put_u64_le(policy.local_swap_budget as u64);
+        buf.put_u64_le(policy.batched_swap_budget as u64);
         buf.put_u64_le(rebuilds as u64);
     }
     buf.put_u64_le(g.capacity() as u64);
@@ -487,11 +497,19 @@ fn decode_dynamic_state(
         };
         let max_updates = opt(&mut rd)?.map(|n| n as usize);
         let max_staleness = opt(&mut rd)?.map(f64::from_bits);
+        let batched_staleness = opt(&mut rd)?.map(f64::from_bits);
+        let local_staleness = opt(&mut rd)?.map(f64::from_bits);
+        let local_swap_budget = next(&mut rd)? as usize;
+        let batched_swap_budget = next(&mut rd)? as usize;
         let rebuilds = next(&mut rd)? as usize;
         Some((
             MaintenancePolicy {
                 max_updates,
                 max_staleness,
+                batched_staleness,
+                local_staleness,
+                local_swap_budget,
+                batched_swap_budget,
             },
             rebuilds,
         ))

@@ -1,0 +1,301 @@
+//! Equivalence proofs for incremental re-ranking: for arbitrary graphs
+//! and arbitrary non-overlapping adjacent-swap plans, the repaired index
+//! must be bit-identical to a fresh build at the swapped order — for the
+//! undirected core (at every maintenance thread count), the directed
+//! extension, and the weighted extension — and must still answer exactly
+//! like the brute-force oracle. Plus the [`ManagedSpc`] tier transitions:
+//! each maintenance tier (local re-rank, batched re-rank, full rebuild)
+//! fires at its staleness band and drops the frozen query snapshot.
+
+use dspc::order::{degree_order_staleness, plan_adjacent_swaps};
+use dspc::policy::{MaintenanceAction, MaintenancePolicy, ManagedSpc};
+use dspc::reorder::{rerank_adjacent, rerank_adjacent_directed, rerank_adjacent_weighted};
+use dspc::verify::{verify_all_pairs, verify_directed_all_pairs, verify_weighted_all_pairs};
+use dspc::{rebuild_index, DynamicSpc, GraphUpdate, OrderingStrategy, Rank, RankMap};
+use dspc_graph::{UndirectedGraph, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a small random graph as (n, edge list).
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
+    (4usize..max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(3 * n))
+            .prop_map(move |edges| UndirectedGraph::from_edges(n, &edges))
+    })
+}
+
+fn swapped_order(ranks: &RankMap, swaps: &[Rank]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..ranks.len() as u32)
+        .map(|r| ranks.vertex(Rank(r)).0)
+        .collect();
+    for &r in swaps {
+        order.swap(r.index(), r.index() + 1);
+    }
+    order
+}
+
+/// Decode raw rank picks into a sorted, non-overlapping swap plan.
+fn decode_swaps(picks: &[u32], n: u32) -> Vec<Rank> {
+    let mut swaps: Vec<u32> = picks.iter().map(|&p| p % (n - 1)).collect();
+    swaps.sort_unstable();
+    swaps.dedup();
+    let mut out: Vec<Rank> = Vec::new();
+    for r in swaps {
+        if out.last().is_none_or(|&last| r > last.0 + 1) {
+            out.push(Rank(r));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Undirected: re-rank ≡ rebuild at the swapped order, at every
+    /// thread count, and the result still matches counting BFS.
+    #[test]
+    fn undirected_rerank_equals_rebuild(
+        g in graph_strategy(28),
+        picks in proptest::collection::vec(0u32..1 << 16, 1..6),
+        seed in 0u64..1 << 20,
+    ) {
+        let base = RankMap::build(&g, OrderingStrategy::Random(seed));
+        let swaps = decode_swaps(&picks, g.capacity() as u32);
+        assert!(!swaps.is_empty(), "decode_swaps always yields at least one swap");
+        let fresh = rebuild_index(
+            &g,
+            RankMap::from_rank_order(&swapped_order(&base, &swaps), base.strategy()),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let mut index = rebuild_index(&g, base.clone());
+            let c = rerank_adjacent(&g, &mut index, &swaps, threads);
+            prop_assert_eq!(c.rerank_swaps, swaps.len());
+            index.check_invariants().unwrap();
+            prop_assert_eq!(&index, &fresh, "threads={} differs from rebuild", threads);
+        }
+        verify_all_pairs(&g, &fresh).unwrap();
+    }
+
+    /// Directed: sequential re-rank ≡ rebuild, oracle-checked.
+    #[test]
+    fn directed_rerank_equals_rebuild(
+        arcs in proptest::collection::vec((0u32..18, 0u32..18), 0..70),
+        picks in proptest::collection::vec(0u32..1 << 16, 1..5),
+    ) {
+        use dspc::directed::build::rebuild_directed_index;
+        use dspc::directed::DirectedRankMap;
+
+        let n = 18usize;
+        let g = dspc_graph::DirectedGraph::from_arcs(n, &arcs);
+        let base: Vec<u32> = {
+            let r = DirectedRankMap::build(&g, OrderingStrategy::Degree);
+            (0..n as u32).map(|i| r.vertex(Rank(i)).0).collect()
+        };
+        let swaps = decode_swaps(&picks, n as u32);
+        assert!(!swaps.is_empty(), "decode_swaps always yields at least one swap");
+        let mut index = rebuild_directed_index(&g, DirectedRankMap::from_rank_order(&base));
+        rerank_adjacent_directed(&g, &mut index, &swaps);
+        index.check_invariants().unwrap();
+        let mut order = base.clone();
+        for &r in &swaps {
+            order.swap(r.index(), r.index() + 1);
+        }
+        let fresh = rebuild_directed_index(&g, DirectedRankMap::from_rank_order(&order));
+        prop_assert_eq!(&index, &fresh, "directed re-rank differs from rebuild");
+        verify_directed_all_pairs(&g, &fresh).unwrap();
+    }
+
+    /// Weighted: sequential re-rank ≡ rebuild, oracle-checked.
+    #[test]
+    fn weighted_rerank_equals_rebuild(
+        edges in proptest::collection::vec((0u32..16, 0u32..16, 1u32..7), 0..50),
+        picks in proptest::collection::vec(0u32..1 << 16, 1..5),
+    ) {
+        use dspc::weighted::build::{build_weighted_index, rebuild_weighted_index};
+
+        let n = 16usize;
+        let edges: Vec<(u32, u32, u32)> = edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+        let g = dspc_graph::WeightedGraph::from_weighted_edges(n, &edges);
+        let base = build_weighted_index(&g, OrderingStrategy::Degree).ranks().clone();
+        let swaps = decode_swaps(&picks, n as u32);
+        assert!(!swaps.is_empty(), "decode_swaps always yields at least one swap");
+        let mut index = rebuild_weighted_index(&g, base.clone());
+        rerank_adjacent_weighted(&g, &mut index, &swaps);
+        index.check_invariants().unwrap();
+        let fresh = rebuild_weighted_index(
+            &g,
+            RankMap::from_rank_order(&swapped_order(&base, &swaps), base.strategy()),
+        );
+        prop_assert_eq!(&index, &fresh, "weighted re-rank differs from rebuild");
+        verify_weighted_all_pairs(&g, &fresh).unwrap();
+    }
+
+    /// The incremental [`StalenessTracker`] behind [`ManagedSpc`] stays
+    /// equal to the one-shot [`degree_order_staleness`] recount across
+    /// arbitrary edge-churn sequences (NEVER policy: no maintenance, so
+    /// the order never moves under the tracker).
+    #[test]
+    fn tracked_staleness_matches_recount(
+        g in graph_strategy(24),
+        ops in proptest::collection::vec((0u32..24, 0u32..24, proptest::bool::ANY), 0..30),
+    ) {
+        let n = g.capacity() as u32;
+        let mut managed = ManagedSpc::new(
+            DynamicSpc::build(g, OrderingStrategy::Degree),
+            MaintenancePolicy::NEVER,
+        );
+        for (a, b, insert) in ops {
+            let (a, b) = (VertexId(a % n), VertexId(b % n));
+            if a == b {
+                continue;
+            }
+            let has = managed.inner().graph().has_edge(a, b);
+            let update = if insert && !has {
+                GraphUpdate::InsertEdge(a, b)
+            } else if !insert && has {
+                GraphUpdate::DeleteEdge(a, b)
+            } else {
+                continue;
+            };
+            managed.apply(update).unwrap();
+            let recount = degree_order_staleness(
+                managed.inner().graph(),
+                managed.inner().index().ranks(),
+            );
+            prop_assert!(
+                (managed.staleness() - recount).abs() < 1e-12,
+                "tracker {} vs recount {}",
+                managed.staleness(),
+                recount
+            );
+        }
+    }
+}
+
+/// Picks tier thresholds around a measured staleness value so `action`
+/// lands exactly in the requested tier for that staleness.
+fn policy_for(tier: MaintenanceAction, s: f64) -> MaintenancePolicy {
+    let p = match tier {
+        MaintenanceAction::LocalRerank => MaintenancePolicy::tiered(s / 2.0, s * 2.0, s * 4.0),
+        MaintenanceAction::BatchedRerank => MaintenancePolicy::tiered(s / 4.0, s / 2.0, s * 2.0),
+        MaintenanceAction::Rebuild => MaintenancePolicy::tiered(s / 8.0, s / 4.0, s / 2.0),
+        MaintenanceAction::None => MaintenancePolicy::NEVER,
+    };
+    assert_eq!(p.action(1, s), tier, "threshold construction is off");
+    p
+}
+
+/// One ManagedSpc per maintenance tier, all replaying the same churn
+/// batch: each tier fires in its staleness band, drops the frozen query
+/// snapshot, leaves the expected counter signature, and keeps the index
+/// oracle-exact.
+#[test]
+fn tier_transitions_fire_and_invalidate_the_snapshot() {
+    use dspc_graph::generators::random::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let g = barabasi_albert(80, 2, &mut rng);
+    let batch: Vec<GraphUpdate> = dspc_bench::workload::churn_stream(&g, 1, 10, &mut rng).remove(0);
+
+    // Measure the staleness the policy will see at decision time.
+    let mut probe = ManagedSpc::new(
+        DynamicSpc::build(g.clone(), OrderingStrategy::Degree),
+        MaintenancePolicy::NEVER,
+    );
+    probe.apply_batch(&batch).unwrap();
+    let s = probe.staleness();
+    assert!(s > 0.0, "churn batch must perturb the degree order");
+
+    for tier in [
+        MaintenanceAction::LocalRerank,
+        MaintenanceAction::BatchedRerank,
+        MaintenanceAction::Rebuild,
+    ] {
+        let mut managed = ManagedSpc::new(
+            DynamicSpc::build(g.clone(), OrderingStrategy::Degree),
+            policy_for(tier, s),
+        );
+        managed.frozen_queries();
+        assert!(managed.has_frozen_snapshot());
+        managed.apply_batch(&batch).unwrap();
+        assert!(
+            !managed.has_frozen_snapshot(),
+            "{tier:?} must drop the frozen snapshot"
+        );
+        let rr = managed.rerank_totals();
+        match tier {
+            MaintenanceAction::LocalRerank => {
+                assert_eq!(managed.rebuilds(), 0);
+                assert!(rr.rerank_swaps > 0, "local tier must swap");
+                assert!(
+                    rr.rerank_swaps <= managed.policy().local_swap_budget,
+                    "local tier must respect its budget"
+                );
+            }
+            MaintenanceAction::BatchedRerank => {
+                assert_eq!(managed.rebuilds(), 0);
+                assert!(
+                    rr.rerank_swaps > managed.policy().local_swap_budget,
+                    "batched tier must out-swap the local budget"
+                );
+            }
+            MaintenanceAction::Rebuild => {
+                assert_eq!(managed.rebuilds(), 1, "cliff tier must rebuild");
+                assert_eq!(rr.rerank_swaps, 0);
+                assert!(
+                    managed.staleness() < s,
+                    "rebuild must restore a fresh degree order"
+                );
+            }
+            MaintenanceAction::None => unreachable!(),
+        }
+        verify_all_pairs(managed.inner().graph(), managed.inner().index()).unwrap();
+    }
+}
+
+/// The batched tier's replan loop converges: with enough budget one
+/// response drives tracked staleness down to the batched threshold even
+/// when vertices are displaced by many rank positions.
+#[test]
+fn batched_tier_replans_until_threshold() {
+    use dspc_graph::generators::random::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let g = barabasi_albert(100, 3, &mut rng);
+    let batch: Vec<GraphUpdate> = dspc_bench::workload::churn_stream(&g, 1, 12, &mut rng).remove(0);
+    let mut managed = ManagedSpc::new(
+        DynamicSpc::build(g, OrderingStrategy::Degree),
+        MaintenancePolicy {
+            batched_swap_budget: 4096,
+            ..MaintenancePolicy::tiered(0.0, 1e-9, 0.99)
+        },
+    );
+    managed.apply_batch(&batch).unwrap();
+    assert_eq!(managed.rebuilds(), 0);
+    assert!(
+        managed.staleness() <= 1e-9,
+        "replan loop must drive staleness to the batched threshold, got {}",
+        managed.staleness()
+    );
+    // Fully de-staled order + exact repair ⇒ the index matches a fresh
+    // degree-order rebuild's footprint (up to degree ties, which the two
+    // orders may break differently).
+    let fresh = DynamicSpc::build(managed.inner().graph().clone(), OrderingStrategy::Degree);
+    let (a, b) = (
+        managed.inner().index().num_entries(),
+        fresh.index().num_entries(),
+    );
+    assert!(
+        a.abs_diff(b) * 100 <= b,
+        "re-ranked footprint {a} strays from rebuild-fresh {b}"
+    );
+    // And the planner has nothing left to do.
+    assert!(
+        plan_adjacent_swaps(managed.inner().graph(), managed.inner().index().ranks(), 16)
+            .is_empty()
+    );
+}
